@@ -1,0 +1,30 @@
+package lossyckpt_test
+
+import (
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/fti"
+	"repro/internal/sim"
+	"repro/internal/solver"
+)
+
+// simRunJacobi drives one lossy-checkpointed Jacobi run in virtual
+// time and returns the total simulated seconds (shared by the interval
+// ablation bench).
+func simRunJacobi(s solver.Checkpointable, mgr *core.Manager, n int, tit, interval, ckptCost float64) (float64, error) {
+	out, err := sim.Run(sim.Config{
+		Stepper:           s,
+		Manager:           mgr,
+		X0:                make([]float64, n),
+		TitSeconds:        tit,
+		IntervalSeconds:   interval,
+		CheckpointSeconds: func(fti.Info) float64 { return ckptCost },
+		RecoverySeconds:   func(fti.Info) float64 { return ckptCost * 1.2 },
+		Failures:          failure.NewInjector(3600, 5),
+		MaxIterations:     5_000_000,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return out.SimSeconds, nil
+}

@@ -1,0 +1,397 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one benchmark per artifact, backed by the experiment
+// registry), plus kernel benchmarks for the substrates and ablation
+// benchmarks for the design choices called out in DESIGN.md §5.
+package lossyckpt_test
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	lossyckpt "repro"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/fti"
+	"repro/internal/lossless"
+	"repro/internal/model"
+	"repro/internal/solver"
+	"repro/internal/sparse"
+	"repro/internal/sz"
+	"repro/internal/zfp"
+)
+
+// runExperiment executes one registry experiment in quick mode.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, experiments.Config{Quick: true, Seed: 1})
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if err := res.WriteText(io.Discard); err != nil {
+			b.Fatalf("%s render: %v", id, err)
+		}
+	}
+}
+
+// ---- One benchmark per paper artifact --------------------------------------
+
+func BenchmarkFig1OverheadSurface(b *testing.B)         { runExperiment(b, "fig1") }
+func BenchmarkFig2CGExtraIterations(b *testing.B)       { runExperiment(b, "fig2") }
+func BenchmarkFig3KKTScaling(b *testing.B)              { runExperiment(b, "fig3") }
+func BenchmarkTable3CheckpointSizes(b *testing.B)       { runExperiment(b, "table3") }
+func BenchmarkFig4JacobiCkptTime(b *testing.B)          { runExperiment(b, "fig4") }
+func BenchmarkFig5GMRESCkptTime(b *testing.B)           { runExperiment(b, "fig5") }
+func BenchmarkFig6CGCkptTime(b *testing.B)              { runExperiment(b, "fig6") }
+func BenchmarkFig7ExpectedOverhead(b *testing.B)        { runExperiment(b, "fig7") }
+func BenchmarkFig8ConvergenceIterations(b *testing.B)   { runExperiment(b, "fig8") }
+func BenchmarkFig9JacobiResidualTrace(b *testing.B)     { runExperiment(b, "fig9") }
+func BenchmarkFig10FaultToleranceOverhead(b *testing.B) { runExperiment(b, "fig10") }
+
+// ---- Kernel benchmarks -------------------------------------------------------
+
+func solverState(n int) []float64 {
+	x := sparse.SmoothField(n, 7)
+	for i := range x {
+		x[i] += 2.5
+	}
+	return x
+}
+
+func BenchmarkSZCompressPWRel(b *testing.B) {
+	x := solverState(1 << 20)
+	b.SetBytes(int64(8 * len(x)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sz.Compress(x, sz.Params{Mode: sz.PWRel, ErrorBound: 1e-4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSZCompressAbs(b *testing.B) {
+	x := solverState(1 << 20)
+	b.SetBytes(int64(8 * len(x)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sz.Compress(x, sz.Params{Mode: sz.Abs, ErrorBound: 1e-4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSZDecompress(b *testing.B) {
+	x := solverState(1 << 20)
+	comp, err := sz.Compress(x, sz.Params{Mode: sz.Abs, ErrorBound: 1e-4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(8 * len(x)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sz.Decompress(comp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkZFPCompress(b *testing.B) {
+	x := solverState(1 << 20)
+	b.SetBytes(int64(8 * len(x)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := zfp.Compress(x, 1e-4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFlateCompress(b *testing.B) {
+	x := solverState(1 << 20)
+	b.SetBytes(int64(8 * len(x)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (lossless.Flate{}).Compress(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFPCCompress(b *testing.B) {
+	x := solverState(1 << 20)
+	b.SetBytes(int64(8 * len(x)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (lossless.FPC{}).Compress(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSparseMatVec(b *testing.B) {
+	a := sparse.Poisson3D(32) // 32,768 rows, ~223k nnz
+	x := make([]float64, a.Rows)
+	dst := make([]float64, a.Rows)
+	for i := range x {
+		x[i] = float64(i % 17)
+	}
+	b.SetBytes(int64(12 * a.NNZ()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.MulVec(dst, x)
+	}
+}
+
+func BenchmarkCGStep(b *testing.B) {
+	a := sparse.Poisson3D(24)
+	rhs := sparse.OnesRHS(a.Rows)
+	s := solver.NewCG(a, nil, rhs, nil, solver.SeqSpace{}, solver.Options{RTol: 1e-300})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}
+
+func BenchmarkGMRESStep(b *testing.B) {
+	a := sparse.Poisson3D(24)
+	rhs := sparse.OnesRHS(a.Rows)
+	s := solver.NewGMRES(a, nil, rhs, nil, 30, solver.SeqSpace{}, solver.Options{RTol: 1e-300})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}
+
+func BenchmarkJacobiSweep(b *testing.B) {
+	a := sparse.Poisson3D(24)
+	rhs := sparse.OnesRHS(a.Rows)
+	s, err := solver.NewStationary(solver.KindJacobi, a, rhs, nil, 0, solver.Options{RTol: 1e-300})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}
+
+func BenchmarkCheckpointLossy(b *testing.B) {
+	x := solverState(1 << 18)
+	ck := fti.New(fti.NewMemStorage(), fti.SZ{Params: sz.Params{Mode: sz.PWRel, ErrorBound: 1e-4}})
+	ck.Protect("x", &x)
+	b.SetBytes(int64(8 * len(x)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ck.Checkpoint(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCheckpointTraditional(b *testing.B) {
+	x := solverState(1 << 18)
+	ck := fti.New(fti.NewMemStorage(), fti.Raw{})
+	ck.Protect("x", &x)
+	b.SetBytes(int64(8 * len(x)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ck.Checkpoint(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Ablation benchmarks (DESIGN.md §5) --------------------------------------
+
+// BenchmarkAblationCGRestart compares the paper's restarted lossy
+// recovery for CG (Algorithm 2) against naively restoring lossy
+// (x, p, ρ) without a restart — the design choice §4.2 motivates with
+// the broken-orthogonality argument. The reported metrics are the
+// extra iterations per recovery for both strategies.
+func BenchmarkAblationCGRestart(b *testing.B) {
+	a := sparse.Poisson3D(12)
+	rhs := sparse.OnesRHS(a.Rows)
+	const rtol = 1e-9
+	newCG := func() *solver.CG {
+		return solver.NewCG(a, nil, rhs, nil, solver.SeqSpace{}, solver.Options{RTol: rtol})
+	}
+	base, err := solver.RunToConvergence(newCG(), solver.Options{MaxIter: 100000}, nil)
+	if err != nil || !base.Converged {
+		b.Fatalf("baseline: %v", err)
+	}
+	lossyVec := func(v []float64) []float64 {
+		comp, err := sz.Compress(v, sz.Params{Mode: sz.PWRel, ErrorBound: 1e-4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		out, err := sz.Decompress(comp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return out
+	}
+	var restarted, naive float64
+	for i := 0; i < b.N; i++ {
+		t := base.Iterations / 2
+		// Restarted recovery (the paper's scheme).
+		s1 := newCG()
+		for j := 0; j < t; j++ {
+			s1.Step()
+		}
+		s1.Restart(lossyVec(s1.X()))
+		r1, _ := solver.RunToConvergence(s1, solver.Options{MaxIter: 400000}, nil)
+		restarted += float64(r1.Iterations - base.Iterations)
+
+		// Naive recovery: lossy (x, p, ρ) without restart.
+		s2 := newCG()
+		for j := 0; j < t; j++ {
+			s2.Step()
+		}
+		st := s2.CaptureDynamic()
+		st.Vectors["x"] = lossyVec(st.Vectors["x"])
+		st.Vectors["p"] = lossyVec(st.Vectors["p"])
+		if err := s2.RestoreDynamic(st); err != nil {
+			b.Fatal(err)
+		}
+		r2, _ := solver.RunToConvergence(s2, solver.Options{MaxIter: 400000}, nil)
+		naive += float64(r2.Iterations - base.Iterations)
+	}
+	b.ReportMetric(restarted/float64(b.N), "extra-its-restarted")
+	b.ReportMetric(naive/float64(b.N), "extra-its-naive")
+}
+
+// BenchmarkAblationBoundModes reports the compression ratio of the
+// three error-bound modes on the same solver state at eb = 1e-4.
+func BenchmarkAblationBoundModes(b *testing.B) {
+	x := solverState(1 << 19)
+	modes := []struct {
+		name string
+		mode sz.Mode
+	}{{"abs", sz.Abs}, {"relrange", sz.RelRange}, {"pwrel", sz.PWRel}}
+	for i := 0; i < b.N; i++ {
+		for _, m := range modes {
+			comp, err := sz.Compress(x, sz.Params{Mode: m.mode, ErrorBound: 1e-4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(sz.Ratio(len(x), comp), "ratio-"+m.name)
+		}
+	}
+}
+
+// BenchmarkAblationAdaptiveGMRESBound compares Theorem 3's adaptive
+// bound against a fixed loose bound: extra iterations per recovery.
+func BenchmarkAblationAdaptiveGMRESBound(b *testing.B) {
+	a := sparse.Poisson3D(12)
+	rhs := sparse.OnesRHS(a.Rows)
+	bnorm := solver.SeqSpace{}.Norm2(rhs)
+	const rtol = 1e-9
+	newG := func() *solver.GMRES {
+		return solver.NewGMRES(a, nil, rhs, nil, 10, solver.SeqSpace{}, solver.Options{RTol: rtol})
+	}
+	base, err := solver.RunToConvergence(newG(), solver.Options{MaxIter: 100000}, nil)
+	if err != nil || !base.Converged {
+		b.Fatalf("baseline: %v", err)
+	}
+	recoverWith := func(eb float64) int {
+		s := newG()
+		for j := 0; j < base.Iterations/2; j++ {
+			s.Step()
+		}
+		comp, err := sz.Compress(s.CurrentX(), sz.Params{Mode: sz.PWRel, ErrorBound: eb})
+		if err != nil {
+			b.Fatal(err)
+		}
+		x, err := sz.Decompress(comp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Restart(x)
+		r, _ := solver.RunToConvergence(s, solver.Options{MaxIter: 400000}, nil)
+		return r.Iterations - base.Iterations
+	}
+	var adaptive, fixed float64
+	for i := 0; i < b.N; i++ {
+		s := newG()
+		for j := 0; j < base.Iterations/2; j++ {
+			s.Step()
+		}
+		ebAdaptive := model.GMRESAdaptiveBound(s.ResidualNorm(), bnorm, 1)
+		adaptive += float64(recoverWith(ebAdaptive))
+		fixed += float64(recoverWith(0.2)) // loose fixed bound
+	}
+	b.ReportMetric(adaptive/float64(b.N), "extra-its-adaptive")
+	b.ReportMetric(fixed/float64(b.N), "extra-its-fixed0.2")
+}
+
+// BenchmarkAblationCompressorChoice reports ratio for SZ vs ZFP vs
+// Gzip on identical solver state (the paper's §5.1 compressor choice).
+func BenchmarkAblationCompressorChoice(b *testing.B) {
+	x := solverState(1 << 19)
+	for i := 0; i < b.N; i++ {
+		szc, err := sz.Compress(x, sz.Params{Mode: sz.Abs, ErrorBound: 1e-4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		zc, err := zfp.Compress(x, 1e-4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fc, err := (lossless.Flate{}).Compress(x)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(sz.Ratio(len(x), szc), "ratio-sz")
+		b.ReportMetric(zfp.Ratio(len(x), zc), "ratio-zfp")
+		b.ReportMetric(lossless.Ratio(len(x), fc), "ratio-gzip")
+	}
+}
+
+// BenchmarkAblationIntervalSensitivity measures the simulated FT
+// overhead of lossy-checkpointed Jacobi at the Young-optimal interval
+// and at half/double that interval.
+func BenchmarkAblationIntervalSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, mult := range []float64{0.5, 1, 2} {
+			pct, err := intervalOverheadPct(mult)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(pct, fmt.Sprintf("overhead%%-x%g", mult))
+		}
+	}
+}
+
+func intervalOverheadPct(mult float64) (float64, error) {
+	a := lossyckpt.Poisson3D(10)
+	rhs := lossyckpt.OnesRHS(a.Rows)
+	s, err := solver.NewStationary(solver.KindJacobi, a, rhs, nil, 0, solver.Options{RTol: 1e-4})
+	if err != nil {
+		return 0, err
+	}
+	baseRes, err := solver.RunToConvergence(s, solver.Options{MaxIter: 200000}, nil)
+	if err != nil || !baseRes.Converged {
+		return 0, fmt.Errorf("baseline failed")
+	}
+	tit := 3000.0 / float64(baseRes.Iterations)
+	const ckptCost = 25.0
+	interval := mult * model.YoungInterval(3600, ckptCost)
+
+	s2, err := solver.NewStationary(solver.KindJacobi, a, rhs, nil, 0, solver.Options{RTol: 1e-4})
+	if err != nil {
+		return 0, err
+	}
+	mgr, err := core.NewManager(core.Config{
+		Scheme:   core.Lossy,
+		SZParams: sz.Params{Mode: sz.PWRel, ErrorBound: 1e-4},
+	}, fti.NewMemStorage(), s2)
+	if err != nil {
+		return 0, err
+	}
+	out, err := simRunJacobi(s2, mgr, a.Rows, tit, interval, ckptCost)
+	if err != nil {
+		return 0, err
+	}
+	return 100 * (out - 3000) / 3000, nil
+}

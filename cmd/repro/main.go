@@ -1,0 +1,53 @@
+// Command repro regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	repro -exp fig10            # one experiment, full configuration
+//	repro -exp all -quick       # everything, reduced sizes
+//	repro -list                 # show available experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment ID (fig1..fig10, table3) or 'all'")
+	quick := flag.Bool("quick", false, "reduced problem sizes and trial counts")
+	seed := flag.Int64("seed", 1, "random seed for stochastic experiments")
+	trials := flag.Int("trials", 0, "override per-experiment trial count (0 = default)")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-8s %s\n", id, experiments.Title(id))
+		}
+		return
+	}
+
+	ids := experiments.IDs()
+	if *exp != "all" {
+		ids = []string{*exp}
+	}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Trials: *trials}
+	for _, id := range ids {
+		fmt.Printf("==== %s: %s ====\n", id, experiments.Title(id))
+		start := time.Now()
+		res, err := experiments.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if err := res.WriteText(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %s render: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("---- %s finished in %.1fs ----\n\n", id, time.Since(start).Seconds())
+	}
+}

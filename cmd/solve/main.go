@@ -1,0 +1,180 @@
+// Command solve runs one fault-tolerant iterative solve end to end:
+// it builds a 3D Poisson system, solves it with the chosen method and
+// checkpointing scheme, optionally injecting failures in virtual time,
+// and reports the outcome.
+//
+// Usage:
+//
+//	solve -method cg -grid 16 -scheme lossy -eb 1e-4 -mtti 300
+//	solve -method jacobi -grid 12 -scheme traditional -ckptdir /tmp/ck
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/fti"
+	"repro/internal/model"
+	"repro/internal/precond"
+	"repro/internal/sim"
+	"repro/internal/solver"
+	"repro/internal/sparse"
+	"repro/internal/sz"
+)
+
+func main() {
+	method := flag.String("method", "cg", "iterative method: jacobi | gs | sor | ssor | cg | gmres")
+	grid := flag.Int("grid", 14, "Poisson grid dimension (n³ unknowns)")
+	rtol := flag.Float64("rtol", 1e-7, "relative convergence tolerance")
+	schemeName := flag.String("scheme", "lossy", "checkpoint scheme: traditional | lossless | lossy | none")
+	eb := flag.Float64("eb", 1e-4, "lossy pointwise-relative error bound")
+	interval := flag.Float64("interval", 0, "checkpoint interval in simulated seconds (0 = Young-optimal)")
+	mtti := flag.Float64("mtti", 0, "mean time to interruption in simulated seconds (0 = no failures)")
+	tit := flag.Float64("tit", 1, "simulated seconds per iteration")
+	seed := flag.Int64("seed", 1, "failure-injection seed")
+	ckptDir := flag.String("ckptdir", "", "write checkpoints to this directory (default: in-memory)")
+	maxIter := flag.Int("maxiter", 2_000_000, "iteration cap")
+	flag.Parse()
+
+	if err := run(*method, *grid, *rtol, *schemeName, *eb, *interval, *mtti, *tit, *seed, *ckptDir, *maxIter); err != nil {
+		fmt.Fprintln(os.Stderr, "solve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(method string, grid int, rtol float64, schemeName string, eb, interval, mtti, tit float64, seed int64, ckptDir string, maxIter int) error {
+	a := sparse.Poisson3D(grid)
+	b := sparse.OnesRHS(a.Rows)
+	fmt.Printf("system: 3D Poisson %d³ = %d unknowns, %d nonzeros\n", grid, a.Rows, a.NNZ())
+
+	var s solver.Checkpointable
+	var err error
+	opts := solver.Options{RTol: rtol}
+	switch method {
+	case "jacobi":
+		s, err = solver.NewStationary(solver.KindJacobi, a, b, nil, 0, opts)
+	case "gs":
+		s, err = solver.NewStationary(solver.KindGaussSeidel, a, b, nil, 0, opts)
+	case "sor":
+		s, err = solver.NewStationary(solver.KindSOR, a, b, nil, 1.5, opts)
+	case "ssor":
+		s, err = solver.NewStationary(solver.KindSSOR, a, b, nil, 1.2, opts)
+	case "cg":
+		var m *precond.IC0
+		m, err = precond.NewIC0(a)
+		if err != nil {
+			return err
+		}
+		s = solver.NewCG(a, m, b, nil, solver.SeqSpace{}, opts)
+	case "gmres":
+		s = solver.NewGMRES(a, nil, b, nil, 30, solver.SeqSpace{}, opts)
+	default:
+		return fmt.Errorf("unknown method %q", method)
+	}
+	if err != nil {
+		return err
+	}
+
+	var scheme core.Scheme
+	switch schemeName {
+	case "traditional":
+		scheme = core.Traditional
+	case "lossless":
+		scheme = core.Lossless
+	case "lossy":
+		scheme = core.Lossy
+	case "none":
+		res, err := solver.RunToConvergence(s, solver.Options{MaxIter: maxIter}, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("converged=%v iterations=%d residual=%.3e\n",
+			res.Converged, res.Iterations, res.FinalResidual)
+		return nil
+	default:
+		return fmt.Errorf("unknown scheme %q", schemeName)
+	}
+
+	var storage fti.Storage = fti.NewMemStorage()
+	if ckptDir != "" {
+		ds, err := fti.NewDirStorage(ckptDir)
+		if err != nil {
+			return err
+		}
+		storage = ds
+	}
+	mgr, err := core.NewManager(core.Config{
+		Scheme:   scheme,
+		SZParams: sz.Params{Mode: sz.PWRel, ErrorBound: eb},
+	}, storage, s)
+	if err != nil {
+		return err
+	}
+	if err := core.RegisterStatics(mgr.Checkpointer(), a, b); err != nil {
+		return err
+	}
+
+	// Cost the checkpoints with the Bebop model at 2,048 processes so
+	// the Young-optimal interval is meaningful.
+	mdl := cluster.Bebop()
+	raw := float64(a.Rows) * 8
+	ckptSec := func(info fti.Info) float64 {
+		sch := cluster.Uncompressed
+		switch scheme {
+		case core.Lossless:
+			sch = cluster.LosslessCompressed
+		case core.Lossy:
+			sch = cluster.LossyCompressed
+		}
+		return mdl.CheckpointSeconds(2048, float64(info.Bytes), raw, sch)
+	}
+	recSec := func(info fti.Info) float64 {
+		sch := cluster.Uncompressed
+		switch scheme {
+		case core.Lossless:
+			sch = cluster.LosslessCompressed
+		case core.Lossy:
+			sch = cluster.LossyCompressed
+		}
+		return mdl.RecoverySeconds(2048, float64(info.Bytes), raw, sch)
+	}
+	if interval == 0 {
+		probe, err := mgr.Checkpoint()
+		if err != nil {
+			return err
+		}
+		interval = model.YoungInterval(mtti, ckptSec(probe))
+		if interval == 0 {
+			interval = 100 * tit
+		}
+		fmt.Printf("Young-optimal interval: %.0f simulated seconds\n", interval)
+	}
+
+	out, err := sim.Run(sim.Config{
+		Stepper:           s,
+		Manager:           mgr,
+		X0:                make([]float64, a.Rows),
+		TitSeconds:        tit,
+		IntervalSeconds:   interval,
+		CheckpointSeconds: ckptSec,
+		RecoverySeconds:   recSec,
+		Failures:          failure.NewInjector(mtti, seed),
+		MaxIterations:     maxIter,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("converged=%v iterations=%d sim-time=%.0fs failures=%d checkpoints=%d\n",
+		out.Converged, out.IterationsExecuted, out.SimSeconds, out.Failures, out.Checkpoints)
+	fmt.Printf("checkpoint-time=%.0fs recovery-time=%.0fs final-residual=%.3e\n",
+		out.CheckpointTime, out.RecoveryTime, out.FinalResidual)
+	if info := mgr.LastInfo(); info.Bytes > 0 {
+		fmt.Printf("last checkpoint: %d bytes (ratio %.1fx, encoder %s)\n",
+			info.Bytes, info.CompressionRatio, info.EncoderName)
+	}
+	return nil
+}

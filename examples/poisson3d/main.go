@@ -1,0 +1,80 @@
+// Distributed solve demo: the paper's experiments run PETSc over MPI;
+// this example runs the same distributed machinery of this repository
+// — row-partitioned matrices with ghost exchange, allreduce-backed dot
+// products — across simulated ranks, solving the 3D Poisson system
+// with CG, taking per-rank lossy checkpoints, and recovering every
+// rank after an injected failure.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync/atomic"
+
+	lossyckpt "repro"
+	"repro/internal/mpi"
+	"repro/internal/solver"
+	"repro/internal/sparse"
+)
+
+const (
+	grid  = 12 // 1,728 unknowns
+	ranks = 4
+)
+
+func main() {
+	a := sparse.Poisson3D(grid)
+	b := sparse.OnesRHS(a.Rows)
+	var totalCkptBytes int64
+
+	err := mpi.Run(ranks, func(c *mpi.Comm) error {
+		d := sparse.NewDist(c, a)
+		lo, n := d.RowStart(), d.LocalRows()
+		bl := append([]float64(nil), b[lo:lo+n]...)
+
+		cg := solver.NewCG(d, nil, bl, nil, solver.MPISpace{Comm: c}, solver.Options{RTol: 1e-8})
+		// Each rank checkpoints its owned block — the paper's per-rank
+		// MPI-IO layout.
+		mgr, err := lossyckpt.NewManager(lossyckpt.ManagerConfig{
+			Scheme:   lossyckpt.Lossy,
+			Interval: 10,
+			SZParams: lossyckpt.SZParams{Mode: lossyckpt.PWRel, ErrorBound: 1e-4},
+		}, lossyckpt.NewMemStorage(), cg)
+		if err != nil {
+			return err
+		}
+
+		failed := false
+		res, err := solver.RunToConvergence(cg, solver.Options{MaxIter: 100000},
+			func(it int, rnorm float64) error {
+				if info, err := mgr.MaybeCheckpoint(); err != nil {
+					return err
+				} else if info != nil {
+					atomic.AddInt64(&totalCkptBytes, int64(info.Bytes))
+				}
+				// All ranks fail together at iteration 25 (fail-stop
+				// takes down the job; every rank recovers from its own
+				// checkpoint).
+				if it == 25 && !failed {
+					failed = true
+					if _, err := mgr.Recover(); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			fmt.Printf("distributed CG on %d ranks: converged=%v in %d iterations (residual %.2e)\n",
+				ranks, res.Converged, res.Iterations, res.FinalResidual)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("total lossy checkpoint traffic across ranks: %d bytes (raw would be %d)\n",
+		totalCkptBytes, 8*a.Rows)
+}

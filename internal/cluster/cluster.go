@@ -1,0 +1,156 @@
+// Package cluster models the timing behaviour of the paper's
+// experimental platform — the Bebop cluster at Argonne (64 nodes,
+// 2×16-core Xeon E5-2695v4, 128 GB/node) with its parallel file
+// system — so that checkpoint, recovery, and iteration times at the
+// paper's scale (256–4,096 processes, up to 78.8 GB checkpoints) can
+// be reproduced on a laptop.
+//
+// Calibration anchors, all taken from the paper:
+//   - writing one 78.8 GB traditional checkpoint from 2,048 ranks
+//     takes ≈120 s (§3, §4.3, Fig. 5);
+//   - the same write from 256 ranks (9.8 GB) takes ≈15 s (Figs. 4–6):
+//     together these fix an aggregate PFS bandwidth of ≈0.8 GB/s plus
+//     a per-rank I/O overhead of ≈11 ms;
+//   - SZ compression/decompression of 78.8 GB across 2,048 cores costs
+//     ≈0.5 s / ≈0.2 s (§5.3), fixing per-core throughputs of ≈77 and
+//     ≈192 MB/s;
+//   - recovery exceeds checkpointing because static variables (A, M,
+//     b) are reconstructed (§5.4, Figs. 4–6).
+package cluster
+
+import "fmt"
+
+// Model captures the platform's timing parameters. All bandwidths are
+// bytes per second.
+type Model struct {
+	// PerRankSeconds is the fixed per-rank I/O overhead of one
+	// collective checkpoint write (metadata, file-system contention).
+	PerRankSeconds float64
+	// PFSBandwidth is the aggregate parallel-file-system bandwidth —
+	// the constant bottleneck that makes checkpoint time grow linearly
+	// with scale under weak scaling (paper §5.3).
+	PFSBandwidth float64
+	// CompressPerCore and DecompressPerCore are per-core throughputs
+	// of the lossy compressor; compression is embarrassingly parallel
+	// (no communication, §5.3).
+	CompressPerCore   float64
+	DecompressPerCore float64
+	// LosslessPerCore is the per-core throughput of the Gzip-class
+	// codec (slower than SZ).
+	LosslessPerCore float64
+	// StaticPerRankSeconds models the extra recovery cost of
+	// reconstructing static variables, growing with scale.
+	StaticPerRankSeconds float64
+}
+
+// Bebop returns the model calibrated to the paper's measurements.
+func Bebop() *Model {
+	return &Model{
+		PerRankSeconds:       0.0108,
+		PFSBandwidth:         0.80e9,
+		CompressPerCore:      77e6,
+		DecompressPerCore:    192e6,
+		LosslessPerCore:      100e6,
+		StaticPerRankSeconds: 0.004,
+	}
+}
+
+// Scheme tags which compression stage applies to a transfer.
+type Scheme int
+
+// Checkpoint data flavors.
+const (
+	Uncompressed Scheme = iota
+	LosslessCompressed
+	LossyCompressed
+)
+
+// CheckpointSeconds returns the wall time of one checkpoint: optional
+// compression of rawBytes across procs cores, then writing
+// encodedBytes through the shared PFS.
+func (m *Model) CheckpointSeconds(procs int, encodedBytes, rawBytes float64, scheme Scheme) float64 {
+	if procs <= 0 {
+		panic(fmt.Sprintf("cluster: procs must be positive, got %d", procs))
+	}
+	t := m.PerRankSeconds*float64(procs) + encodedBytes/m.PFSBandwidth
+	switch scheme {
+	case LossyCompressed:
+		t += rawBytes / (m.CompressPerCore * float64(procs))
+	case LosslessCompressed:
+		t += rawBytes / (m.LosslessPerCore * float64(procs))
+	}
+	return t
+}
+
+// RecoverySeconds returns the wall time of one recovery: reading the
+// checkpoint back, optional decompression, and reconstructing the
+// static variables.
+func (m *Model) RecoverySeconds(procs int, encodedBytes, rawBytes float64, scheme Scheme) float64 {
+	if procs <= 0 {
+		panic(fmt.Sprintf("cluster: procs must be positive, got %d", procs))
+	}
+	t := m.PerRankSeconds*float64(procs) + encodedBytes/m.PFSBandwidth
+	switch scheme {
+	case LossyCompressed:
+		t += rawBytes / (m.DecompressPerCore * float64(procs))
+	case LosslessCompressed:
+		t += rawBytes / (m.LosslessPerCore * float64(procs))
+	}
+	return t + m.StaticPerRankSeconds*float64(procs)
+}
+
+// MethodBaseline holds the paper's failure-free reference execution
+// for one iterative method at 2,048 processes (§5.4): total productive
+// seconds and the iteration count, fixing the mean iteration time.
+type MethodBaseline struct {
+	Name            string
+	BaselineSeconds float64
+	Iterations      int
+	CkptVectors     int     // vectors in a traditional checkpoint
+	PerProcMB       float64 // traditional checkpoint MB per process (Table 3)
+	RTol            float64 // convergence tolerance used by the paper
+	LossyErrorBound float64 // paper's compressor setting
+}
+
+// TitSeconds returns the mean iteration time.
+func (b MethodBaseline) TitSeconds() float64 {
+	if b.Iterations == 0 {
+		return 0
+	}
+	return b.BaselineSeconds / float64(b.Iterations)
+}
+
+// PaperBaselines returns the three methods' reference executions:
+// Jacobi ≈50 min/3,941 its, GMRES ≈120 min/5,875 its, CG ≈35 min with
+// rtol 1e-7 (§5.4, §4.3, Fig. 8).
+func PaperBaselines() map[string]MethodBaseline {
+	return map[string]MethodBaseline{
+		"jacobi": {
+			Name: "jacobi", BaselineSeconds: 50 * 60, Iterations: 3941,
+			CkptVectors: 1, PerProcMB: 39.4, RTol: 1e-4, LossyErrorBound: 1e-4,
+		},
+		"gmres": {
+			Name: "gmres", BaselineSeconds: 120 * 60, Iterations: 5875,
+			CkptVectors: 1, PerProcMB: 39.4, RTol: 7e-5, LossyErrorBound: 1e-4,
+		},
+		"cg": {
+			Name: "cg", BaselineSeconds: 35 * 60, Iterations: 2400,
+			CkptVectors: 2, PerProcMB: 78.8, RTol: 1e-7, LossyErrorBound: 1e-4,
+		},
+	}
+}
+
+// Table3ProblemSizes returns the paper's weak-scaling grid: process
+// count → problem dimension n (the linear system has n³ unknowns).
+func Table3ProblemSizes() []struct {
+	Procs int
+	N     int
+} {
+	return []struct {
+		Procs int
+		N     int
+	}{
+		{256, 1088}, {512, 1368}, {768, 1568}, {1024, 1728},
+		{1280, 1856}, {1536, 1968}, {1792, 2064}, {2048, 2160},
+	}
+}

@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBebopCheckpointAnchor(t *testing.T) {
+	// §3: checkpointing one 78.8 GB vector from 2,048 processes takes
+	// about 120 seconds.
+	m := Bebop()
+	got := m.CheckpointSeconds(2048, 78.8e9, 78.8e9, Uncompressed)
+	if got < 100 || got > 140 {
+		t.Fatalf("traditional 78.8 GB @2048 = %.1f s, paper says ≈120", got)
+	}
+}
+
+func TestBebopLossyCheckpointAnchor(t *testing.T) {
+	// §4.3: lossy compression reduces GMRES checkpoint time from
+	// ≈120 s to ≈25 s (≈80 GB at ratio ≈34, Table 3).
+	m := Bebop()
+	got := m.CheckpointSeconds(2048, 78.8e9/34, 78.8e9, LossyCompressed)
+	if got < 18 || got > 32 {
+		t.Fatalf("lossy 78.8 GB @2048 = %.1f s, paper says ≈25", got)
+	}
+}
+
+func TestCompressionTimeAnchor(t *testing.T) {
+	// §5.3: compressing/decompressing 78.8 GB across 2,048 cores takes
+	// ≈0.5 s and ≈0.2 s — the compute stage must stay negligible.
+	m := Bebop()
+	comp := 78.8e9 / (m.CompressPerCore * 2048)
+	dec := 78.8e9 / (m.DecompressPerCore * 2048)
+	if comp < 0.3 || comp > 0.8 {
+		t.Fatalf("compression time %.2f s, paper says ≈0.5", comp)
+	}
+	if dec < 0.1 || dec > 0.4 {
+		t.Fatalf("decompression time %.2f s, paper says ≈0.2", dec)
+	}
+}
+
+func TestCheckpointTimeGrowsWithScale(t *testing.T) {
+	// Weak scaling: per-process size fixed, total bytes ∝ procs, so
+	// checkpoint time grows ≈linearly (Figs. 4–6).
+	m := Bebop()
+	perProc := 39.4e6
+	prev := 0.0
+	for _, p := range []int{256, 512, 1024, 2048} {
+		got := m.CheckpointSeconds(p, float64(p)*perProc, float64(p)*perProc, Uncompressed)
+		if got <= prev {
+			t.Fatalf("checkpoint time must grow with scale: %v after %v", got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestRecoveryExceedsCheckpoint(t *testing.T) {
+	// §5.4: recovery time exceeds checkpoint time because static
+	// variables are reconstructed.
+	m := Bebop()
+	for _, scheme := range []Scheme{Uncompressed, LosslessCompressed, LossyCompressed} {
+		ck := m.CheckpointSeconds(1024, 40e9, 40e9, scheme)
+		rc := m.RecoverySeconds(1024, 40e9, 40e9, scheme)
+		if rc <= ck {
+			t.Fatalf("scheme %d: recovery %.1f ≤ checkpoint %.1f", scheme, rc, ck)
+		}
+	}
+}
+
+func TestLossySchemeFasterThanTraditional(t *testing.T) {
+	m := Bebop()
+	raw := 2048 * 39.4e6
+	trad := m.CheckpointSeconds(2048, raw, raw, Uncompressed)
+	lossless := m.CheckpointSeconds(2048, raw/5, raw, LosslessCompressed)
+	lossy := m.CheckpointSeconds(2048, raw/34, raw, LossyCompressed)
+	if !(lossy < lossless && lossless < trad) {
+		t.Fatalf("ordering violated: lossy %.1f, lossless %.1f, trad %.1f", lossy, lossless, trad)
+	}
+}
+
+func TestPaperBaselines(t *testing.T) {
+	bases := PaperBaselines()
+	g := bases["gmres"]
+	// §4.3: GMRES Tit ≈ 1.2 s.
+	if tit := g.TitSeconds(); math.Abs(tit-1.2) > 0.05 {
+		t.Fatalf("GMRES Tit = %.3f, paper says ≈1.2", tit)
+	}
+	if bases["cg"].CkptVectors != 2 {
+		t.Fatal("traditional CG checkpoints two vectors (x and p)")
+	}
+	if bases["jacobi"].CkptVectors != 1 {
+		t.Fatal("Jacobi checkpoints one vector")
+	}
+	for name, b := range bases {
+		if b.TitSeconds() <= 0 || b.PerProcMB <= 0 {
+			t.Fatalf("%s: incomplete baseline %+v", name, b)
+		}
+	}
+}
+
+func TestTable3Sizes(t *testing.T) {
+	sizes := Table3ProblemSizes()
+	if len(sizes) != 8 {
+		t.Fatalf("Table 3 has 8 scales, got %d", len(sizes))
+	}
+	if sizes[0].Procs != 256 || sizes[0].N != 1088 {
+		t.Fatalf("first row %+v", sizes[0])
+	}
+	if sizes[7].Procs != 2048 || sizes[7].N != 2160 {
+		t.Fatalf("last row %+v", sizes[7])
+	}
+	// Weak scaling: elements per process ≈ constant (±15%).
+	ref := float64(sizes[0].N) * float64(sizes[0].N) * float64(sizes[0].N) / float64(sizes[0].Procs)
+	for _, s := range sizes {
+		per := float64(s.N) * float64(s.N) * float64(s.N) / float64(s.Procs)
+		if per < 0.85*ref || per > 1.15*ref {
+			t.Fatalf("weak scaling broken at %d procs: %.3g vs %.3g elems/proc", s.Procs, per, ref)
+		}
+	}
+}

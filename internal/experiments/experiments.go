@@ -1,0 +1,77 @@
+// Package experiments reproduces every table and figure of the
+// paper's evaluation (§5). Each experiment is a named driver that
+// produces a structured result and can render itself as text in the
+// shape of the paper's artifact (same rows, same series). The cmd/repro
+// binary and the top-level benchmarks are thin wrappers around this
+// registry.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Config tunes an experiment run.
+type Config struct {
+	// Quick shrinks problem sizes and trial counts so the whole suite
+	// runs in CI time; the full configuration is the default for
+	// cmd/repro.
+	Quick bool
+	// Seed makes stochastic experiments reproducible.
+	Seed int64
+	// Trials overrides the per-experiment trial count (0 = default).
+	Trials int
+}
+
+// Result is a rendered experiment outcome.
+type Result interface {
+	// WriteText renders the paper-shaped table/series.
+	WriteText(w io.Writer) error
+}
+
+// Runner executes one experiment.
+type Runner func(cfg Config) (Result, error)
+
+// registryEntry describes one reproducible artifact.
+type registryEntry struct {
+	ID    string
+	Title string
+	Run   Runner
+}
+
+var registry []registryEntry
+
+func register(id, title string, run Runner) {
+	registry = append(registry, registryEntry{ID: id, Title: title, Run: run})
+}
+
+// IDs returns all experiment IDs in a stable order.
+func IDs() []string {
+	ids := make([]string, len(registry))
+	for i, e := range registry {
+		ids[i] = e.ID
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Title returns the human title for an experiment ID.
+func Title(id string) string {
+	for _, e := range registry {
+		if e.ID == id {
+			return e.Title
+		}
+	}
+	return ""
+}
+
+// Run executes the experiment with the given ID.
+func Run(id string, cfg Config) (Result, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e.Run(cfg)
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/model"
+)
+
+func init() {
+	register("fig1", "Figure 1: expected fault tolerance overhead vs failure rate and checkpoint time", runFig1)
+}
+
+// Fig1Result tabulates Eq. (5) over the paper's grid: λ from 0 to 3.5
+// failures/hour, Tckp from 0 to 140 s.
+type Fig1Result struct {
+	Lambdas []float64 // per hour
+	Tckps   []float64 // seconds
+	Grid    []model.SurfacePoint
+}
+
+func runFig1(cfg Config) (Result, error) {
+	lambdas := []float64{0.35, 0.7, 1.05, 1.4, 1.75, 2.1, 2.45, 2.8, 3.15, 3.5}
+	tckps := []float64{20, 40, 60, 80, 100, 120, 140}
+	return &Fig1Result{
+		Lambdas: lambdas,
+		Tckps:   tckps,
+		Grid:    model.OverheadSurface(lambdas, tckps),
+	}, nil
+}
+
+// At returns the overhead at a grid point.
+func (r *Fig1Result) At(lambdaPerHour, tckp float64) float64 {
+	for _, p := range r.Grid {
+		if p.LambdaPerHour == lambdaPerHour && p.TckpSeconds == tckp {
+			return p.Overhead
+		}
+	}
+	return -1
+}
+
+// WriteText renders the surface as a table (rows: Tckp, cols: λ/hour).
+func (r *Fig1Result) WriteText(w io.Writer) error {
+	fmt.Fprintln(w, "Figure 1 — expected fault tolerance overhead (fraction of productive time)")
+	fmt.Fprintf(w, "%10s", "Tckp(s)\\λ/h")
+	for _, l := range r.Lambdas {
+		fmt.Fprintf(w, "%8.2f", l)
+	}
+	fmt.Fprintln(w)
+	for _, tc := range r.Tckps {
+		fmt.Fprintf(w, "%10.0f", tc)
+		for _, l := range r.Lambdas {
+			fmt.Fprintf(w, "%8.3f", r.At(l, tc))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "paper anchor: overhead ≈ 0.40 at λ=1/h, Tckp=120 s; model gives %.3f\n",
+		model.ExpectedOverheadRatio(1.0/3600, 120))
+	return nil
+}

@@ -1,0 +1,36 @@
+// Package failure injects fail-stop errors with exponentially
+// distributed inter-arrival times, "a common behavior of a system for
+// most of its lifetime" (paper §5.4). The paper's evaluation injects
+// one failure per hour on average; failures may strike during
+// computation, checkpointing, or recovery.
+package failure
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Injector draws failure times. It is deterministic per seed so
+// experiments are reproducible.
+type Injector struct {
+	rng  *rand.Rand
+	mtti float64
+}
+
+// NewInjector creates an injector with the given mean time to
+// interruption in seconds. mtti ≤ 0 disables failures (Next returns
+// +Inf).
+func NewInjector(mtti float64, seed int64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed)), mtti: mtti}
+}
+
+// MTTI returns the configured mean time to interruption.
+func (i *Injector) MTTI() float64 { return i.mtti }
+
+// Next returns the absolute time of the next failure after now.
+func (i *Injector) Next(now float64) float64 {
+	if i.mtti <= 0 {
+		return math.Inf(1)
+	}
+	return now + i.rng.ExpFloat64()*i.mtti
+}

@@ -1,0 +1,70 @@
+package failure
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNextIsMonotone(t *testing.T) {
+	inj := NewInjector(3600, 1)
+	now := 0.0
+	for i := 0; i < 100; i++ {
+		next := inj.Next(now)
+		if next <= now {
+			t.Fatalf("failure time %v not after now %v", next, now)
+		}
+		now = next
+	}
+}
+
+func TestMeanMatchesMTTI(t *testing.T) {
+	inj := NewInjector(3600, 2)
+	const n = 20000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += inj.Next(0)
+	}
+	mean := sum / n
+	if mean < 3400 || mean > 3800 {
+		t.Fatalf("empirical MTTI %.0f, want ≈3600", mean)
+	}
+}
+
+func TestExponentialShape(t *testing.T) {
+	// Memorylessness check: P(X > 2m) ≈ P(X > m)², the signature of
+	// the exponential distribution.
+	inj := NewInjector(1000, 3)
+	const n = 50000
+	var gt1, gt2 int
+	for i := 0; i < n; i++ {
+		d := inj.Next(0)
+		if d > 1000 {
+			gt1++
+		}
+		if d > 2000 {
+			gt2++
+		}
+	}
+	p1 := float64(gt1) / n
+	p2 := float64(gt2) / n
+	if math.Abs(p2-p1*p1) > 0.02 {
+		t.Fatalf("memorylessness violated: P(>2m)=%.3f, P(>m)²=%.3f", p2, p1*p1)
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	a := NewInjector(100, 7)
+	b := NewInjector(100, 7)
+	for i := 0; i < 10; i++ {
+		if a.Next(0) != b.Next(0) {
+			t.Fatal("same seed must give the same failure sequence")
+		}
+	}
+}
+
+func TestDisabled(t *testing.T) {
+	inj := NewInjector(0, 1)
+	if !math.IsInf(inj.Next(5), 1) {
+		t.Fatal("mtti ≤ 0 must disable failures")
+	}
+}

@@ -1,0 +1,82 @@
+package fti
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/lossless"
+	"repro/internal/sz"
+	"repro/internal/zfp"
+)
+
+// Raw is the traditional-checkpointing encoder: vectors are stored as
+// their exact little-endian byte image, no compression.
+type Raw struct{}
+
+// Name returns "raw".
+func (Raw) Name() string { return "raw" }
+
+// Encode stores the exact bytes of x.
+func (Raw) Encode(x []float64) ([]byte, error) {
+	out := make([]byte, 8*len(x))
+	for i, v := range x {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	return out, nil
+}
+
+// Decode reverses Encode.
+func (Raw) Decode(data []byte) ([]float64, error) {
+	if len(data)%8 != 0 {
+		return nil, fmt.Errorf("fti: raw payload length %d not a multiple of 8", len(data))
+	}
+	out := make([]float64, len(data)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+	}
+	return out, nil
+}
+
+// Lossless wraps a lossless codec (the paper's Gzip baseline).
+type Lossless struct {
+	Codec lossless.Codec
+}
+
+// Name returns "lossless/<codec>".
+func (e Lossless) Name() string { return "lossless/" + e.Codec.Name() }
+
+// Encode compresses exactly.
+func (e Lossless) Encode(x []float64) ([]byte, error) { return e.Codec.Compress(x) }
+
+// Decode decompresses exactly.
+func (e Lossless) Decode(data []byte) ([]float64, error) { return e.Codec.Decompress(data) }
+
+// SZ wraps the SZ-like error-bounded lossy compressor — the paper's
+// choice for 1D solver state.
+type SZ struct {
+	Params sz.Params
+}
+
+// Name returns "sz".
+func (SZ) Name() string { return "sz" }
+
+// Encode compresses within the configured error bound.
+func (e SZ) Encode(x []float64) ([]byte, error) { return sz.Compress(x, e.Params) }
+
+// Decode reconstructs within the error bound.
+func (SZ) Decode(data []byte) ([]float64, error) { return sz.Decompress(data) }
+
+// ZFP wraps the transform-based lossy compressor (absolute bound).
+type ZFP struct {
+	Bound float64
+}
+
+// Name returns "zfp".
+func (ZFP) Name() string { return "zfp" }
+
+// Encode compresses within the absolute error bound.
+func (e ZFP) Encode(x []float64) ([]byte, error) { return zfp.Compress(x, e.Bound) }
+
+// Decode reconstructs within the bound.
+func (ZFP) Decode(data []byte) ([]float64, error) { return zfp.Decompress(data) }

@@ -1,0 +1,467 @@
+// Package fti is a checkpoint/restart library modeled on the Fault
+// Tolerance Interface (FTI) the paper builds on (Bautista-Gomez et
+// al., SC'11): applications register ("protect") their variables and
+// call a single snapshot entry point; recovery reloads the latest
+// valid checkpoint. Unlike FTI, the vector payload passes through a
+// pluggable Encoder, which is exactly where the paper's contribution
+// plugs in: a lossy compressor between the solver state and storage.
+package fti
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Encoder turns a float64 vector into checkpoint bytes and back.
+// Raw (traditional checkpointing), lossless codecs, and error-bounded
+// lossy compressors all implement it.
+type Encoder interface {
+	// Name tags checkpoint files for decode-time verification.
+	Name() string
+	// Encode serializes x.
+	Encode(x []float64) ([]byte, error)
+	// Decode reverses Encode (up to the encoder's error bound).
+	Decode(data []byte) ([]float64, error)
+}
+
+// Snapshot is one checkpoint's content: the iteration number, named
+// scalars (CG's ρ), named vectors (x, and p for traditional CG), and
+// the raw sizes for accounting.
+type Snapshot struct {
+	Iteration int
+	Scalars   map[string]float64
+	Vectors   map[string][]float64
+}
+
+// Info reports what a checkpoint cost.
+type Info struct {
+	Seq              int
+	Bytes            int // encoded bytes written
+	RawBytes         int // 8 × total vector elements (plus scalars)
+	EncoderName      string
+	VectorBytes      int // encoded bytes of the vector payload only
+	StaticBytes      int // bytes of statics written so far (once)
+	CompressionRatio float64
+}
+
+// Checkpointer coordinates Protect/Checkpoint/Recover for one rank (or
+// one sequential application).
+type Checkpointer struct {
+	storage Storage
+	enc     Encoder
+	keep    int // checkpoints retained (≥1)
+
+	seq        int
+	staticSize int
+
+	// Registered variables (FTI-style Protect API).
+	vecs   []protVec
+	ints   []protInt
+	floats []protFloat
+}
+
+type protVec struct {
+	name string
+	ptr  *[]float64
+}
+type protInt struct {
+	name string
+	ptr  *int
+}
+type protFloat struct {
+	name string
+	ptr  *float64
+}
+
+// New creates a Checkpointer writing encoder-processed snapshots to
+// storage, retaining the two most recent checkpoints (FTI's default
+// safety margin: if a failure corrupts the newest file, recovery falls
+// back to the previous one).
+func New(storage Storage, enc Encoder) *Checkpointer {
+	return &Checkpointer{storage: storage, enc: enc, keep: 2}
+}
+
+// SetEncoder swaps the vector encoder; subsequent checkpoints use it.
+// The paper's Theorem-3 adaptive GMRES bound re-parameterizes the
+// compressor before every checkpoint, which lands here.
+func (c *Checkpointer) SetEncoder(enc Encoder) { c.enc = enc }
+
+// Encoder returns the current encoder.
+func (c *Checkpointer) Encoder() Encoder { return c.enc }
+
+// Protect registers a vector variable: Checkpoint saves the slice the
+// pointer currently refers to; Recover overwrites it in place (or
+// replaces it if the length changed).
+func (c *Checkpointer) Protect(name string, ptr *[]float64) {
+	c.vecs = append(c.vecs, protVec{name: name, ptr: ptr})
+}
+
+// ProtectInt registers an integer variable (e.g. the iteration count).
+func (c *Checkpointer) ProtectInt(name string, ptr *int) {
+	c.ints = append(c.ints, protInt{name: name, ptr: ptr})
+}
+
+// ProtectFloat registers a scalar variable (e.g. CG's ρ).
+func (c *Checkpointer) ProtectFloat(name string, ptr *float64) {
+	c.floats = append(c.floats, protFloat{name: name, ptr: ptr})
+}
+
+// WriteStatic stores a write-once blob (the system matrix A, the
+// preconditioner M, the right-hand side b — the paper's static
+// variables, checkpointed once before the iteration loop).
+func (c *Checkpointer) WriteStatic(name string, data []byte) error {
+	if err := c.storage.Write("static-"+name, data); err != nil {
+		return err
+	}
+	c.staticSize += len(data)
+	return nil
+}
+
+// ReadStatic loads a static blob during recovery.
+func (c *Checkpointer) ReadStatic(name string) ([]byte, error) {
+	return c.storage.Read("static-" + name)
+}
+
+// Checkpoint snapshots all protected variables (FTI's Snapshot()).
+func (c *Checkpointer) Checkpoint() (Info, error) {
+	s := Snapshot{
+		Scalars: map[string]float64{},
+		Vectors: map[string][]float64{},
+	}
+	for _, pv := range c.vecs {
+		s.Vectors[pv.name] = *pv.ptr
+	}
+	for _, pi := range c.ints {
+		if pi.name == "iteration" {
+			s.Iteration = *pi.ptr
+		} else {
+			s.Scalars["int:"+pi.name] = float64(*pi.ptr)
+		}
+	}
+	for _, pf := range c.floats {
+		s.Scalars[pf.name] = *pf.ptr
+	}
+	return c.Save(&s)
+}
+
+// Recover loads the latest valid checkpoint back into the protected
+// variables.
+func (c *Checkpointer) Recover() error {
+	s, err := c.Restore()
+	if err != nil {
+		return err
+	}
+	for _, pv := range c.vecs {
+		v, ok := s.Vectors[pv.name]
+		if !ok {
+			return fmt.Errorf("fti: checkpoint lacks protected vector %q", pv.name)
+		}
+		if len(*pv.ptr) == len(v) {
+			copy(*pv.ptr, v)
+		} else {
+			*pv.ptr = v
+		}
+	}
+	for _, pi := range c.ints {
+		if pi.name == "iteration" {
+			*pi.ptr = s.Iteration
+		} else if v, ok := s.Scalars["int:"+pi.name]; ok {
+			*pi.ptr = int(v)
+		} else {
+			return fmt.Errorf("fti: checkpoint lacks protected int %q", pi.name)
+		}
+	}
+	for _, pf := range c.floats {
+		v, ok := s.Scalars[pf.name]
+		if !ok {
+			return fmt.Errorf("fti: checkpoint lacks protected scalar %q", pf.name)
+		}
+		*pf.ptr = v
+	}
+	return nil
+}
+
+// Save writes a snapshot without going through the registration API;
+// the solver-integration layer (package core) uses it directly.
+func (c *Checkpointer) Save(s *Snapshot) (Info, error) {
+	c.seq++
+	info := Info{Seq: c.seq, EncoderName: c.enc.Name(), StaticBytes: c.staticSize}
+	payload, rawBytes, vecBytes, err := encodeSnapshot(s, c.enc)
+	if err != nil {
+		c.seq--
+		return Info{}, err
+	}
+	info.RawBytes = rawBytes
+	info.VectorBytes = vecBytes
+	info.Bytes = len(payload)
+	if info.Bytes > 0 {
+		info.CompressionRatio = float64(rawBytes) / float64(info.Bytes)
+	}
+	name := ckptName(c.seq)
+	if err := c.storage.Write(name, payload); err != nil {
+		c.seq--
+		return Info{}, err
+	}
+	c.gc()
+	return info, nil
+}
+
+// Restore returns the most recent snapshot that passes integrity
+// checks, falling back to older ones.
+func (c *Checkpointer) Restore() (*Snapshot, error) {
+	names, err := c.storage.List()
+	if err != nil {
+		return nil, err
+	}
+	var seqs []int
+	for _, n := range names {
+		if seq, ok := parseCkptName(n); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	if len(seqs) == 0 {
+		return nil, fmt.Errorf("fti: no checkpoints available")
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(seqs)))
+	var lastErr error
+	for _, seq := range seqs {
+		data, err := c.storage.Read(ckptName(seq))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		s, err := decodeSnapshot(data, c.enc)
+		if err != nil {
+			lastErr = fmt.Errorf("fti: checkpoint %d: %w", seq, err)
+			continue
+		}
+		return s, nil
+	}
+	return nil, fmt.Errorf("fti: all checkpoints invalid: %w", lastErr)
+}
+
+// LatestSeq returns the sequence number of the last written
+// checkpoint, 0 if none.
+func (c *Checkpointer) LatestSeq() int { return c.seq }
+
+// DropLatest discards the most recent checkpoint — the failure-during-
+// checkpoint path: a fail-stop error mid-write leaves a partial file
+// that recovery must not use (the CRC would reject it anyway; dropping
+// models it never having completed). Recovery then falls back to the
+// previous retained checkpoint.
+func (c *Checkpointer) DropLatest() error {
+	if c.seq == 0 {
+		return nil
+	}
+	if err := c.storage.Delete(ckptName(c.seq)); err != nil {
+		return err
+	}
+	c.seq--
+	return nil
+}
+
+// gc removes checkpoints beyond the retention window.
+func (c *Checkpointer) gc() {
+	names, err := c.storage.List()
+	if err != nil {
+		return
+	}
+	var seqs []int
+	for _, n := range names {
+		if seq, ok := parseCkptName(n); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(seqs)))
+	for i := c.keep; i < len(seqs); i++ {
+		_ = c.storage.Delete(ckptName(seqs[i]))
+	}
+}
+
+func ckptName(seq int) string { return fmt.Sprintf("ckpt-%012d", seq) }
+
+func parseCkptName(name string) (int, bool) {
+	if !strings.HasPrefix(name, "ckpt-") {
+		return 0, false
+	}
+	seq, err := strconv.Atoi(strings.TrimPrefix(name, "ckpt-"))
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+const fileMagic = "FTIG"
+
+// encodeSnapshot serializes a snapshot: header, scalars, encoded
+// vectors, CRC32 trailer.
+func encodeSnapshot(s *Snapshot, enc Encoder) (payload []byte, rawBytes, vecBytes int, err error) {
+	var out []byte
+	var scratch [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) {
+		n := binary.PutUvarint(scratch[:], v)
+		out = append(out, scratch[:n]...)
+	}
+	putString := func(str string) {
+		putUvarint(uint64(len(str)))
+		out = append(out, str...)
+	}
+	putFloat := func(f float64) {
+		var b8 [8]byte
+		binary.LittleEndian.PutUint64(b8[:], math.Float64bits(f))
+		out = append(out, b8[:]...)
+	}
+
+	out = append(out, fileMagic...)
+	putUvarint(uint64(s.Iteration))
+	putString(enc.Name())
+
+	scalarNames := sortedKeysF(s.Scalars)
+	putUvarint(uint64(len(scalarNames)))
+	for _, name := range scalarNames {
+		putString(name)
+		putFloat(s.Scalars[name])
+		rawBytes += 8
+	}
+
+	vecNames := sortedKeysV(s.Vectors)
+	putUvarint(uint64(len(vecNames)))
+	for _, name := range vecNames {
+		v := s.Vectors[name]
+		blob, err := enc.Encode(v)
+		if err != nil {
+			return nil, 0, 0, fmt.Errorf("fti: encode vector %q: %w", name, err)
+		}
+		putString(name)
+		putUvarint(uint64(len(v)))
+		putUvarint(uint64(len(blob)))
+		out = append(out, blob...)
+		rawBytes += 8 * len(v)
+		vecBytes += len(blob)
+	}
+
+	crc := crc32.ChecksumIEEE(out)
+	var b4 [4]byte
+	binary.LittleEndian.PutUint32(b4[:], crc)
+	out = append(out, b4[:]...)
+	return out, rawBytes, vecBytes, nil
+}
+
+func decodeSnapshot(data []byte, enc Encoder) (*Snapshot, error) {
+	if len(data) < len(fileMagic)+4 {
+		return nil, fmt.Errorf("truncated checkpoint")
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(trailer) {
+		return nil, fmt.Errorf("CRC mismatch (corrupt checkpoint)")
+	}
+	if string(body[:4]) != fileMagic {
+		return nil, fmt.Errorf("bad magic")
+	}
+	off := 4
+	getUvarint := func() (uint64, error) {
+		v, n := binary.Uvarint(body[off:])
+		if n <= 0 {
+			return 0, fmt.Errorf("truncated varint at %d", off)
+		}
+		off += n
+		return v, nil
+	}
+	getString := func() (string, error) {
+		l, err := getUvarint()
+		if err != nil {
+			return "", err
+		}
+		if off+int(l) > len(body) {
+			return "", fmt.Errorf("truncated string at %d", off)
+		}
+		s := string(body[off : off+int(l)])
+		off += int(l)
+		return s, nil
+	}
+
+	s := &Snapshot{Scalars: map[string]float64{}, Vectors: map[string][]float64{}}
+	iter, err := getUvarint()
+	if err != nil {
+		return nil, err
+	}
+	s.Iteration = int(iter)
+	encName, err := getString()
+	if err != nil {
+		return nil, err
+	}
+	if encName != enc.Name() {
+		return nil, fmt.Errorf("checkpoint written by encoder %q, decoder is %q", encName, enc.Name())
+	}
+
+	nScalars, err := getUvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nScalars; i++ {
+		name, err := getString()
+		if err != nil {
+			return nil, err
+		}
+		if off+8 > len(body) {
+			return nil, fmt.Errorf("truncated scalar %q", name)
+		}
+		s.Scalars[name] = math.Float64frombits(binary.LittleEndian.Uint64(body[off:]))
+		off += 8
+	}
+
+	nVecs, err := getUvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nVecs; i++ {
+		name, err := getString()
+		if err != nil {
+			return nil, err
+		}
+		n, err := getUvarint()
+		if err != nil {
+			return nil, err
+		}
+		blobLen, err := getUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if off+int(blobLen) > len(body) {
+			return nil, fmt.Errorf("truncated vector %q", name)
+		}
+		v, err := enc.Decode(body[off : off+int(blobLen)])
+		if err != nil {
+			return nil, fmt.Errorf("decode vector %q: %w", name, err)
+		}
+		off += int(blobLen)
+		if uint64(len(v)) != n {
+			return nil, fmt.Errorf("vector %q decoded to %d values, header says %d", name, len(v), n)
+		}
+		s.Vectors[name] = v
+	}
+	return s, nil
+}
+
+func sortedKeysF(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedKeysV(m map[string][]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

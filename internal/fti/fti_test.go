@@ -1,0 +1,359 @@
+package fti
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lossless"
+	"repro/internal/sparse"
+	"repro/internal/sz"
+	"repro/internal/vec"
+)
+
+func encoders() []Encoder {
+	return []Encoder{
+		Raw{},
+		Lossless{Codec: lossless.Flate{}},
+		Lossless{Codec: lossless.FPC{}},
+		SZ{Params: sz.Params{Mode: sz.Abs, ErrorBound: 1e-6}},
+		ZFP{Bound: 1e-6},
+	}
+}
+
+func TestEncoderRoundTrips(t *testing.T) {
+	x := sparse.SmoothField(2000, 1)
+	for _, e := range encoders() {
+		blob, err := e.Encode(x)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		got, err := e.Decode(blob)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if len(got) != len(x) {
+			t.Fatalf("%s: got %d values", e.Name(), len(got))
+		}
+		if d := vec.MaxAbsDiff(x, got); d > 1e-6 {
+			t.Fatalf("%s: error %g beyond encoder bound", e.Name(), d)
+		}
+	}
+}
+
+func TestRawIsExact(t *testing.T) {
+	x := []float64{1.5, -2.25, math.Pi}
+	blob, err := Raw{}.Encode(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Raw{}.Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if got[i] != x[i] {
+			t.Fatalf("raw round trip changed value %d", i)
+		}
+	}
+	if _, err := (Raw{}).Decode(blob[:5]); err == nil {
+		t.Fatal("expected error for misaligned raw payload")
+	}
+}
+
+func storages(t *testing.T) map[string]Storage {
+	t.Helper()
+	ds, err := NewDirStorage(filepath.Join(t.TempDir(), "ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := NewDirStorage(filepath.Join(t.TempDir(), "local"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Storage{
+		"dir":    ds,
+		"mem":    NewMemStorage(),
+		"tiered": &Tiered{Local: local, Global: NewMemStorage()},
+	}
+}
+
+func TestStorageBasics(t *testing.T) {
+	for name, s := range storages(t) {
+		if err := s.Write("a", []byte{1, 2, 3}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := s.Read("a")
+		if err != nil || len(got) != 3 || got[2] != 3 {
+			t.Fatalf("%s: read %v %v", name, got, err)
+		}
+		if err := s.Write("a", []byte{9}); err != nil {
+			t.Fatalf("%s: overwrite: %v", name, err)
+		}
+		got, _ = s.Read("a")
+		if len(got) != 1 || got[0] != 9 {
+			t.Fatalf("%s: overwrite not visible: %v", name, got)
+		}
+		names, err := s.List()
+		if err != nil || len(names) != 1 || names[0] != "a" {
+			t.Fatalf("%s: list %v %v", name, names, err)
+		}
+		if err := s.Delete("a"); err != nil {
+			t.Fatalf("%s: delete: %v", name, err)
+		}
+		if _, err := s.Read("a"); err == nil {
+			t.Fatalf("%s: read after delete should fail", name)
+		}
+		if err := s.Delete("a"); err != nil {
+			t.Fatalf("%s: double delete should be fine: %v", name, err)
+		}
+	}
+}
+
+func TestDirStorageRejectsPathEscape(t *testing.T) {
+	ds, err := NewDirStorage(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"", "../x", "a/b", "..", `a\b`} {
+		if err := ds.Write(bad, []byte{1}); err == nil {
+			t.Fatalf("name %q should be rejected", bad)
+		}
+	}
+}
+
+func TestSnapshotSaveRestore(t *testing.T) {
+	for name, st := range storages(t) {
+		c := New(st, Raw{})
+		x := sparse.SmoothField(500, 2)
+		s := &Snapshot{
+			Iteration: 42,
+			Scalars:   map[string]float64{"rho": 3.5},
+			Vectors:   map[string][]float64{"x": x},
+		}
+		info, err := c.Save(s)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if info.RawBytes != 8*500+8 {
+			t.Fatalf("%s: RawBytes = %d", name, info.RawBytes)
+		}
+		got, err := c.Restore()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.Iteration != 42 || got.Scalars["rho"] != 3.5 {
+			t.Fatalf("%s: restored %+v", name, got)
+		}
+		if d := vec.MaxAbsDiff(x, got.Vectors["x"]); d != 0 {
+			t.Fatalf("%s: vector corrupted by %g", name, d)
+		}
+	}
+}
+
+func TestRestoreNewestCheckpoint(t *testing.T) {
+	c := New(NewMemStorage(), Raw{})
+	for i := 1; i <= 3; i++ {
+		_, err := c.Save(&Snapshot{Iteration: i * 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := c.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Iteration != 30 {
+		t.Fatalf("restored iteration %d, want 30 (newest)", got.Iteration)
+	}
+}
+
+func TestRetentionKeepsTwo(t *testing.T) {
+	st := NewMemStorage()
+	c := New(st, Raw{})
+	for i := 0; i < 5; i++ {
+		if _, err := c.Save(&Snapshot{Iteration: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, _ := st.List()
+	if len(names) != 2 {
+		t.Fatalf("retained %d checkpoints, want 2: %v", len(names), names)
+	}
+}
+
+func TestCorruptCheckpointFallsBack(t *testing.T) {
+	st := NewMemStorage()
+	c := New(st, Raw{})
+	if _, err := c.Save(&Snapshot{Iteration: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Save(&Snapshot{Iteration: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the newest checkpoint.
+	names, _ := st.List()
+	newest := names[len(names)-1]
+	data, _ := st.Read(newest)
+	data[len(data)/2] ^= 0xff
+	if err := st.Write(newest, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Iteration != 1 {
+		t.Fatalf("fallback restored iteration %d, want 1", got.Iteration)
+	}
+}
+
+func TestRestoreNoCheckpoints(t *testing.T) {
+	c := New(NewMemStorage(), Raw{})
+	if _, err := c.Restore(); err == nil {
+		t.Fatal("expected error with no checkpoints")
+	}
+}
+
+func TestEncoderMismatchRejected(t *testing.T) {
+	st := NewMemStorage()
+	c := New(st, Raw{})
+	if _, err := c.Save(&Snapshot{Iteration: 5}); err != nil {
+		t.Fatal(err)
+	}
+	c2 := New(st, SZ{Params: sz.Params{Mode: sz.Abs, ErrorBound: 1e-4}})
+	c2.seq = c.seq
+	if _, err := c2.Restore(); err == nil {
+		t.Fatal("expected encoder-mismatch error")
+	}
+}
+
+func TestProtectCheckpointRecover(t *testing.T) {
+	// The paper's workflow (§4.2): register variables, snapshot
+	// periodically, recover after a failure.
+	st := NewMemStorage()
+	c := New(st, Raw{})
+	x := sparse.SmoothField(200, 4)
+	it := 7
+	rho := 2.25
+	c.Protect("x", &x)
+	c.ProtectInt("iteration", &it)
+	c.ProtectFloat("rho", &rho)
+
+	info, err := c.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Seq != 1 {
+		t.Fatalf("Seq = %d", info.Seq)
+	}
+
+	// Simulate the failure: trash the live state.
+	saved := append([]float64(nil), x...)
+	for i := range x {
+		x[i] = -1
+	}
+	it = 0
+	rho = 0
+
+	if err := c.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if it != 7 || rho != 2.25 {
+		t.Fatalf("recovered it=%d rho=%v", it, rho)
+	}
+	if d := vec.MaxAbsDiff(saved, x); d != 0 {
+		t.Fatalf("recovered x differs by %g", d)
+	}
+}
+
+func TestLossyCheckpointRespectsBound(t *testing.T) {
+	st := NewMemStorage()
+	const eb = 1e-4
+	c := New(st, SZ{Params: sz.Params{Mode: sz.PWRel, ErrorBound: eb}})
+	x := sparse.SmoothField(5000, 6)
+	for i := range x {
+		x[i] += 3 // keep away from zero
+	}
+	orig := append([]float64(nil), x...)
+	c.Protect("x", &x)
+	info, err := c.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.CompressionRatio < 5 {
+		t.Fatalf("lossy checkpoint ratio %.1f too low", info.CompressionRatio)
+	}
+	for i := range x {
+		x[i] = 0
+	}
+	if err := c.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if d := vec.MaxRelDiff(orig, x); d > eb*(1+1e-10) {
+		t.Fatalf("recovered x violates pointwise bound: %g > %g", d, eb)
+	}
+}
+
+func TestStatics(t *testing.T) {
+	st := NewMemStorage()
+	c := New(st, Raw{})
+	a := sparse.Poisson2D(4)
+	if err := c.WriteStatic("A", a.Serialize()); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := c.ReadStatic("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sparse.Deserialize(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows != a.Rows || got.NNZ() != a.NNZ() {
+		t.Fatal("static matrix corrupted")
+	}
+	if _, err := c.ReadStatic("missing"); err == nil {
+		t.Fatal("expected error for missing static")
+	}
+}
+
+func TestTieredFallsBackToGlobal(t *testing.T) {
+	local := NewMemStorage()
+	global := NewMemStorage()
+	tiered := &Tiered{Local: local, Global: global}
+	if err := tiered.Write("a", []byte{5}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate node-local loss (the failure mode FTI levels exist for).
+	if err := local.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tiered.Read("a")
+	if err != nil || got[0] != 5 {
+		t.Fatalf("tiered read after local loss: %v %v", got, err)
+	}
+}
+
+func TestSetEncoderAdaptiveBound(t *testing.T) {
+	// Theorem-3 style: tighten the bound between checkpoints.
+	st := NewMemStorage()
+	c := New(st, SZ{Params: sz.Params{Mode: sz.Abs, ErrorBound: 1e-2}})
+	x := sparse.SmoothField(3000, 8)
+	c.Protect("x", &x)
+	infoLoose, err := c.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetEncoder(SZ{Params: sz.Params{Mode: sz.Abs, ErrorBound: 1e-10}})
+	infoTight, err := c.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if infoTight.Bytes <= infoLoose.Bytes {
+		t.Fatalf("tighter bound should cost more: %d vs %d", infoTight.Bytes, infoLoose.Bytes)
+	}
+	if err := c.Recover(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,202 @@
+package fti
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Storage is where checkpoint bytes live. DirStorage writes real files
+// (the PFS in the paper's setup); MemStorage backs the virtual-time
+// simulator, where thousands of checkpoints are taken per experiment
+// and the I/O cost is accounted by the cluster model instead.
+type Storage interface {
+	// Write stores data under name, replacing any previous content.
+	Write(name string, data []byte) error
+	// Read returns the content stored under name.
+	Read(name string) ([]byte, error)
+	// Delete removes name; deleting a missing name is not an error.
+	Delete(name string) error
+	// List returns all stored names in lexicographic order.
+	List() ([]string, error)
+}
+
+// DirStorage stores each object as a file in a directory.
+type DirStorage struct {
+	dir string
+}
+
+// NewDirStorage creates (if needed) and wraps the directory.
+func NewDirStorage(dir string) (*DirStorage, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("fti: create storage dir: %w", err)
+	}
+	return &DirStorage{dir: dir}, nil
+}
+
+func (s *DirStorage) path(name string) (string, error) {
+	if name == "" || strings.ContainsAny(name, "/\\") || strings.Contains(name, "..") {
+		return "", fmt.Errorf("fti: invalid object name %q", name)
+	}
+	return filepath.Join(s.dir, name), nil
+}
+
+// Write stores data as a file, atomically via rename.
+func (s *DirStorage) Write(name string, data []byte) error {
+	p, err := s.path(name)
+	if err != nil {
+		return err
+	}
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("fti: write %s: %w", name, err)
+	}
+	if err := os.Rename(tmp, p); err != nil {
+		return fmt.Errorf("fti: commit %s: %w", name, err)
+	}
+	return nil
+}
+
+// Read returns the file's contents.
+func (s *DirStorage) Read(name string) ([]byte, error) {
+	p, err := s.path(name)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(p)
+	if err != nil {
+		return nil, fmt.Errorf("fti: read %s: %w", name, err)
+	}
+	return data, nil
+}
+
+// Delete removes the file if present.
+func (s *DirStorage) Delete(name string) error {
+	p, err := s.path(name)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("fti: delete %s: %w", name, err)
+	}
+	return nil
+}
+
+// List returns stored names sorted.
+func (s *DirStorage) List() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("fti: list: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || strings.HasSuffix(e.Name(), ".tmp") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// MemStorage is an in-memory Storage, safe for concurrent use.
+type MemStorage struct {
+	mu    sync.Mutex
+	files map[string][]byte
+}
+
+// NewMemStorage returns an empty in-memory store.
+func NewMemStorage() *MemStorage {
+	return &MemStorage{files: map[string][]byte{}}
+}
+
+// Write stores a copy of data.
+func (s *MemStorage) Write(name string, data []byte) error {
+	if name == "" {
+		return fmt.Errorf("fti: invalid object name %q", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.files[name] = append([]byte(nil), data...)
+	return nil
+}
+
+// Read returns a copy of the stored bytes.
+func (s *MemStorage) Read(name string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.files[name]
+	if !ok {
+		return nil, fmt.Errorf("fti: read %s: not found", name)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// Delete removes the entry if present.
+func (s *MemStorage) Delete(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.files, name)
+	return nil
+}
+
+// List returns stored names sorted.
+func (s *MemStorage) List() ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.files))
+	for n := range s.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// TotalBytes reports the number of bytes held (test/diagnostic aid).
+func (s *MemStorage) TotalBytes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := 0
+	for _, d := range s.files {
+		total += len(d)
+	}
+	return total
+}
+
+// Tiered mirrors FTI's multilevel idea in its simplest useful form:
+// writes go to both a fast local level and a reliable global level;
+// reads try local first and fall back to global. Deletes apply to both.
+type Tiered struct {
+	Local  Storage
+	Global Storage
+}
+
+// Write stores to both levels; the global level must succeed.
+func (s *Tiered) Write(name string, data []byte) error {
+	if err := s.Global.Write(name, data); err != nil {
+		return err
+	}
+	// A local-level failure only costs the fast path.
+	_ = s.Local.Write(name, data)
+	return nil
+}
+
+// Read prefers the local level.
+func (s *Tiered) Read(name string) ([]byte, error) {
+	if data, err := s.Local.Read(name); err == nil {
+		return data, nil
+	}
+	return s.Global.Read(name)
+}
+
+// Delete removes from both levels.
+func (s *Tiered) Delete(name string) error {
+	_ = s.Local.Delete(name)
+	return s.Global.Delete(name)
+}
+
+// List lists the global (authoritative) level.
+func (s *Tiered) List() ([]string, error) { return s.Global.List() }

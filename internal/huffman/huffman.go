@@ -1,0 +1,307 @@
+// Package huffman implements a canonical Huffman coder for the
+// bounded-alphabet integer streams produced by error-controlled
+// quantization (package sz). SZ's speed and ratio on solver state come
+// from most quantization codes landing in a handful of bins around
+// zero-difference; Huffman coding turns that skew into sub-bit-per-
+// symbol output.
+package huffman
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// node is a Huffman tree node used only during code-length
+// computation.
+type node struct {
+	freq        uint64
+	symbol      int // -1 for internal
+	left, right *node
+	depth       int // tiebreaker for deterministic trees
+}
+
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].freq != h[j].freq {
+		return h[i].freq < h[j].freq
+	}
+	return h[i].depth < h[j].depth
+}
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*node)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+const maxCodeLen = 58 // fits a code plus slack in a uint64 accumulator
+
+// codeLengths returns the canonical Huffman code length per symbol
+// given frequencies (zero frequency ⇒ length 0). Lengths are clamped
+// by construction far below maxCodeLen for any realistic input; if the
+// tree ever gets deeper, frequencies are flattened and the tree is
+// rebuilt (a standard, lossless fallback).
+func codeLengths(freq []uint64) []int {
+	lengths := make([]int, len(freq))
+	for shift := uint(0); ; shift++ {
+		var h nodeHeap
+		serial := 0
+		for sym, f := range freq {
+			if f == 0 {
+				continue
+			}
+			adj := f >> shift
+			if adj == 0 {
+				adj = 1
+			}
+			h = append(h, &node{freq: adj, symbol: sym, depth: serial})
+			serial++
+		}
+		if len(h) == 0 {
+			return lengths
+		}
+		if len(h) == 1 {
+			lengths[h[0].symbol] = 1
+			return lengths
+		}
+		heap.Init(&h)
+		for h.Len() > 1 {
+			a := heap.Pop(&h).(*node)
+			b := heap.Pop(&h).(*node)
+			d := a.depth
+			if b.depth > d {
+				d = b.depth
+			}
+			heap.Push(&h, &node{freq: a.freq + b.freq, symbol: -1, left: a, right: b, depth: d + 1})
+		}
+		root := h[0]
+		for i := range lengths {
+			lengths[i] = 0
+		}
+		deepest := assignDepths(root, 0, lengths)
+		if deepest <= maxCodeLen {
+			return lengths
+		}
+		// Flatten the distribution and retry: halving frequencies
+		// shrinks the depth while preserving optimality structure.
+	}
+}
+
+func assignDepths(n *node, depth int, lengths []int) int {
+	if n.symbol >= 0 {
+		if depth == 0 {
+			depth = 1 // single-symbol tree
+		}
+		lengths[n.symbol] = depth
+		return depth
+	}
+	l := assignDepths(n.left, depth+1, lengths)
+	r := assignDepths(n.right, depth+1, lengths)
+	if r > l {
+		return r
+	}
+	return l
+}
+
+// canonicalCodes converts code lengths to canonical codes: symbols
+// sorted by (length, symbol) receive consecutive code values.
+func canonicalCodes(lengths []int) []uint64 {
+	type ls struct{ sym, l int }
+	var active []ls
+	for sym, l := range lengths {
+		if l > 0 {
+			active = append(active, ls{sym, l})
+		}
+	}
+	sort.Slice(active, func(i, j int) bool {
+		if active[i].l != active[j].l {
+			return active[i].l < active[j].l
+		}
+		return active[i].sym < active[j].sym
+	})
+	codes := make([]uint64, len(lengths))
+	var code uint64
+	prevLen := 0
+	for _, e := range active {
+		code <<= uint(e.l - prevLen)
+		codes[e.sym] = code
+		code++
+		prevLen = e.l
+	}
+	return codes
+}
+
+// Encode Huffman-codes the symbol stream. Symbols must lie in
+// [0, alphabet). The output is self-describing: Decode needs no side
+// information.
+func Encode(symbols []int, alphabet int) ([]byte, error) {
+	if alphabet <= 0 {
+		return nil, fmt.Errorf("huffman: alphabet size must be positive, got %d", alphabet)
+	}
+	freq := make([]uint64, alphabet)
+	for _, s := range symbols {
+		if s < 0 || s >= alphabet {
+			return nil, fmt.Errorf("huffman: symbol %d outside alphabet [0,%d)", s, alphabet)
+		}
+		freq[s]++
+	}
+	lengths := codeLengths(freq)
+	codes := canonicalCodes(lengths)
+
+	var out []byte
+	var scratch [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) {
+		n := binary.PutUvarint(scratch[:], v)
+		out = append(out, scratch[:n]...)
+	}
+	putUvarint(uint64(len(symbols)))
+	putUvarint(uint64(alphabet))
+	// Table: count of present symbols, then (symbol, length) pairs.
+	present := 0
+	for _, l := range lengths {
+		if l > 0 {
+			present++
+		}
+	}
+	putUvarint(uint64(present))
+	for sym, l := range lengths {
+		if l > 0 {
+			putUvarint(uint64(sym))
+			out = append(out, byte(l))
+		}
+	}
+	// Bitstream, MSB-first within the accumulator.
+	var acc uint64
+	var nbits uint
+	for _, s := range symbols {
+		l := uint(lengths[s])
+		acc = (acc << l) | codes[s]
+		nbits += l
+		for nbits >= 8 {
+			nbits -= 8
+			out = append(out, byte(acc>>nbits))
+		}
+	}
+	if nbits > 0 {
+		out = append(out, byte(acc<<(8-nbits)))
+	}
+	return out, nil
+}
+
+// Decode reverses Encode.
+func Decode(data []byte) ([]int, error) {
+	off := 0
+	getUvarint := func() (uint64, error) {
+		v, n := binary.Uvarint(data[off:])
+		if n <= 0 {
+			return 0, fmt.Errorf("huffman: truncated header at offset %d", off)
+		}
+		off += n
+		return v, nil
+	}
+	count, err := getUvarint()
+	if err != nil {
+		return nil, err
+	}
+	alphabet, err := getUvarint()
+	if err != nil {
+		return nil, err
+	}
+	present, err := getUvarint()
+	if err != nil {
+		return nil, err
+	}
+	lengths := make([]int, alphabet)
+	for i := uint64(0); i < present; i++ {
+		sym, err := getUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if off >= len(data) {
+			return nil, fmt.Errorf("huffman: truncated table")
+		}
+		if sym >= alphabet {
+			return nil, fmt.Errorf("huffman: table symbol %d outside alphabet", sym)
+		}
+		lengths[sym] = int(data[off])
+		off++
+	}
+	if count == 0 {
+		return []int{}, nil
+	}
+	codes := canonicalCodes(lengths)
+
+	// Build a (length → firstCode, firstIndex) canonical decoding
+	// table plus symbols sorted canonically.
+	type ls struct{ sym, l int }
+	var active []ls
+	for sym, l := range lengths {
+		if l > 0 {
+			active = append(active, ls{sym, l})
+		}
+	}
+	if len(active) == 0 {
+		return nil, fmt.Errorf("huffman: no code table for %d symbols", count)
+	}
+	sort.Slice(active, func(i, j int) bool {
+		if active[i].l != active[j].l {
+			return active[i].l < active[j].l
+		}
+		return active[i].sym < active[j].sym
+	})
+	maxLen := active[len(active)-1].l
+	firstCode := make([]uint64, maxLen+1)
+	firstIdx := make([]int, maxLen+1)
+	countAt := make([]int, maxLen+1)
+	for _, e := range active {
+		countAt[e.l]++
+	}
+	idx := 0
+	for l := 1; l <= maxLen; l++ {
+		if countAt[l] > 0 {
+			// First canonical code of this length is the code of the
+			// first symbol of this length in canonical order.
+			firstCode[l] = codes[active[idx].sym]
+			firstIdx[l] = idx
+			idx += countAt[l]
+		}
+	}
+
+	out := make([]int, 0, count)
+	var acc uint64
+	var nbits uint
+	for uint64(len(out)) < count {
+		// Refill.
+		for nbits < uint(maxLen) && off < len(data) {
+			acc = (acc << 8) | uint64(data[off])
+			off++
+			nbits += 8
+		}
+		matched := false
+		for l := 1; l <= maxLen && uint(l) <= nbits; l++ {
+			if countAt[l] == 0 {
+				continue
+			}
+			code := acc >> (nbits - uint(l))
+			rel := int(code) - int(firstCode[l])
+			if rel >= 0 && rel < countAt[l] {
+				out = append(out, active[firstIdx[l]+rel].sym)
+				nbits -= uint(l)
+				acc &= (1 << nbits) - 1
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("huffman: corrupt bitstream at symbol %d", len(out))
+		}
+	}
+	return out, nil
+}

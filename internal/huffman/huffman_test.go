@@ -1,0 +1,165 @@
+package huffman
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, symbols []int, alphabet int) []byte {
+	t.Helper()
+	enc, err := Encode(symbols, alphabet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != len(symbols) {
+		t.Fatalf("decoded %d symbols, want %d", len(dec), len(symbols))
+	}
+	for i := range symbols {
+		if dec[i] != symbols[i] {
+			t.Fatalf("symbol %d: got %d, want %d", i, dec[i], symbols[i])
+		}
+	}
+	return enc
+}
+
+func TestRoundTripSimple(t *testing.T) {
+	roundTrip(t, []int{0, 1, 2, 1, 0, 0, 0, 3}, 4)
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	roundTrip(t, []int{}, 10)
+}
+
+func TestRoundTripSingleSymbolRepeated(t *testing.T) {
+	symbols := make([]int, 1000)
+	for i := range symbols {
+		symbols[i] = 5
+	}
+	enc := roundTrip(t, symbols, 8)
+	// 1000 identical symbols at 1 bit each ≈ 125 bytes + tiny header.
+	if len(enc) > 200 {
+		t.Fatalf("single-symbol stream should compress to ~125 bytes, got %d", len(enc))
+	}
+}
+
+func TestRoundTripSingleElement(t *testing.T) {
+	roundTrip(t, []int{3}, 4)
+}
+
+func TestSkewedDistributionCompresses(t *testing.T) {
+	// 95% of symbols are the same value — the typical quantization-
+	// code distribution for smooth data. Expect close to the entropy
+	// (~0.4 bits/symbol), far below the naive 2 bytes/symbol.
+	rng := rand.New(rand.NewSource(1))
+	symbols := make([]int, 100000)
+	for i := range symbols {
+		if rng.Float64() < 0.95 {
+			symbols[i] = 32768
+		} else {
+			symbols[i] = rng.Intn(65536)
+		}
+	}
+	enc, err := Encode(symbols, 65536)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Entropy ≈ 1.1 bits/symbol plus ≈1.6 bits/symbol of code-table
+	// header (≈4,800 distinct rare symbols); anything below 4
+	// bits/symbol confirms the coder exploits the skew (uncoded would
+	// be 16 bits/symbol).
+	if bits := 8 * float64(len(enc)) / float64(len(symbols)); bits > 4 {
+		t.Fatalf("skewed stream coded at %.2f bits/symbol, want < 4", bits)
+	}
+	roundTrip(t, symbols, 65536)
+}
+
+func TestUniformDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	symbols := make([]int, 5000)
+	for i := range symbols {
+		symbols[i] = rng.Intn(256)
+	}
+	roundTrip(t, symbols, 256)
+}
+
+func TestEncodeRejectsOutOfRange(t *testing.T) {
+	if _, err := Encode([]int{5}, 4); err == nil {
+		t.Fatal("expected error for symbol outside alphabet")
+	}
+	if _, err := Encode([]int{-1}, 4); err == nil {
+		t.Fatal("expected error for negative symbol")
+	}
+	if _, err := Encode(nil, 0); err == nil {
+		t.Fatal("expected error for empty alphabet")
+	}
+}
+
+func TestDecodeRejectsTruncated(t *testing.T) {
+	enc, err := Encode([]int{1, 2, 3, 1, 2, 3, 0, 0, 0}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(enc[:2]); err == nil {
+		t.Fatal("expected error on truncated header")
+	}
+	if _, err := Decode(enc[:len(enc)-1]); err == nil {
+		t.Fatal("expected error on truncated bitstream")
+	}
+}
+
+func TestCodeLengthsKraft(t *testing.T) {
+	// Kraft inequality must hold with equality for a full tree.
+	freq := []uint64{100, 50, 20, 5, 5, 1, 0, 0}
+	lengths := codeLengths(freq)
+	var kraft float64
+	for sym, l := range lengths {
+		if freq[sym] > 0 && l == 0 {
+			t.Fatalf("symbol %d has frequency but no code", sym)
+		}
+		if l > 0 {
+			kraft += 1 / float64(uint64(1)<<uint(l))
+		}
+	}
+	if kraft > 1.0000001 {
+		t.Fatalf("Kraft sum %v > 1: codes not decodable", kraft)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(2000)
+		alphabet := 1 + rng.Intn(300)
+		symbols := make([]int, n)
+		// Mix of skewed and uniform regions.
+		for i := range symbols {
+			if rng.Float64() < 0.7 {
+				symbols[i] = rng.Intn(1 + alphabet/10)
+			} else {
+				symbols[i] = rng.Intn(alphabet)
+			}
+		}
+		enc, err := Encode(symbols, alphabet)
+		if err != nil {
+			return false
+		}
+		dec, err := Decode(enc)
+		if err != nil || len(dec) != n {
+			return false
+		}
+		for i := range symbols {
+			if dec[i] != symbols[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

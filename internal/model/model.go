@@ -1,0 +1,168 @@
+// Package model implements the paper's analytic performance model:
+// Young's optimal checkpoint interval (Eq. 1), the expected execution
+// time and fault-tolerance overhead of traditional checkpointing
+// (Eqs. 2–5), the lossy-checkpointing overhead with convergence delay
+// (Eqs. 6–8), the sufficient condition for lossy checkpointing to win
+// (Theorem 1, Eq. 9), the stationary-method extra-iteration bound
+// (Theorem 2), and the GMRES adaptive error bound (Theorem 3).
+//
+// All times are in seconds and rates in failures per second unless
+// stated otherwise.
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// YoungInterval returns Young's optimal checkpoint interval
+// k·Tit = √(2·Tf·Tckp) (Eq. 1), in seconds, where Tf is the mean time
+// to interruption and Tckp the cost of one checkpoint.
+func YoungInterval(tf, tckp float64) float64 {
+	if tf <= 0 || tckp <= 0 {
+		return 0
+	}
+	return math.Sqrt(2 * tf * tckp)
+}
+
+// OverheadFactor is f(t, λ) = √(2λt) + λt, the per-unit-time overhead
+// factor of Theorem 1.
+func OverheadFactor(tckp, lambda float64) float64 {
+	lt := lambda * tckp
+	return math.Sqrt(2*lt) + lt
+}
+
+// ExpectedOverheadRatio is Eq. (5): the ratio of expected fault
+// tolerance overhead to productive time for traditional checkpointing,
+// f/(1−f) with f = OverheadFactor(Tckp, λ). It assumes Trc ≈ Tckp
+// (the paper's Eq. 4 simplification). Returns +Inf when the system
+// spends all time on fault handling (f ≥ 1).
+func ExpectedOverheadRatio(lambda, tckp float64) float64 {
+	f := OverheadFactor(tckp, lambda)
+	if f >= 1 {
+		return math.Inf(1)
+	}
+	return f / (1 - f)
+}
+
+// ExpectedTotalTime is Eq. (2): expected wall time of N iterations of
+// mean cost Tit under failures at rate λ with per-checkpoint cost
+// tckp and per-recovery cost trc.
+func ExpectedTotalTime(n float64, tit, lambda, tckp, trc float64) float64 {
+	denom := 1 - math.Sqrt(2*lambda*tckp) - lambda*trc
+	if denom <= 0 {
+		return math.Inf(1)
+	}
+	return n * tit / denom
+}
+
+// LossyOverheadRatio is Eq. (8): the expected fault tolerance overhead
+// ratio for lossy checkpointing, accounting for the N′ extra
+// iterations each lossy recovery costs. tit is the mean iteration
+// time and nExtra the expected extra iterations per recovery.
+func LossyOverheadRatio(lambda, tckpLossy, nExtra, tit float64) float64 {
+	f := OverheadFactor(tckpLossy, lambda) + lambda*nExtra*tit
+	if f >= 1 {
+		return math.Inf(1)
+	}
+	return f / (1 - f)
+}
+
+// MaxExtraIterations is Theorem 1 (Eq. 9): the largest expected number
+// of extra iterations per lossy recovery for which lossy checkpointing
+// still beats traditional checkpointing:
+//
+//	N′ ≤ (f(T_trad, λ) − f(T_lossy, λ)) / (λ·Tit).
+func MaxExtraIterations(tckpTrad, tckpLossy, lambda, tit float64) float64 {
+	if lambda <= 0 || tit <= 0 {
+		return math.Inf(1)
+	}
+	return (OverheadFactor(tckpTrad, lambda) - OverheadFactor(tckpLossy, lambda)) / (lambda * tit)
+}
+
+// StationaryExtraIterations is the Theorem 2 pointwise bound: if a
+// stationary method with convergence factor R (spectral radius of the
+// iteration matrix, 0 < R < 1) restarts at iteration t from a lossy
+// checkpoint with relative error bound eb, the extra iterations to
+// regain the pre-failure accuracy are at most
+//
+//	N′(t) = t − log_R(Rᵗ + eb).
+func StationaryExtraIterations(r, eb float64, t float64) (float64, error) {
+	if r <= 0 || r >= 1 {
+		return 0, fmt.Errorf("model: spectral radius R = %g outside (0,1)", r)
+	}
+	if eb < 0 {
+		return 0, fmt.Errorf("model: negative error bound %g", eb)
+	}
+	rt := math.Exp(t * math.Log(r))
+	return t - math.Log(rt+eb)/math.Log(r), nil
+}
+
+// StationaryExtraIterationBounds evaluates Theorem 2's interval for
+// the expected upper bound on extra iterations when the failure lands
+// uniformly in [0, N]: the bound at t = (N+1)/2 and at t = N,
+// [ (N+1)/2 − log_R(R^((N+1)/2) + eb), N − log_R(R^N + eb) ].
+func StationaryExtraIterationBounds(r, eb float64, n float64) (lo, hi float64, err error) {
+	lo, err = StationaryExtraIterations(r, eb, (n+1)/2)
+	if err != nil {
+		return 0, 0, err
+	}
+	hi, err = StationaryExtraIterations(r, eb, n)
+	if err != nil {
+		return 0, 0, err
+	}
+	return lo, hi, nil
+}
+
+// EstimateSpectralRadius recovers R from an observed convergence run:
+// after N iterations the residual contracted by factor ρ = ‖r_N‖/‖r_0‖,
+// so R ≈ ρ^(1/N) (Eq. 10 rearranged). The paper estimates R ≈ 0.99998
+// for its Jacobi runs this way.
+func EstimateSpectralRadius(contraction float64, n int) (float64, error) {
+	if contraction <= 0 || contraction >= 1 || n <= 0 {
+		return 0, fmt.Errorf("model: need contraction in (0,1) over n > 0 iterations, got %g over %d", contraction, n)
+	}
+	return math.Exp(math.Log(contraction) / float64(n)), nil
+}
+
+// GMRESAdaptiveBound is Theorem 3: the relative error bound for the
+// lossy checkpoint of GMRES's iterate that keeps the post-recovery
+// residual on the order of the pre-failure residual,
+// eb = c·‖r⁽ᵗ⁾‖/‖b‖ with a safety constant c (1 recovers the theorem's
+// O(·) with unit constant).
+func GMRESAdaptiveBound(rnorm, bnorm, c float64) float64 {
+	if bnorm <= 0 || rnorm <= 0 || c <= 0 {
+		return 0
+	}
+	eb := c * rnorm / bnorm
+	// Pointwise-relative compressors require eb < 1; a residual larger
+	// than b (possible in the first iterations) is clamped.
+	if eb > 0.5 {
+		eb = 0.5
+	}
+	return eb
+}
+
+// OverheadSurface tabulates Eq. (5) — the paper's Figure 1 — over a
+// grid of failure rates (per hour) and checkpoint times (seconds).
+// Returns one row per (lambdaPerHour, tckpSeconds) pair.
+type SurfacePoint struct {
+	LambdaPerHour float64
+	TckpSeconds   float64
+	Overhead      float64 // ratio of FT overhead to productive time
+}
+
+// OverheadSurface evaluates Eq. (5) on the cartesian grid.
+func OverheadSurface(lambdasPerHour, tckpSeconds []float64) []SurfacePoint {
+	var out []SurfacePoint
+	for _, lh := range lambdasPerHour {
+		for _, tc := range tckpSeconds {
+			out = append(out, SurfacePoint{
+				LambdaPerHour: lh,
+				TckpSeconds:   tc,
+				Overhead:      ExpectedOverheadRatio(lh/3600, tc),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,220 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(got, want, tol float64) bool {
+	return math.Abs(got-want) <= tol*(1+math.Abs(want))
+}
+
+func TestYoungIntervalPaperExample(t *testing.T) {
+	// §3: MTTI 4 h, Tckp = 18 s ⇒ optimal frequency ≈ 5 checkpoints
+	// per hour (interval √(2·14400·18) = 720 s = 12 min).
+	got := YoungInterval(4*3600, 18)
+	if !approx(got, 720, 1e-9) {
+		t.Fatalf("YoungInterval = %v, want 720", got)
+	}
+}
+
+func TestYoungIntervalsMatchSection54(t *testing.T) {
+	// §5.4: Tf = 3600 s with Tckp ∈ {120, 72, 25} s gives optimal
+	// intervals of about 16, 12, and 7 minutes.
+	cases := []struct {
+		tckp    float64
+		minutes float64
+	}{
+		{120, 15.5}, {72, 12}, {25, 7.07},
+	}
+	for _, c := range cases {
+		got := YoungInterval(3600, c.tckp) / 60
+		if !approx(got, c.minutes, 0.05) {
+			t.Fatalf("Tckp=%v: interval %.1f min, want ≈%.1f", c.tckp, got, c.minutes)
+		}
+	}
+}
+
+func TestYoungIntervalDegenerate(t *testing.T) {
+	if YoungInterval(0, 10) != 0 || YoungInterval(10, 0) != 0 {
+		t.Fatal("degenerate inputs must return 0")
+	}
+}
+
+func TestExpectedOverheadFigure1Anchor(t *testing.T) {
+	// §4.1/Fig. 1: with hourly MTTI and Tckp = 120 s the expected
+	// overhead is ≈40 %.
+	got := ExpectedOverheadRatio(1.0/3600, 120)
+	if got < 0.35 || got > 0.45 {
+		t.Fatalf("overhead at (1/h, 120 s) = %.3f, want ≈0.40", got)
+	}
+}
+
+func TestExpectedOverheadMonotone(t *testing.T) {
+	prev := -1.0
+	for _, tckp := range []float64{1, 10, 30, 60, 120} {
+		got := ExpectedOverheadRatio(1.0/3600, tckp)
+		if got <= prev {
+			t.Fatalf("overhead must grow with Tckp: %v after %v", got, prev)
+		}
+		prev = got
+	}
+	prev = -1
+	for _, lph := range []float64{0.1, 0.5, 1, 2, 3.5} {
+		got := ExpectedOverheadRatio(lph/3600, 60)
+		if got <= prev {
+			t.Fatalf("overhead must grow with λ: %v after %v", got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestExpectedOverheadZeroFailureRate(t *testing.T) {
+	if got := ExpectedOverheadRatio(0, 120); got != 0 {
+		t.Fatalf("no failures ⇒ no expected overhead, got %v", got)
+	}
+}
+
+func TestExpectedOverheadSaturation(t *testing.T) {
+	// Absurd failure rates drive the system into pure fault handling.
+	if got := ExpectedOverheadRatio(1, 3600); !math.IsInf(got, 1) {
+		t.Fatalf("want +Inf at saturation, got %v", got)
+	}
+}
+
+func TestExpectedTotalTime(t *testing.T) {
+	// Failure-free: total = N·Tit exactly.
+	if got := ExpectedTotalTime(100, 2, 0, 120, 120); got != 200 {
+		t.Fatalf("failure-free total = %v, want 200", got)
+	}
+	// With failures the total strictly grows.
+	if got := ExpectedTotalTime(100, 2, 1.0/3600, 120, 120); got <= 200 {
+		t.Fatalf("total with failures = %v, want > 200", got)
+	}
+}
+
+func TestMaxExtraIterationsPaperExample(t *testing.T) {
+	// §4.3 worked example: λ = 1/3600, Tckp 120 → 25 s, GMRES with
+	// 5875 iterations in 7160 s ⇒ Tit ≈ 1.2 s ⇒ N′max ≈ 500.
+	tit := 7160.0 / 5875
+	got := MaxExtraIterations(120, 25, 1.0/3600, tit)
+	if got < 450 || got > 550 {
+		t.Fatalf("N'max = %.0f, paper says ≈500", got)
+	}
+}
+
+func TestMaxExtraIterationsSignFlips(t *testing.T) {
+	// If lossy checkpoints were *slower*, the bound goes negative: no
+	// extra iteration budget exists.
+	got := MaxExtraIterations(25, 120, 1.0/3600, 1)
+	if got >= 0 {
+		t.Fatalf("want negative budget, got %v", got)
+	}
+}
+
+func TestLossyOverheadBeatsTraditionalWithinBudget(t *testing.T) {
+	lambda := 1.0 / 3600
+	tit := 1.2
+	trad := ExpectedOverheadRatio(lambda, 120)
+	budget := MaxExtraIterations(120, 25, lambda, tit)
+	within := LossyOverheadRatio(lambda, 25, budget*0.9, tit)
+	beyond := LossyOverheadRatio(lambda, 25, budget*1.1, tit)
+	if within >= trad {
+		t.Fatalf("N' below budget must win: lossy %.4f vs trad %.4f", within, trad)
+	}
+	if beyond <= trad {
+		t.Fatalf("N' above budget must lose: lossy %.4f vs trad %.4f", beyond, trad)
+	}
+}
+
+func TestStationaryExtraIterationsPaperNumbers(t *testing.T) {
+	// §5.3: R ≈ 0.99998, N = 3941, eb = 1e-4 ⇒ expected N′ ≈ 6.
+	lo, hi, err := StationaryExtraIterationBounds(0.99998, 1e-4, 3941)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo < 1 || hi > 12 || lo > hi+1e-9 {
+		t.Fatalf("bounds [%f, %f] inconsistent with paper's ≈6", lo, hi)
+	}
+	mid := (lo + hi) / 2
+	if mid < 3 || mid > 9 {
+		t.Fatalf("expected N' ≈ 6, interval midpoint %f", mid)
+	}
+}
+
+func TestStationaryExtraIterationsTighterBoundFewerIterations(t *testing.T) {
+	prev := math.Inf(1)
+	for _, eb := range []float64{1e-2, 1e-4, 1e-6} {
+		got, err := StationaryExtraIterations(0.999, eb, 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got >= prev {
+			t.Fatalf("tighter eb must need fewer extra iterations: %v after %v", got, prev)
+		}
+		if got < 0 {
+			t.Fatalf("negative extra iterations %v", got)
+		}
+		prev = got
+	}
+}
+
+func TestStationaryExtraIterationsValidation(t *testing.T) {
+	if _, err := StationaryExtraIterations(1.5, 1e-4, 10); err == nil {
+		t.Fatal("R > 1 must error")
+	}
+	if _, err := StationaryExtraIterations(0.9, -1, 10); err == nil {
+		t.Fatal("negative eb must error")
+	}
+}
+
+func TestEstimateSpectralRadius(t *testing.T) {
+	// A solver that contracts by 1e-4 over 3941 iterations has
+	// R = (1e-4)^(1/3941) ≈ 0.99766... — and the paper's 0.99998 comes
+	// from its own run. Round-trip: R^n must reproduce the contraction.
+	r, err := EstimateSpectralRadius(1e-4, 3941)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back := math.Pow(r, 3941); !approx(back, 1e-4, 1e-6) {
+		t.Fatalf("round trip gives %g, want 1e-4", back)
+	}
+	if _, err := EstimateSpectralRadius(2, 10); err == nil {
+		t.Fatal("contraction ≥ 1 must error")
+	}
+}
+
+func TestGMRESAdaptiveBound(t *testing.T) {
+	if got := GMRESAdaptiveBound(1e-3, 1, 1); !approx(got, 1e-3, 1e-12) {
+		t.Fatalf("bound = %v", got)
+	}
+	// Clamped when the residual exceeds b.
+	if got := GMRESAdaptiveBound(10, 1, 1); got != 0.5 {
+		t.Fatalf("clamped bound = %v, want 0.5", got)
+	}
+	if got := GMRESAdaptiveBound(0, 1, 1); got != 0 {
+		t.Fatalf("degenerate bound = %v, want 0", got)
+	}
+}
+
+func TestOverheadSurfaceShape(t *testing.T) {
+	lambdas := []float64{0.5, 1, 2}
+	tckps := []float64{20, 60, 120}
+	pts := OverheadSurface(lambdas, tckps)
+	if len(pts) != 9 {
+		t.Fatalf("surface has %d points, want 9", len(pts))
+	}
+	// Corner orders: overhead grows along both axes.
+	get := func(l, tc float64) float64 {
+		for _, p := range pts {
+			if p.LambdaPerHour == l && p.TckpSeconds == tc {
+				return p.Overhead
+			}
+		}
+		t.Fatalf("missing point (%v,%v)", l, tc)
+		return 0
+	}
+	if !(get(0.5, 20) < get(2, 20) && get(0.5, 20) < get(0.5, 120) && get(2, 120) > get(1, 60)) {
+		t.Fatal("surface not monotone in λ and Tckp")
+	}
+}

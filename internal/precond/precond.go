@@ -1,0 +1,356 @@
+// Package precond implements the preconditioners the paper's PETSc
+// configuration uses: Jacobi (diagonal) and block Jacobi with ILU(0)
+// or IC(0) inside each block. A preconditioner approximates M⁻¹ and is
+// applied once per iteration of PCG or left-preconditioned GMRES.
+package precond
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sparse"
+)
+
+// Interface applies dst ← M⁻¹·r. dst and r have equal length and must
+// not alias.
+type Interface interface {
+	Apply(dst, r []float64)
+}
+
+// Identity is the no-op preconditioner (M = I).
+type Identity struct{}
+
+// Apply copies r into dst.
+func (Identity) Apply(dst, r []float64) { copy(dst, r) }
+
+// Jacobi is the diagonal preconditioner M = diag(A). Zero diagonal
+// entries are replaced by 1, matching PETSc's PCJACOBI behaviour on
+// saddle-point systems such as the KKT matrices of the paper's Fig. 3.
+type Jacobi struct {
+	invDiag []float64
+}
+
+// NewJacobi builds a Jacobi preconditioner from the matrix diagonal.
+func NewJacobi(diag []float64) *Jacobi {
+	inv := make([]float64, len(diag))
+	for i, d := range diag {
+		if d == 0 {
+			inv[i] = 1
+		} else {
+			inv[i] = 1 / d
+		}
+	}
+	return &Jacobi{invDiag: inv}
+}
+
+// NewJacobiFromMatrix extracts the diagonal of a and builds the
+// preconditioner.
+func NewJacobiFromMatrix(a *sparse.CSR) *Jacobi {
+	d := make([]float64, a.Rows)
+	a.Diag(d)
+	return NewJacobi(d)
+}
+
+// Apply computes dst ← D⁻¹·r.
+func (j *Jacobi) Apply(dst, r []float64) {
+	if len(dst) != len(j.invDiag) || len(r) != len(j.invDiag) {
+		panic("precond: Jacobi.Apply length mismatch")
+	}
+	for i := range dst {
+		dst[i] = j.invDiag[i] * r[i]
+	}
+}
+
+// factorLU holds an incomplete LU factorization in CSR layout with a
+// pointer to the diagonal position of each row. L has unit diagonal
+// (not stored); U includes the diagonal.
+type factorLU struct {
+	n       int
+	rowPtr  []int
+	colIdx  []int
+	val     []float64
+	diagPos []int
+}
+
+// ilu0 computes the ILU(0) factorization of a (zero fill-in, pattern
+// of A preserved) using the standard IKJ algorithm. Missing or zero
+// pivots are replaced by a small multiple of the largest row entry to
+// keep the factorization usable, mirroring PETSc's shift strategies.
+func ilu0(a *sparse.CSR) (*factorLU, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("precond: ILU(0) needs square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	f := &factorLU{
+		n:       n,
+		rowPtr:  append([]int(nil), a.RowPtr...),
+		colIdx:  append([]int(nil), a.ColIdx...),
+		val:     append([]float64(nil), a.Val...),
+		diagPos: make([]int, n),
+	}
+	// Locate (or report missing) diagonal entries.
+	for i := 0; i < n; i++ {
+		f.diagPos[i] = -1
+		for k := f.rowPtr[i]; k < f.rowPtr[i+1]; k++ {
+			if f.colIdx[k] == i {
+				f.diagPos[i] = k
+				break
+			}
+		}
+		if f.diagPos[i] < 0 {
+			return nil, fmt.Errorf("precond: ILU(0) requires a stored diagonal entry in row %d", i)
+		}
+	}
+	// colPos[j] = position of column j in the current row (or -1).
+	colPos := make([]int, n)
+	for j := range colPos {
+		colPos[j] = -1
+	}
+	for i := 0; i < n; i++ {
+		lo, hi := f.rowPtr[i], f.rowPtr[i+1]
+		for k := lo; k < hi; k++ {
+			colPos[f.colIdx[k]] = k
+		}
+		for k := lo; k < hi && f.colIdx[k] < i; k++ {
+			kc := f.colIdx[k]
+			piv := f.val[f.diagPos[kc]]
+			if piv == 0 {
+				piv = shiftPivot(f, kc)
+			}
+			lik := f.val[k] / piv
+			f.val[k] = lik
+			// Update the intersection of row i's pattern with the
+			// strict upper part of row kc.
+			for kk := f.diagPos[kc] + 1; kk < f.rowPtr[kc+1]; kk++ {
+				if p := colPos[f.colIdx[kk]]; p >= 0 {
+					f.val[p] -= lik * f.val[kk]
+				}
+			}
+		}
+		if f.val[f.diagPos[i]] == 0 {
+			f.val[f.diagPos[i]] = shiftPivot(f, i)
+		}
+		for k := lo; k < hi; k++ {
+			colPos[f.colIdx[k]] = -1
+		}
+	}
+	return f, nil
+}
+
+// shiftPivot returns a replacement pivot for a zero diagonal: a small
+// multiple of the row's largest magnitude (or 1 for an empty row).
+func shiftPivot(f *factorLU, row int) float64 {
+	var m float64
+	for k := f.rowPtr[row]; k < f.rowPtr[row+1]; k++ {
+		if a := math.Abs(f.val[k]); a > m {
+			m = a
+		}
+	}
+	if m == 0 {
+		return 1
+	}
+	return 1e-8 * m
+}
+
+// solve performs dst ← U⁻¹ L⁻¹ r over the factored rows [0, n).
+func (f *factorLU) solve(dst, r []float64) {
+	// Forward: L y = r with unit diagonal.
+	for i := 0; i < f.n; i++ {
+		s := r[i]
+		for k := f.rowPtr[i]; k < f.diagPos[i]; k++ {
+			s -= f.val[k] * dst[f.colIdx[k]]
+		}
+		dst[i] = s
+	}
+	// Backward: U x = y.
+	for i := f.n - 1; i >= 0; i-- {
+		s := dst[i]
+		for k := f.diagPos[i] + 1; k < f.rowPtr[i+1]; k++ {
+			s -= f.val[k] * dst[f.colIdx[k]]
+		}
+		dst[i] = s / f.val[f.diagPos[i]]
+	}
+}
+
+// BlockILU0 is PETSc's default preconditioner shape: block Jacobi with
+// an ILU(0) factorization inside each block. Couplings between blocks
+// are dropped, which is what makes the preconditioner embarrassingly
+// parallel (each MPI rank factors its own diagonal block).
+type BlockILU0 struct {
+	starts  []int // block boundaries, len nb+1
+	factors []*factorLU
+}
+
+// NewBlockILU0 partitions the rows of a into nb contiguous blocks and
+// factors each diagonal block with ILU(0).
+func NewBlockILU0(a *sparse.CSR, nb int) (*BlockILU0, error) {
+	if nb <= 0 {
+		return nil, fmt.Errorf("precond: block count must be positive, got %d", nb)
+	}
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("precond: BlockILU0 needs square matrix")
+	}
+	if nb > a.Rows {
+		nb = a.Rows
+	}
+	p := &BlockILU0{starts: sparse.PartitionStarts(a.Rows, nb)}
+	for bk := 0; bk < nb; bk++ {
+		lo, hi := p.starts[bk], p.starts[bk+1]
+		if lo == hi {
+			p.factors = append(p.factors, nil)
+			continue
+		}
+		blk := extractDiagonalBlock(a, lo, hi)
+		f, err := ilu0(blk)
+		if err != nil {
+			return nil, fmt.Errorf("precond: block %d: %w", bk, err)
+		}
+		p.factors = append(p.factors, f)
+	}
+	return p, nil
+}
+
+// extractDiagonalBlock returns A[lo:hi, lo:hi] with local indexing,
+// inserting an explicit zero diagonal entry where A has none so that
+// ILU(0) (with pivot shifting) can proceed on saddle-point blocks.
+func extractDiagonalBlock(a *sparse.CSR, lo, hi int) *sparse.CSR {
+	n := hi - lo
+	blk := &sparse.CSR{Rows: n, Cols: n, RowPtr: make([]int, n+1)}
+	for i := lo; i < hi; i++ {
+		sawDiag := false
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			j := a.ColIdx[k]
+			if j < lo || j >= hi {
+				continue
+			}
+			if j-lo == i-lo {
+				sawDiag = true
+			}
+			if j-lo > i-lo && !sawDiag {
+				blk.ColIdx = append(blk.ColIdx, i-lo)
+				blk.Val = append(blk.Val, 0)
+				sawDiag = true
+			}
+			blk.ColIdx = append(blk.ColIdx, j-lo)
+			blk.Val = append(blk.Val, a.Val[k])
+		}
+		if !sawDiag {
+			blk.ColIdx = append(blk.ColIdx, i-lo)
+			blk.Val = append(blk.Val, 0)
+		}
+		blk.RowPtr[i-lo+1] = len(blk.Val)
+	}
+	return blk
+}
+
+// Apply computes dst ← M⁻¹·r block by block.
+func (p *BlockILU0) Apply(dst, r []float64) {
+	n := p.starts[len(p.starts)-1]
+	if len(dst) != n || len(r) != n {
+		panic("precond: BlockILU0.Apply length mismatch")
+	}
+	for bk, f := range p.factors {
+		if f == nil {
+			continue
+		}
+		lo, hi := p.starts[bk], p.starts[bk+1]
+		f.solve(dst[lo:hi], r[lo:hi])
+	}
+}
+
+// IC0 is the incomplete Cholesky factorization with zero fill-in for
+// symmetric positive definite matrices: A ≈ L·Lᵀ on the pattern of the
+// lower triangle of A.
+type IC0 struct {
+	n      int
+	rowPtr []int // lower-triangular pattern including diagonal
+	colIdx []int
+	val    []float64
+}
+
+// NewIC0 factors the SPD matrix a. It returns an error if a pivot
+// becomes non-positive (a is not SPD enough for IC(0)); callers should
+// fall back to BlockILU0 in that case.
+func NewIC0(a *sparse.CSR) (*IC0, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("precond: IC(0) needs square matrix")
+	}
+	n := a.Rows
+	f := &IC0{n: n, rowPtr: make([]int, n+1)}
+	for i := 0; i < n; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if a.ColIdx[k] <= i {
+				f.colIdx = append(f.colIdx, a.ColIdx[k])
+				f.val = append(f.val, a.Val[k])
+			}
+		}
+		f.rowPtr[i+1] = len(f.val)
+		if f.rowPtr[i+1] == f.rowPtr[i] || f.colIdx[f.rowPtr[i+1]-1] != i {
+			return nil, fmt.Errorf("precond: IC(0) requires stored diagonal in row %d", i)
+		}
+	}
+	// Row-oriented incomplete Cholesky.
+	pos := make([]int, n)
+	for j := range pos {
+		pos[j] = -1
+	}
+	for i := 0; i < n; i++ {
+		lo, hi := f.rowPtr[i], f.rowPtr[i+1]
+		for k := lo; k < hi; k++ {
+			pos[f.colIdx[k]] = k
+		}
+		for k := lo; k < hi-1; k++ {
+			kc := f.colIdx[k]
+			// l_ik = (a_ik − Σ_{j<kc} l_ij·l_kj) / l_kk
+			s := f.val[k]
+			for kk := f.rowPtr[kc]; kk < f.rowPtr[kc+1]-1; kk++ {
+				if p := pos[f.colIdx[kk]]; p >= 0 && p < k {
+					s -= f.val[p] * f.val[kk]
+				}
+			}
+			f.val[k] = s / f.val[f.rowPtr[kc+1]-1]
+		}
+		// Diagonal: l_ii = sqrt(a_ii − Σ l_ij²)
+		d := f.val[hi-1]
+		for k := lo; k < hi-1; k++ {
+			d -= f.val[k] * f.val[k]
+		}
+		if d <= 0 {
+			for k := lo; k < hi; k++ {
+				pos[f.colIdx[k]] = -1
+			}
+			return nil, fmt.Errorf("precond: IC(0) pivot %d non-positive (%g); matrix not SPD enough", i, d)
+		}
+		f.val[hi-1] = math.Sqrt(d)
+		for k := lo; k < hi; k++ {
+			pos[f.colIdx[k]] = -1
+		}
+	}
+	return f, nil
+}
+
+// Apply computes dst ← (L·Lᵀ)⁻¹·r.
+func (f *IC0) Apply(dst, r []float64) {
+	if len(dst) != f.n || len(r) != f.n {
+		panic("precond: IC0.Apply length mismatch")
+	}
+	// Forward: L y = r.
+	for i := 0; i < f.n; i++ {
+		s := r[i]
+		lo, hi := f.rowPtr[i], f.rowPtr[i+1]
+		for k := lo; k < hi-1; k++ {
+			s -= f.val[k] * dst[f.colIdx[k]]
+		}
+		dst[i] = s / f.val[hi-1]
+	}
+	// Backward: Lᵀ x = y, traversing L's rows in reverse and
+	// scattering updates column-wise.
+	for i := f.n - 1; i >= 0; i-- {
+		lo, hi := f.rowPtr[i], f.rowPtr[i+1]
+		dst[i] /= f.val[hi-1]
+		xi := dst[i]
+		for k := lo; k < hi-1; k++ {
+			dst[f.colIdx[k]] -= f.val[k] * xi
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package precond
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sparse"
+	"repro/internal/vec"
+)
+
+func TestIdentity(t *testing.T) {
+	r := []float64{1, 2, 3}
+	dst := make([]float64, 3)
+	Identity{}.Apply(dst, r)
+	if vec.MaxAbsDiff(dst, r) != 0 {
+		t.Fatalf("Identity.Apply = %v", dst)
+	}
+}
+
+func TestJacobi(t *testing.T) {
+	j := NewJacobi([]float64{2, 4, 8})
+	dst := make([]float64, 3)
+	j.Apply(dst, []float64{2, 4, 8})
+	for _, v := range dst {
+		if v != 1 {
+			t.Fatalf("Jacobi.Apply = %v, want ones", dst)
+		}
+	}
+}
+
+func TestJacobiZeroDiagonalGuard(t *testing.T) {
+	j := NewJacobi([]float64{0, 5})
+	dst := make([]float64, 2)
+	j.Apply(dst, []float64{3, 10})
+	if dst[0] != 3 { // zero diagonal treated as 1
+		t.Fatalf("zero-diagonal guard failed: %v", dst)
+	}
+	if dst[1] != 2 {
+		t.Fatalf("Apply = %v", dst)
+	}
+}
+
+func TestJacobiFromMatrix(t *testing.T) {
+	a := sparse.Tridiag(4, -1, 2, -1)
+	j := NewJacobiFromMatrix(a)
+	dst := make([]float64, 4)
+	j.Apply(dst, []float64{2, 2, 2, 2})
+	for _, v := range dst {
+		if v != 1 {
+			t.Fatalf("Apply = %v", dst)
+		}
+	}
+}
+
+// applyAsMatrix multiplies out M⁻¹ acting on basis vectors so we can
+// verify factorization quality as ‖A·M⁻¹·e − e‖.
+func preconditionQuality(t *testing.T, a *sparse.CSR, p Interface) float64 {
+	t.Helper()
+	n := a.Rows
+	e := make([]float64, n)
+	minv := make([]float64, n)
+	am := make([]float64, n)
+	worst := 0.0
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		for i := range e {
+			e[i] = rng.NormFloat64()
+		}
+		p.Apply(minv, e)
+		a.MulVec(am, minv)
+		num := 0.0
+		for i := range am {
+			d := am[i] - e[i]
+			num += d * d
+		}
+		den := vec.Dot(e, e)
+		if q := math.Sqrt(num / den); q > worst {
+			worst = q
+		}
+	}
+	return worst
+}
+
+func TestILU0ExactForTridiagonal(t *testing.T) {
+	// A tridiagonal matrix has no fill-in, so ILU(0) = exact LU and
+	// the preconditioner must invert A to machine precision.
+	a := sparse.Tridiag(50, -1, 2, -1)
+	p, err := NewBlockILU0(a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := preconditionQuality(t, a, p); q > 1e-10 {
+		t.Fatalf("single-block ILU(0) on tridiagonal should be exact, got residual %g", q)
+	}
+}
+
+func TestILU0ApproximatesPoisson(t *testing.T) {
+	a := sparse.Poisson2D(8)
+	p, err := NewBlockILU0(a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := preconditionQuality(t, a, p)
+	if q > 0.8 {
+		t.Fatalf("ILU(0) quality too poor: %g", q)
+	}
+	if q == 0 {
+		t.Fatal("ILU(0) on 2D Poisson cannot be exact (fill-in dropped)")
+	}
+}
+
+func TestBlockILU0MultipleBlocks(t *testing.T) {
+	a := sparse.Poisson2D(8)
+	p4, err := NewBlockILU0(a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := NewBlockILU0(a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q4 := preconditionQuality(t, a, p4)
+	q1 := preconditionQuality(t, a, p1)
+	if q4 <= q1 {
+		t.Fatalf("more blocks should be a weaker preconditioner: q1=%g q4=%g", q1, q4)
+	}
+	if q4 > 1.5 {
+		t.Fatalf("4-block ILU(0) unreasonably poor: %g", q4)
+	}
+}
+
+func TestBlockILU0MoreBlocksThanRows(t *testing.T) {
+	a := sparse.Tridiag(3, -1, 2, -1)
+	p, err := NewBlockILU0(a, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, 3)
+	p.Apply(dst, []float64{2, 2, 2})
+	// With one row per block this is exact Jacobi: dst = r / diag.
+	for _, v := range dst {
+		if v != 1 {
+			t.Fatalf("Apply = %v", dst)
+		}
+	}
+}
+
+func TestBlockILU0HandlesZeroDiagonal(t *testing.T) {
+	// KKT systems have an all-zero (2,2) block; the factorization must
+	// complete via pivot shifting rather than dividing by zero.
+	a := sparse.KKT(4, 8, 1)
+	p, err := NewBlockILU0(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := a.Rows
+	dst := make([]float64, n)
+	r := make([]float64, n)
+	for i := range r {
+		r[i] = 1
+	}
+	p.Apply(dst, r)
+	for _, v := range dst {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("Apply produced NaN/Inf on zero-diagonal block")
+		}
+	}
+}
+
+func TestNewBlockILU0Validation(t *testing.T) {
+	a := sparse.Tridiag(3, -1, 2, -1)
+	if _, err := NewBlockILU0(a, 0); err == nil {
+		t.Fatal("expected error for zero blocks")
+	}
+	rect := sparse.NewBuilder(2, 3)
+	rect.Add(0, 0, 1)
+	if _, err := NewBlockILU0(rect.Build(), 1); err == nil {
+		t.Fatal("expected error for rectangular matrix")
+	}
+}
+
+func TestIC0ExactForTridiagonal(t *testing.T) {
+	a := sparse.Tridiag(40, -1, 2, -1)
+	f, err := NewIC0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := preconditionQuality(t, a, f); q > 1e-10 {
+		t.Fatalf("IC(0) on tridiagonal should be exact, got %g", q)
+	}
+}
+
+func TestIC0ApproximatesPoisson3D(t *testing.T) {
+	a := sparse.Poisson3D(4)
+	f, err := NewIC0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := preconditionQuality(t, a, f); q > 0.8 {
+		t.Fatalf("IC(0) quality too poor: %g", q)
+	}
+}
+
+func TestIC0RejectsIndefinite(t *testing.T) {
+	// Symmetric indefinite with stored diagonal: IC(0) must fail with
+	// an error rather than produce NaNs.
+	b := sparse.NewBuilder(2, 2)
+	b.Add(0, 0, 1)
+	b.Add(0, 1, 3)
+	b.Add(1, 0, 3)
+	b.Add(1, 1, 1) // eigenvalues 4, −2
+	if _, err := NewIC0(b.Build()); err == nil {
+		t.Fatal("expected IC(0) failure on indefinite matrix")
+	}
+}
+
+func TestIC0MatchesILU0OnSPD(t *testing.T) {
+	// For SPD systems both incomplete factorizations should give
+	// comparable quality (same sparsity pattern).
+	a := sparse.RandomSPD(60, 2, 4)
+	ic, err := NewIC0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ilu, err := NewBlockILU0(a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qic := preconditionQuality(t, a, ic)
+	qilu := preconditionQuality(t, a, ilu)
+	if qic > 10*qilu+1e-9 || qilu > 10*qic+1e-9 {
+		t.Fatalf("IC0 (%g) and ILU0 (%g) should be comparable on SPD", qic, qilu)
+	}
+}

@@ -1,0 +1,236 @@
+// Package sim is the virtual-time execution engine behind the paper's
+// experimental evaluation (§5.4): it drives a *real* iterative solver
+// (real numerics, real lossy checkpoints, real restarts from
+// decompressed state) while advancing a simulated wall clock whose
+// iteration, checkpoint, and recovery durations come from the
+// calibrated cluster model. Failures are injected with exponential
+// inter-arrival times and may strike during computation, checkpointing
+// or recovery — exactly the paper's setup.
+//
+// The numerical consequences (extra iterations after a lossy restart,
+// residual jumps, reproducibility to the convergence tolerance) emerge
+// from the actual solver; only the clock is modeled.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/fti"
+	"repro/internal/solver"
+)
+
+// Config assembles one simulated run.
+type Config struct {
+	// Stepper is the live solver; it must be the same object the
+	// Manager was built around.
+	Stepper solver.Stepper
+	// Manager wires the checkpoint scheme.
+	Manager *core.Manager
+	// X0 is the initial guess used when a failure precedes the first
+	// checkpoint (recover-from-scratch).
+	X0 []float64
+
+	// TitSeconds is the simulated duration of one iteration.
+	TitSeconds float64
+	// IntervalSeconds is the checkpoint interval in simulated seconds
+	// (Young's optimum in the experiments). Zero disables periodic
+	// checkpointing.
+	IntervalSeconds float64
+	// CheckpointSeconds maps a written checkpoint to its simulated
+	// duration (cluster model + measured compression ratio).
+	CheckpointSeconds func(info fti.Info) float64
+	// RecoverySeconds maps the checkpoint being restored to the
+	// simulated recovery duration.
+	RecoverySeconds func(info fti.Info) float64
+
+	// Failures injects fail-stop errors; nil disables them.
+	Failures *failure.Injector
+	// FailureSchedule, when non-empty, overrides Failures with an
+	// explicit list of absolute failure times (ascending). Figure 9's
+	// controlled 1-failure and 2-failure traces use it.
+	FailureSchedule []float64
+
+	// MaxIterations caps the run (defends against divergence).
+	MaxIterations int
+	// RecordResiduals retains the per-iteration residual trace
+	// (Figure 9 needs it).
+	RecordResiduals bool
+}
+
+// Event marks a failure in the trace.
+type Event struct {
+	SimSeconds float64
+	Iteration  int // iterations executed when the failure struck
+}
+
+// Outcome reports one simulated run.
+type Outcome struct {
+	Converged          bool
+	SimSeconds         float64 // total wall time Tt
+	IterationsExecuted int     // solver steps actually performed
+	// ConvergenceIterations is the paper's "number of convergence
+	// iterations": the logical iteration index at convergence, which
+	// rolls back to the checkpointed index on recovery (re-executed
+	// work is not double counted). GMRES's occasional post-recovery
+	// acceleration shows up here as a count *below* the failure-free
+	// baseline (paper Fig. 8).
+	ConvergenceIterations int
+	Failures              int
+	Checkpoints           int
+	AbortedCheckpoints    int
+	CheckpointTime        float64 // simulated seconds spent checkpointing
+	RecoveryTime          float64 // simulated seconds spent recovering
+	FailureEvents         []Event
+	Residuals             []float64 // per executed iteration (optional)
+	FinalResidual         float64
+}
+
+// Run executes the simulation to convergence or the iteration cap.
+func Run(cfg Config) (*Outcome, error) {
+	if cfg.Stepper == nil || cfg.Manager == nil {
+		return nil, fmt.Errorf("sim: Stepper and Manager are required")
+	}
+	if cfg.TitSeconds <= 0 {
+		return nil, fmt.Errorf("sim: TitSeconds must be positive")
+	}
+	if cfg.MaxIterations == 0 {
+		cfg.MaxIterations = 1_000_000
+	}
+	if cfg.CheckpointSeconds == nil {
+		cfg.CheckpointSeconds = func(fti.Info) float64 { return 0 }
+	}
+	if cfg.RecoverySeconds == nil {
+		cfg.RecoverySeconds = func(fti.Info) float64 { return 0 }
+	}
+
+	out := &Outcome{}
+	s := cfg.Stepper
+	m := cfg.Manager
+
+	t := 0.0
+	lastCkptAt := 0.0
+	logical := 0       // logical iteration index (paper's i)
+	logicalAtCkpt := 0 // logical index captured by the latest checkpoint
+	prevLogicalAtCkpt := 0
+	schedule := append([]float64(nil), cfg.FailureSchedule...)
+	drawFail := func(now float64) float64 {
+		if len(schedule) > 0 {
+			next := schedule[0]
+			schedule = schedule[1:]
+			if next <= now {
+				next = now + 1e-9
+			}
+			return next
+		}
+		if cfg.Failures != nil {
+			return cfg.Failures.Next(now)
+		}
+		return math.Inf(1)
+	}
+	nextFail := drawFail(0)
+
+	// handleFailure advances the clock through the recovery (including
+	// nested failures during recovery) and restores the solver.
+	handleFailure := func() error {
+		out.Failures++
+		out.FailureEvents = append(out.FailureEvents, Event{SimSeconds: t, Iteration: out.IterationsExecuted})
+		for {
+			rec := cfg.RecoverySeconds(m.LastInfo())
+			nextFail = drawFail(t)
+			if t+rec <= nextFail {
+				t += rec
+				out.RecoveryTime += rec
+				break
+			}
+			// Failure during recovery: the recovery restarts.
+			wasted := nextFail - t
+			t = nextFail
+			out.RecoveryTime += wasted
+			out.Failures++
+			out.FailureEvents = append(out.FailureEvents, Event{SimSeconds: t, Iteration: out.IterationsExecuted})
+		}
+		if m.HasCheckpoint() {
+			if _, err := m.Recover(); err != nil {
+				return fmt.Errorf("sim: recovery: %w", err)
+			}
+			logical = logicalAtCkpt
+		} else {
+			m.RecoverFresh(cfg.X0)
+			logical = 0
+		}
+		lastCkptAt = t // the interval clock restarts after recovery
+		return nil
+	}
+
+	rnorm := s.ResidualNorm()
+	for !s.Converged(rnorm) {
+		if out.IterationsExecuted >= cfg.MaxIterations {
+			break
+		}
+
+		// Periodic checkpoint (Algorithm 1/2 line 3), expressed in
+		// simulated time as in the paper's optimal-interval runs.
+		if cfg.IntervalSeconds > 0 && t-lastCkptAt >= cfg.IntervalSeconds {
+			info, err := m.Checkpoint()
+			if err != nil {
+				return nil, fmt.Errorf("sim: checkpoint: %w", err)
+			}
+			prevLogicalAtCkpt, logicalAtCkpt = logicalAtCkpt, logical
+			d := cfg.CheckpointSeconds(info)
+			if t+d > nextFail {
+				// The failure lands inside the checkpoint write: the
+				// partial checkpoint is unusable.
+				wasted := nextFail - t
+				t = nextFail
+				out.CheckpointTime += wasted
+				out.AbortedCheckpoints++
+				if err := m.AbortLastCheckpoint(); err != nil {
+					return nil, fmt.Errorf("sim: abort checkpoint: %w", err)
+				}
+				logicalAtCkpt = prevLogicalAtCkpt
+				if err := handleFailure(); err != nil {
+					return nil, err
+				}
+				rnorm = s.ResidualNorm()
+				continue
+			}
+			t += d
+			out.CheckpointTime += d
+			out.Checkpoints++
+			lastCkptAt = t
+		}
+
+		// One iteration of simulated duration Tit.
+		if t+cfg.TitSeconds > nextFail {
+			// Failure mid-iteration: the step's work is lost.
+			t = nextFail
+			if err := handleFailure(); err != nil {
+				return nil, err
+			}
+			rnorm = s.ResidualNorm()
+			continue
+		}
+		rnorm = s.Step()
+		out.IterationsExecuted++
+		logical++
+		t += cfg.TitSeconds
+		if cfg.RecordResiduals {
+			out.Residuals = append(out.Residuals, rnorm)
+		}
+	}
+
+	out.Converged = s.Converged(rnorm)
+	out.SimSeconds = t
+	out.ConvergenceIterations = logical
+	out.FinalResidual = rnorm
+	return out, nil
+}
+
+// FaultToleranceOverhead computes the paper's metric: total running
+// time minus the failure-free baseline's productive time.
+func (o *Outcome) FaultToleranceOverhead(baselineSeconds float64) float64 {
+	return o.SimSeconds - baselineSeconds
+}

@@ -1,0 +1,262 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/fti"
+	"repro/internal/solver"
+	"repro/internal/sparse"
+	"repro/internal/sz"
+	"repro/internal/vec"
+)
+
+// testSystem returns a Poisson system small enough for fast sim runs.
+func testSystem() (*sparse.CSR, []float64, []float64) {
+	a := sparse.Poisson2D(12)
+	xe := sparse.SmoothField(a.Rows, 41)
+	b := sparse.RHSForSolution(a, xe)
+	return a, b, xe
+}
+
+func newManagedCG(t *testing.T, a *sparse.CSR, b []float64, scheme core.Scheme) (*solver.CG, *core.Manager) {
+	t.Helper()
+	s := solver.NewCG(a, nil, b, nil, solver.SeqSpace{}, solver.Options{RTol: 1e-9})
+	m, err := core.NewManager(core.Config{
+		Scheme:   scheme,
+		SZParams: sz.Params{Mode: sz.PWRel, ErrorBound: 1e-4},
+	}, fti.NewMemStorage(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, m
+}
+
+func TestFailureFreeRunMatchesDirectSolve(t *testing.T) {
+	a, b, _ := testSystem()
+	direct := solver.NewCG(a, nil, b, nil, solver.SeqSpace{}, solver.Options{RTol: 1e-9})
+	resDirect, _ := solver.RunToConvergence(direct, solver.Options{MaxIter: 5000}, nil)
+
+	s, m := newManagedCG(t, a, b, core.Traditional)
+	out, err := Run(Config{
+		Stepper:    s,
+		Manager:    m,
+		TitSeconds: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Converged {
+		t.Fatal("sim did not converge")
+	}
+	if out.IterationsExecuted != resDirect.Iterations {
+		t.Fatalf("sim executed %d iterations, direct solve %d",
+			out.IterationsExecuted, resDirect.Iterations)
+	}
+	if out.SimSeconds != float64(resDirect.Iterations) {
+		t.Fatalf("sim time %v, want %v", out.SimSeconds, float64(resDirect.Iterations))
+	}
+	if out.Failures != 0 || out.Checkpoints != 0 {
+		t.Fatalf("failure-free run recorded %d failures, %d checkpoints", out.Failures, out.Checkpoints)
+	}
+}
+
+func TestCheckpointsAtInterval(t *testing.T) {
+	a, b, _ := testSystem()
+	s, m := newManagedCG(t, a, b, core.Traditional)
+	ckptCost := 5.0
+	out, err := Run(Config{
+		Stepper:           s,
+		Manager:           m,
+		TitSeconds:        1,
+		IntervalSeconds:   10,
+		CheckpointSeconds: func(fti.Info) float64 { return ckptCost },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Converged {
+		t.Fatal("did not converge")
+	}
+	if out.Checkpoints == 0 {
+		t.Fatal("no checkpoints taken")
+	}
+	// Each 10 s window of compute triggers one 5 s checkpoint.
+	wantTime := float64(out.IterationsExecuted) + float64(out.Checkpoints)*ckptCost
+	if out.SimSeconds != wantTime {
+		t.Fatalf("sim time %v, want %v", out.SimSeconds, wantTime)
+	}
+	if out.CheckpointTime != float64(out.Checkpoints)*ckptCost {
+		t.Fatalf("checkpoint time %v", out.CheckpointTime)
+	}
+}
+
+func TestFailuresForceRecoveryAndStillConverge(t *testing.T) {
+	a, b, xe := testSystem()
+	for _, scheme := range []core.Scheme{core.Traditional, core.Lossless, core.Lossy} {
+		s, m := newManagedCG(t, a, b, scheme)
+		out, err := Run(Config{
+			Stepper:           s,
+			Manager:           m,
+			X0:                make([]float64, a.Rows),
+			TitSeconds:        2,
+			IntervalSeconds:   20,
+			CheckpointSeconds: func(fti.Info) float64 { return 3 },
+			RecoverySeconds:   func(fti.Info) float64 { return 4 },
+			Failures:          failure.NewInjector(60, 7),
+			MaxIterations:     100000,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		if !out.Converged {
+			t.Fatalf("%v: did not converge", scheme)
+		}
+		if out.Failures == 0 {
+			t.Fatalf("%v: expected injected failures (MTTI 60 s, run >> 60 s)", scheme)
+		}
+		if out.RecoveryTime <= 0 {
+			t.Fatalf("%v: no recovery time accounted", scheme)
+		}
+		// The solution must still satisfy the tolerance-based
+		// reproducibility claim (§4.4.4).
+		diff := make([]float64, len(xe))
+		vec.Sub(diff, s.X(), xe)
+		if rel := vec.Norm2(diff) / vec.Norm2(xe); rel > 1e-5 {
+			t.Fatalf("%v: solution error %g after failures", scheme, rel)
+		}
+	}
+}
+
+func TestLossyRunExecutesMoreIterationsThanTraditional(t *testing.T) {
+	// CG's lossy restarts cost extra iterations (paper §4.4.3), while
+	// traditional recovery replays only the rollback. Compare total
+	// executed iterations under the same failure schedule.
+	a, b, _ := testSystem()
+	run := func(scheme core.Scheme) *Outcome {
+		s, m := newManagedCG(t, a, b, scheme)
+		out, err := Run(Config{
+			Stepper:           s,
+			Manager:           m,
+			X0:                make([]float64, a.Rows),
+			TitSeconds:        2,
+			IntervalSeconds:   30,
+			CheckpointSeconds: func(fti.Info) float64 { return 1 },
+			RecoverySeconds:   func(fti.Info) float64 { return 1 },
+			Failures:          failure.NewInjector(100, 11),
+			MaxIterations:     100000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Converged {
+			t.Fatalf("%v did not converge", scheme)
+		}
+		return out
+	}
+	trad := run(core.Traditional)
+	lossy := run(core.Lossy)
+	if lossy.IterationsExecuted < trad.IterationsExecuted {
+		t.Fatalf("lossy executed %d < traditional %d — lossy restarts should not be cheaper in iterations",
+			lossy.IterationsExecuted, trad.IterationsExecuted)
+	}
+}
+
+func TestFailureBeforeFirstCheckpointRestartsFresh(t *testing.T) {
+	a, b, _ := testSystem()
+	// Loose tolerance so a failure-free window long enough to converge
+	// is likely; every failure restarts from scratch (no checkpoints).
+	s := solver.NewCG(a, nil, b, nil, solver.SeqSpace{}, solver.Options{RTol: 1e-3})
+	m, err := core.NewManager(core.Config{
+		Scheme:   core.Lossy,
+		SZParams: sz.Params{Mode: sz.PWRel, ErrorBound: 1e-4},
+	}, fti.NewMemStorage(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(Config{
+		Stepper:         s,
+		Manager:         m,
+		X0:              make([]float64, a.Rows),
+		TitSeconds:      4,
+		IntervalSeconds: 1e9, // never checkpoint
+		RecoverySeconds: func(fti.Info) float64 { return 1 },
+		Failures:        failure.NewInjector(120, 9), // seed 9: first failure at t≈1.1 s
+		MaxIterations:   100000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Converged {
+		t.Fatal("did not converge")
+	}
+	if out.Failures == 0 {
+		t.Fatal("expected at least one failure")
+	}
+	if out.Checkpoints != 0 {
+		t.Fatalf("no checkpoints expected, got %d", out.Checkpoints)
+	}
+}
+
+func TestEventTrace(t *testing.T) {
+	a, b, _ := testSystem()
+	s, m := newManagedCG(t, a, b, core.Lossy)
+	out, err := Run(Config{
+		Stepper:         s,
+		Manager:         m,
+		X0:              make([]float64, a.Rows),
+		TitSeconds:      5,
+		IntervalSeconds: 25,
+		RecoverySeconds: func(fti.Info) float64 { return 2 },
+		Failures:        failure.NewInjector(80, 5),
+		RecordResiduals: true,
+		MaxIterations:   100000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Residuals) != out.IterationsExecuted {
+		t.Fatalf("residual trace has %d entries for %d iterations",
+			len(out.Residuals), out.IterationsExecuted)
+	}
+	if len(out.FailureEvents) != out.Failures {
+		t.Fatalf("%d failure events for %d failures", len(out.FailureEvents), out.Failures)
+	}
+	for _, e := range out.FailureEvents {
+		if e.SimSeconds < 0 || e.SimSeconds > out.SimSeconds {
+			t.Fatalf("failure event outside run: %+v", e)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("missing stepper/manager must error")
+	}
+	a, b, _ := testSystem()
+	s, m := newManagedCG(t, a, b, core.Traditional)
+	if _, err := Run(Config{Stepper: s, Manager: m}); err == nil {
+		t.Fatal("missing TitSeconds must error")
+	}
+}
+
+func TestMaxIterationsCap(t *testing.T) {
+	a, b, _ := testSystem()
+	// Absurd tolerance so the solver never converges.
+	s := solver.NewCG(a, nil, b, nil, solver.SeqSpace{}, solver.Options{RTol: 1e-300, ATol: 1e-300})
+	m, err := core.NewManager(core.Config{Scheme: core.Traditional}, fti.NewMemStorage(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(Config{Stepper: s, Manager: m, TitSeconds: 1, MaxIterations: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Converged {
+		t.Fatal("should not converge at rtol 1e-300")
+	}
+	if out.IterationsExecuted != 50 {
+		t.Fatalf("executed %d, want cap 50", out.IterationsExecuted)
+	}
+}

@@ -1,0 +1,135 @@
+package solver
+
+import (
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/precond"
+	"repro/internal/sparse"
+	"repro/internal/vec"
+)
+
+// TestDistributedCGMatchesSequential runs the same CG solve
+// sequentially and across several rank counts; the distributed solves
+// must converge to the same solution.
+func TestDistributedCGMatchesSequential(t *testing.T) {
+	a := sparse.Poisson3D(4)
+	xe := sparse.SmoothField(a.Rows, 11)
+	b := sparse.RHSForSolution(a, xe)
+
+	seq := NewCG(a, nil, b, nil, SeqSpace{}, Options{RTol: 1e-10})
+	resSeq, err := RunToConvergence(seq, Options{MaxIter: 2000}, nil)
+	if err != nil || !resSeq.Converged {
+		t.Fatalf("sequential CG failed: %v %+v", err, resSeq)
+	}
+
+	for _, p := range []int{2, 4, 7} {
+		err := mpi.Run(p, func(c *mpi.Comm) error {
+			d := sparse.NewDist(c, a)
+			lo, n := d.RowStart(), d.LocalRows()
+			bl := append([]float64(nil), b[lo:lo+n]...)
+			s := NewCG(d, nil, bl, nil, MPISpace{Comm: c}, Options{RTol: 1e-10})
+			res, err := RunToConvergence(s, Options{MaxIter: 2000}, nil)
+			if err != nil {
+				return err
+			}
+			if !res.Converged {
+				t.Errorf("p=%d: distributed CG did not converge", p)
+				return nil
+			}
+			full := d.Gather(s.X())
+			diff := make([]float64, len(full))
+			vec.Sub(diff, full, seq.X())
+			if rel := vec.Norm2(diff) / vec.Norm2(seq.X()); rel > 1e-6 {
+				t.Errorf("p=%d: distributed solution differs by %g", p, rel)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestDistributedJacobiMatchesSequential checks the Richardson/Jacobi
+// equivalence across ranks: the distributed Jacobi iterates must equal
+// the sequential ones step by step (no reductions are involved in the
+// update itself, so this is exact).
+func TestDistributedJacobiMatchesSequential(t *testing.T) {
+	a := sparse.Poisson2D(6)
+	xe := sparse.SmoothField(a.Rows, 13)
+	b := sparse.RHSForSolution(a, xe)
+
+	jac, err := NewStationary(KindJacobi, a, b, nil, 0, Options{RTol: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const steps = 30
+	seqIterates := make([][]float64, steps)
+	for i := 0; i < steps; i++ {
+		jac.Step()
+		seqIterates[i] = append([]float64(nil), jac.X()...)
+	}
+
+	err = mpi.Run(3, func(c *mpi.Comm) error {
+		d := sparse.NewDist(c, a)
+		lo, n := d.RowStart(), d.LocalRows()
+		bl := append([]float64(nil), b[lo:lo+n]...)
+		diag := make([]float64, n)
+		d.Diag(diag)
+		s := NewRichardson(d, precond.NewJacobi(diag), bl, nil, 1, MPISpace{Comm: c}, Options{RTol: 1e-6})
+		for i := 0; i < steps; i++ {
+			s.Step()
+			for k := 0; k < n; k++ {
+				if diff := s.X()[k] - seqIterates[i][lo+k]; diff > 1e-12 || diff < -1e-12 {
+					t.Errorf("rank %d step %d row %d: %g vs %g",
+						c.Rank(), i, lo+k, s.X()[k], seqIterates[i][lo+k])
+					return nil
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDistributedGMRESMatchesSequential verifies the distributed GMRES
+// path (reductions inside Arnoldi) reaches the same solution.
+func TestDistributedGMRESMatchesSequential(t *testing.T) {
+	a := sparse.Poisson3D(3)
+	xe := sparse.SmoothField(a.Rows, 17)
+	b := sparse.RHSForSolution(a, xe)
+
+	seq := NewGMRES(a, nil, b, nil, 10, SeqSpace{}, Options{RTol: 1e-10})
+	resSeq, err := RunToConvergence(seq, Options{MaxIter: 2000}, nil)
+	if err != nil || !resSeq.Converged {
+		t.Fatalf("sequential GMRES failed: %v", err)
+	}
+
+	err = mpi.Run(4, func(c *mpi.Comm) error {
+		d := sparse.NewDist(c, a)
+		lo, n := d.RowStart(), d.LocalRows()
+		bl := append([]float64(nil), b[lo:lo+n]...)
+		s := NewGMRES(d, nil, bl, nil, 10, MPISpace{Comm: c}, Options{RTol: 1e-10})
+		res, err := RunToConvergence(s, Options{MaxIter: 2000}, nil)
+		if err != nil {
+			return err
+		}
+		if !res.Converged {
+			t.Error("distributed GMRES did not converge")
+			return nil
+		}
+		full := d.Gather(s.X())
+		diff := make([]float64, len(full))
+		vec.Sub(diff, full, seq.X())
+		if rel := vec.Norm2(diff) / vec.Norm2(seq.X()); rel > 1e-6 {
+			t.Errorf("distributed GMRES solution differs by %g", rel)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

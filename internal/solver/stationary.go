@@ -1,0 +1,317 @@
+package solver
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/precond"
+	"repro/internal/sparse"
+)
+
+// StationaryKind selects the sweep performed by a Stationary solver.
+type StationaryKind int
+
+// The four representative stationary methods analyzed in paper §4.4.1.
+const (
+	KindJacobi StationaryKind = iota
+	KindGaussSeidel
+	KindSOR
+	KindSSOR
+)
+
+// String returns the conventional method name.
+func (k StationaryKind) String() string {
+	switch k {
+	case KindJacobi:
+		return "Jacobi"
+	case KindGaussSeidel:
+		return "Gauss-Seidel"
+	case KindSOR:
+		return "SOR"
+	case KindSSOR:
+		return "SSOR"
+	}
+	return fmt.Sprintf("StationaryKind(%d)", int(k))
+}
+
+// Stationary iterates x ← G·x + c for the classical splittings. The
+// only dynamic variable is x itself, which makes these methods the
+// cleanest fit for lossy checkpointing (paper Theorem 2 bounds the
+// extra iterations).
+type Stationary struct {
+	a     *sparse.CSR
+	b     []float64
+	kind  StationaryKind
+	omega float64
+	opts  Options
+
+	x, xNew, r []float64
+	diag       []float64
+	it         int
+	rnorm      float64
+	threshold  float64
+}
+
+// NewStationary constructs a stationary solver of the given kind for
+// A·x = b. omega is the relaxation factor for SOR/SSOR (ignored by
+// Jacobi and Gauss-Seidel; 1 ≤ omega < 2 accelerates, omega = 1
+// reduces SOR to Gauss-Seidel).
+func NewStationary(kind StationaryKind, a *sparse.CSR, b []float64, x0 []float64, omega float64, opts Options) (*Stationary, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("solver: stationary method needs square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	if a.Rows != len(b) {
+		return nil, fmt.Errorf("solver: b has %d entries for %d×%d matrix", len(b), a.Rows, a.Cols)
+	}
+	if (kind == KindSOR || kind == KindSSOR) && (omega <= 0 || omega >= 2) {
+		return nil, fmt.Errorf("solver: SOR relaxation omega = %g outside (0,2)", omega)
+	}
+	n := a.Rows
+	s := &Stationary{
+		a:     a,
+		b:     append([]float64(nil), b...),
+		kind:  kind,
+		omega: omega,
+		opts:  opts.withDefaults(),
+		x:     make([]float64, n),
+		xNew:  make([]float64, n),
+		r:     make([]float64, n),
+		diag:  make([]float64, n),
+	}
+	a.Diag(s.diag)
+	for i, d := range s.diag {
+		if d == 0 {
+			return nil, fmt.Errorf("solver: stationary method needs nonzero diagonal (row %d)", i)
+		}
+	}
+	s.threshold = s.opts.RTol*SeqSpace{}.Norm2(b) + s.opts.ATol
+	if x0 == nil {
+		x0 = make([]float64, n)
+	}
+	checkDims("x0", n, len(x0))
+	s.Restart(x0)
+	return s, nil
+}
+
+// Restart adopts x as the current iterate; stationary methods carry no
+// auxiliary state, so this is a copy plus a residual refresh.
+func (s *Stationary) Restart(x []float64) {
+	checkDims("restart x", len(s.b), len(x))
+	copy(s.x, x)
+	s.refreshResidual()
+}
+
+func (s *Stationary) refreshResidual() {
+	s.a.MulVecSub(s.r, s.b, s.x)
+	s.rnorm = SeqSpace{}.Norm2(s.r)
+}
+
+// Step performs one sweep and returns the true residual norm.
+func (s *Stationary) Step() float64 {
+	switch s.kind {
+	case KindJacobi:
+		s.jacobiSweep()
+	case KindGaussSeidel:
+		s.sorSweep(1, false)
+	case KindSOR:
+		s.sorSweep(s.omega, false)
+	case KindSSOR:
+		s.sorSweep(s.omega, false)
+		s.sorSweep(s.omega, true)
+	}
+	s.it++
+	s.refreshResidual()
+	return s.rnorm
+}
+
+// jacobiSweep computes xNew_i = (b_i − Σ_{j≠i} a_ij·x_j)/a_ii.
+func (s *Stationary) jacobiSweep() {
+	a := s.a
+	for i := 0; i < a.Rows; i++ {
+		sum := s.b[i]
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			j := a.ColIdx[k]
+			if j != i {
+				sum -= a.Val[k] * s.x[j]
+			}
+		}
+		s.xNew[i] = sum / s.diag[i]
+	}
+	s.x, s.xNew = s.xNew, s.x
+}
+
+// sorSweep performs one in-place successive-overrelaxation sweep; a
+// backward sweep (reverse row order) combined with a forward one
+// yields the symmetric method SSOR.
+func (s *Stationary) sorSweep(omega float64, backward bool) {
+	a := s.a
+	n := a.Rows
+	for ii := 0; ii < n; ii++ {
+		i := ii
+		if backward {
+			i = n - 1 - ii
+		}
+		sum := s.b[i]
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			j := a.ColIdx[k]
+			if j != i {
+				sum -= a.Val[k] * s.x[j]
+			}
+		}
+		gs := sum / s.diag[i]
+		s.x[i] = (1-omega)*s.x[i] + omega*gs
+	}
+}
+
+// Iteration returns the number of sweeps since construction.
+func (s *Stationary) Iteration() int { return s.it }
+
+// Converged reports rnorm ≤ RTol·‖b‖ + ATol.
+func (s *Stationary) Converged(rnorm float64) bool { return rnorm <= s.threshold }
+
+// ResidualNorm returns ‖b − A·x‖ after the latest sweep.
+func (s *Stationary) ResidualNorm() float64 { return s.rnorm }
+
+// X returns the live iterate.
+func (s *Stationary) X() []float64 { return s.x }
+
+// Kind returns the sweep type.
+func (s *Stationary) Kind() StationaryKind { return s.kind }
+
+// CaptureDynamic saves (i, x): stationary methods have no other
+// dynamic variables.
+func (s *Stationary) CaptureDynamic() DynamicState {
+	return DynamicState{
+		Iteration: s.it,
+		Vectors:   map[string][]float64{"x": append([]float64(nil), s.x...)},
+	}
+}
+
+// RestoreDynamic reinstates (i, x).
+func (s *Stationary) RestoreDynamic(st DynamicState) error {
+	x, ok := st.Vectors["x"]
+	if !ok {
+		return errors.New("solver: stationary restore needs the x vector")
+	}
+	s.it = st.Iteration
+	s.Restart(x)
+	return nil
+}
+
+var (
+	_ Stepper        = (*Stationary)(nil)
+	_ Restartable    = (*Stationary)(nil)
+	_ Checkpointable = (*Stationary)(nil)
+)
+
+// Richardson is the operator-form stationary iteration
+// x ← x + ω·M⁻¹·(b − A·x). With M = diag(A) and ω = 1 it is exactly
+// the Jacobi method, but expressed through Operator/Space it also runs
+// distributed (sparse.Dist + MPISpace), which is how the examples run
+// the paper's Jacobi experiments across ranks.
+type Richardson struct {
+	a     Operator
+	m     precond.Interface
+	b     []float64
+	space Space
+	omega float64
+	opts  Options
+
+	x, r, z   []float64
+	it        int
+	rnorm     float64
+	threshold float64
+}
+
+// NewRichardson constructs the preconditioned Richardson iteration.
+// m = nil means the identity; omega ≤ 0 defaults to 1.
+func NewRichardson(a Operator, m precond.Interface, b []float64, x0 []float64, omega float64, space Space, opts Options) *Richardson {
+	if m == nil {
+		m = precond.Identity{}
+	}
+	if omega <= 0 {
+		omega = 1
+	}
+	n := len(b)
+	s := &Richardson{
+		a:     a,
+		m:     m,
+		b:     append([]float64(nil), b...),
+		space: space,
+		omega: omega,
+		opts:  opts.withDefaults(),
+		x:     make([]float64, n),
+		r:     make([]float64, n),
+		z:     make([]float64, n),
+	}
+	s.threshold = s.opts.RTol*space.Norm2(b) + s.opts.ATol
+	if x0 == nil {
+		x0 = make([]float64, n)
+	}
+	checkDims("x0", n, len(x0))
+	s.Restart(x0)
+	return s
+}
+
+// Restart adopts x as the current iterate.
+func (s *Richardson) Restart(x []float64) {
+	checkDims("restart x", len(s.b), len(x))
+	copy(s.x, x)
+	s.refreshResidual()
+}
+
+func (s *Richardson) refreshResidual() {
+	s.a.MulVec(s.r, s.x)
+	for i := range s.r {
+		s.r[i] = s.b[i] - s.r[i]
+	}
+	s.rnorm = s.space.Norm2(s.r)
+}
+
+// Step performs x ← x + ω·M⁻¹·r and returns the new residual norm.
+func (s *Richardson) Step() float64 {
+	s.m.Apply(s.z, s.r)
+	for i := range s.x {
+		s.x[i] += s.omega * s.z[i]
+	}
+	s.it++
+	s.refreshResidual()
+	return s.rnorm
+}
+
+// Iteration returns the number of sweeps since construction.
+func (s *Richardson) Iteration() int { return s.it }
+
+// Converged reports rnorm ≤ RTol·‖b‖ + ATol.
+func (s *Richardson) Converged(rnorm float64) bool { return rnorm <= s.threshold }
+
+// ResidualNorm returns the residual norm after the latest Step.
+func (s *Richardson) ResidualNorm() float64 { return s.rnorm }
+
+// X returns the live iterate.
+func (s *Richardson) X() []float64 { return s.x }
+
+// CaptureDynamic saves (i, x).
+func (s *Richardson) CaptureDynamic() DynamicState {
+	return DynamicState{
+		Iteration: s.it,
+		Vectors:   map[string][]float64{"x": append([]float64(nil), s.x...)},
+	}
+}
+
+// RestoreDynamic reinstates (i, x).
+func (s *Richardson) RestoreDynamic(st DynamicState) error {
+	x, ok := st.Vectors["x"]
+	if !ok {
+		return errors.New("solver: Richardson restore needs the x vector")
+	}
+	s.it = st.Iteration
+	s.Restart(x)
+	return nil
+}
+
+var (
+	_ Stepper        = (*Richardson)(nil)
+	_ Restartable    = (*Richardson)(nil)
+	_ Checkpointable = (*Richardson)(nil)
+)

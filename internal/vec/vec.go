@@ -1,0 +1,197 @@
+// Package vec provides dense vector kernels used by the iterative
+// solvers. All kernels operate on []float64 slices in place where
+// possible to avoid allocation inside solver loops; the distributed
+// variants in package mpi build on these local kernels.
+package vec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product x·y. It panics if the lengths differ,
+// because a length mismatch in a solver is always a programming error.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("vec: Dot length mismatch %d != %d", len(x), len(y)))
+	}
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm ‖x‖₂ computed with scaling to avoid
+// overflow for very large components.
+func Norm2(x []float64) float64 {
+	var scale, ssq float64
+	ssq = 1
+	for _, v := range x {
+		if v == 0 {
+			continue
+		}
+		a := math.Abs(v)
+		if scale < a {
+			r := scale / a
+			ssq = 1 + ssq*r*r
+			scale = a
+		} else {
+			r := a / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// NormInf returns the maximum-magnitude component of x.
+func NormInf(x []float64) float64 {
+	var m float64
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Axpy computes y ← a·x + y.
+func Axpy(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("vec: Axpy length mismatch %d != %d", len(x), len(y)))
+	}
+	for i, v := range x {
+		y[i] += a * v
+	}
+}
+
+// Aypx computes y ← x + a·y (the PETSc VecAYPX kernel used by CG's
+// direction update p ← z + β·p).
+func Aypx(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("vec: Aypx length mismatch %d != %d", len(x), len(y)))
+	}
+	for i, v := range x {
+		y[i] = v + a*y[i]
+	}
+}
+
+// Scale computes x ← a·x.
+func Scale(a float64, x []float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// Copy copies src into dst. It panics on length mismatch.
+func Copy(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("vec: Copy length mismatch %d != %d", len(dst), len(src)))
+	}
+	copy(dst, src)
+}
+
+// Clone returns a freshly allocated copy of x.
+func Clone(x []float64) []float64 {
+	y := make([]float64, len(x))
+	copy(y, x)
+	return y
+}
+
+// Zero sets every component of x to zero.
+func Zero(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// Fill sets every component of x to a.
+func Fill(x []float64, a float64) {
+	for i := range x {
+		x[i] = a
+	}
+}
+
+// Sub computes dst ← x − y. dst may alias x or y.
+func Sub(dst, x, y []float64) {
+	if len(x) != len(y) || len(dst) != len(x) {
+		panic("vec: Sub length mismatch")
+	}
+	for i := range dst {
+		dst[i] = x[i] - y[i]
+	}
+}
+
+// Add computes dst ← x + y. dst may alias x or y.
+func Add(dst, x, y []float64) {
+	if len(x) != len(y) || len(dst) != len(x) {
+		panic("vec: Add length mismatch")
+	}
+	for i := range dst {
+		dst[i] = x[i] + y[i]
+	}
+}
+
+// PointwiseMult computes dst ← x ∘ y (Hadamard product), used by
+// diagonal (Jacobi) preconditioning.
+func PointwiseMult(dst, x, y []float64) {
+	if len(x) != len(y) || len(dst) != len(x) {
+		panic("vec: PointwiseMult length mismatch")
+	}
+	for i := range dst {
+		dst[i] = x[i] * y[i]
+	}
+}
+
+// MaxAbsDiff returns max_i |x_i − y_i|, used by tests to assert
+// error-bound compliance of lossy compressors.
+func MaxAbsDiff(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("vec: MaxAbsDiff length mismatch")
+	}
+	var m float64
+	for i := range x {
+		if d := math.Abs(x[i] - y[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// MaxRelDiff returns max_i |x_i − y_i| / |x_i| over components with
+// x_i ≠ 0, the pointwise-relative error used by the paper's bound
+// definition (|x_i − x'_i| ≤ eb·|x_i|).
+func MaxRelDiff(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("vec: MaxRelDiff length mismatch")
+	}
+	var m float64
+	for i := range x {
+		if x[i] == 0 {
+			continue
+		}
+		if d := math.Abs(x[i]-y[i]) / math.Abs(x[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Range returns (min, max) over the components of x; (0, 0) for an
+// empty vector. Lossy compressors use the value range to convert
+// range-relative bounds into absolute bounds.
+func Range(x []float64) (lo, hi float64) {
+	if len(x) == 0 {
+		return 0, 0
+	}
+	lo, hi = x[0], x[0]
+	for _, v := range x[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,230 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestDot(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, -5, 6}
+	if got := Dot(x, y); got != 1*4-2*5+3*6 {
+		t.Fatalf("Dot = %v, want 12", got)
+	}
+}
+
+func TestDotEmpty(t *testing.T) {
+	if got := Dot(nil, nil); got != 0 {
+		t.Fatalf("Dot(nil,nil) = %v, want 0", got)
+	}
+}
+
+func TestDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestNorm2(t *testing.T) {
+	x := []float64{3, 4}
+	if got := Norm2(x); !almostEqual(got, 5, 1e-15) {
+		t.Fatalf("Norm2 = %v, want 5", got)
+	}
+}
+
+func TestNorm2Overflow(t *testing.T) {
+	// Naive sum-of-squares would overflow; scaled algorithm must not.
+	x := []float64{1e200, 1e200}
+	want := 1e200 * math.Sqrt2
+	if got := Norm2(x); !almostEqual(got, want, 1e-14) {
+		t.Fatalf("Norm2 = %v, want %v", got, want)
+	}
+}
+
+func TestNorm2Zero(t *testing.T) {
+	if got := Norm2([]float64{0, 0, 0}); got != 0 {
+		t.Fatalf("Norm2(zeros) = %v, want 0", got)
+	}
+	if got := Norm2(nil); got != 0 {
+		t.Fatalf("Norm2(nil) = %v, want 0", got)
+	}
+}
+
+func TestNormInf(t *testing.T) {
+	if got := NormInf([]float64{1, -7, 3}); got != 7 {
+		t.Fatalf("NormInf = %v, want 7", got)
+	}
+}
+
+func TestAxpy(t *testing.T) {
+	y := []float64{1, 1}
+	Axpy(2, []float64{3, 4}, y)
+	if y[0] != 7 || y[1] != 9 {
+		t.Fatalf("Axpy result %v, want [7 9]", y)
+	}
+}
+
+func TestAypx(t *testing.T) {
+	y := []float64{1, 2}
+	Aypx(3, []float64{10, 20}, y) // y = x + 3y
+	if y[0] != 13 || y[1] != 26 {
+		t.Fatalf("Aypx result %v, want [13 26]", y)
+	}
+}
+
+func TestScale(t *testing.T) {
+	x := []float64{1, -2}
+	Scale(-3, x)
+	if x[0] != -3 || x[1] != 6 {
+		t.Fatalf("Scale result %v", x)
+	}
+}
+
+func TestSubAddPointwise(t *testing.T) {
+	x := []float64{5, 7}
+	y := []float64{2, 3}
+	d := make([]float64, 2)
+	Sub(d, x, y)
+	if d[0] != 3 || d[1] != 4 {
+		t.Fatalf("Sub = %v", d)
+	}
+	Add(d, x, y)
+	if d[0] != 7 || d[1] != 10 {
+		t.Fatalf("Add = %v", d)
+	}
+	PointwiseMult(d, x, y)
+	if d[0] != 10 || d[1] != 21 {
+		t.Fatalf("PointwiseMult = %v", d)
+	}
+}
+
+func TestSubAliasing(t *testing.T) {
+	x := []float64{5, 7}
+	Sub(x, x, []float64{1, 2})
+	if x[0] != 4 || x[1] != 5 {
+		t.Fatalf("aliased Sub = %v", x)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	x := []float64{1, 2}
+	y := Clone(x)
+	y[0] = 99
+	if x[0] != 1 {
+		t.Fatal("Clone must not share backing storage")
+	}
+}
+
+func TestZeroFill(t *testing.T) {
+	x := []float64{1, 2, 3}
+	Fill(x, 4)
+	for _, v := range x {
+		if v != 4 {
+			t.Fatalf("Fill result %v", x)
+		}
+	}
+	Zero(x)
+	for _, v := range x {
+		if v != 0 {
+			t.Fatalf("Zero result %v", x)
+		}
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	if got := MaxAbsDiff([]float64{1, 2}, []float64{1.5, 1}); got != 1 {
+		t.Fatalf("MaxAbsDiff = %v, want 1", got)
+	}
+}
+
+func TestMaxRelDiffSkipsZeros(t *testing.T) {
+	got := MaxRelDiff([]float64{0, 2}, []float64{5, 1})
+	if got != 0.5 {
+		t.Fatalf("MaxRelDiff = %v, want 0.5", got)
+	}
+}
+
+func TestRange(t *testing.T) {
+	lo, hi := Range([]float64{3, -1, 7})
+	if lo != -1 || hi != 7 {
+		t.Fatalf("Range = (%v,%v), want (-1,7)", lo, hi)
+	}
+	lo, hi = Range(nil)
+	if lo != 0 || hi != 0 {
+		t.Fatalf("Range(nil) = (%v,%v)", lo, hi)
+	}
+}
+
+// Property: Dot is symmetric and bilinear within floating-point
+// tolerance, and Norm2(x)^2 ≈ Dot(x,x).
+func TestDotNormProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		if !almostEqual(Dot(x, y), Dot(y, x), 1e-12) {
+			return false
+		}
+		n2 := Norm2(x)
+		return almostEqual(n2*n2, Dot(x, x), 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Axpy followed by Axpy with negated coefficient restores y.
+func TestAxpyInverseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.Float64()
+			y[i] = rng.Float64()
+		}
+		orig := Clone(y)
+		a := rng.Float64()
+		Axpy(a, x, y)
+		Axpy(-a, x, y)
+		return MaxAbsDiff(orig, y) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: triangle inequality for Norm2.
+func TestNormTriangleProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		s := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 100
+			y[i] = rng.NormFloat64() * 100
+		}
+		Add(s, x, y)
+		return Norm2(s) <= Norm2(x)+Norm2(y)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

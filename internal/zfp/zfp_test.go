@@ -1,0 +1,148 @@
+package zfp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sparse"
+)
+
+func roundTrip(t *testing.T, x []float64, eb float64) []float64 {
+	t.Helper()
+	comp, err := Compress(x, eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(x) {
+		t.Fatalf("decompressed %d values, want %d", len(got), len(x))
+	}
+	return got
+}
+
+func assertBound(t *testing.T, x, got []float64, eb float64) {
+	t.Helper()
+	for i := range x {
+		if d := math.Abs(x[i] - got[i]); d > eb*(1+1e-9) {
+			t.Fatalf("index %d: error %g > bound %g", i, d, eb)
+		}
+	}
+}
+
+func TestBoundSmoothData(t *testing.T) {
+	x := sparse.SmoothField(10000, 1)
+	const eb = 1e-4
+	comp, err := Compress(x, eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBound(t, x, got, eb)
+	if r := Ratio(len(x), comp); r < 4 {
+		t.Fatalf("ratio %.1f too low for smooth data", r)
+	}
+}
+
+func TestBoundRandomData(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := make([]float64, 3000)
+	for i := range x {
+		x[i] = rng.NormFloat64() * 50
+	}
+	const eb = 1e-3
+	got := roundTrip(t, x, eb)
+	assertBound(t, x, got, eb)
+}
+
+func TestNonBlockAlignedLength(t *testing.T) {
+	for _, n := range []int{1, 5, BlockSize - 1, BlockSize, BlockSize + 1, 3*BlockSize + 17} {
+		x := sparse.SmoothField(n, int64(n))
+		got := roundTrip(t, x, 1e-5)
+		assertBound(t, x, got, 1e-5)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	got := roundTrip(t, nil, 1e-4)
+	if len(got) != 0 {
+		t.Fatalf("got %d values", len(got))
+	}
+}
+
+func TestInvalidInputs(t *testing.T) {
+	if _, err := Compress([]float64{1}, 0); err == nil {
+		t.Fatal("expected error for zero bound")
+	}
+	if _, err := Compress([]float64{math.NaN()}, 1e-4); err == nil {
+		t.Fatal("expected error for NaN")
+	}
+	if _, err := Decompress([]byte("junk")); err == nil {
+		t.Fatal("expected error for bad magic")
+	}
+	comp, err := Compress(sparse.SmoothField(200, 3), 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decompress(comp[:len(comp)-4]); err == nil {
+		t.Fatal("expected error for truncated stream")
+	}
+}
+
+func TestCoefficientOverflowRejected(t *testing.T) {
+	x := []float64{1e30, 1e30}
+	if _, err := Compress(x, 1e-10); err == nil {
+		t.Fatal("expected coefficient-overflow error")
+	}
+}
+
+func TestTighterBoundLargerOutput(t *testing.T) {
+	x := sparse.SmoothField(20000, 4)
+	loose, err := Compress(x, 1e-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := Compress(x, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tight) <= len(loose) {
+		t.Fatalf("tighter bound should cost more bytes: %d vs %d", len(tight), len(loose))
+	}
+}
+
+func TestBoundProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(1500)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = math.Sin(float64(i)/30)*5 + rng.NormFloat64()*0.1
+		}
+		eb := math.Pow(10, -1-float64(rng.Intn(7)))
+		comp, err := Compress(x, eb)
+		if err != nil {
+			return false
+		}
+		got, err := Decompress(comp)
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i := range x {
+			if math.Abs(x[i]-got[i]) > eb*(1+1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

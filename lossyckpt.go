@@ -1,0 +1,232 @@
+// Package lossyckpt is the public facade of this reproduction of
+// "Improving Performance of Iterative Methods by Lossy Checkpointing"
+// (Tao, Di, Liang, Chen, Cappello — HPDC'18).
+//
+// The package re-exports the user-facing pieces of the internal
+// implementation:
+//
+//   - iterative solvers (Jacobi/Gauss-Seidel/SOR/SSOR, CG, GMRES(k))
+//     with a step-level API and restart support,
+//   - error-bounded lossy compressors (SZ-like and ZFP-like) plus
+//     lossless baselines,
+//   - an FTI-like checkpoint/restart library (Protect/Checkpoint/
+//     Recover) with pluggable storage and encoders,
+//   - the paper's lossy checkpointing scheme connecting the two
+//     (Manager), including the Theorem-3 adaptive error bound for
+//     GMRES,
+//   - the analytic performance model (Young's interval, overhead
+//     equations, Theorems 1–3),
+//   - and the experiment registry that regenerates every table and
+//     figure of the paper's evaluation.
+//
+// A minimal end-to-end use:
+//
+//	a := lossyckpt.Poisson3D(32)
+//	b := lossyckpt.OnesRHS(a.Rows)
+//	cg := lossyckpt.NewCG(a, nil, b, nil, lossyckpt.SeqSpace{}, lossyckpt.SolverOptions{RTol: 1e-7})
+//	mgr, _ := lossyckpt.NewManager(lossyckpt.ManagerConfig{
+//	    Scheme:   lossyckpt.Lossy,
+//	    Interval: 100,
+//	    SZParams: lossyckpt.SZParams{Mode: lossyckpt.PWRel, ErrorBound: 1e-4},
+//	}, lossyckpt.NewMemStorage(), cg)
+//	res, _ := lossyckpt.RunToConvergence(cg, lossyckpt.SolverOptions{}, func(it int, rnorm float64) error {
+//	    _, err := mgr.MaybeCheckpoint()
+//	    return err
+//	})
+package lossyckpt
+
+import (
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/fti"
+	"repro/internal/model"
+	"repro/internal/solver"
+	"repro/internal/sparse"
+	"repro/internal/sz"
+)
+
+// ---- Sparse matrices and problem generators --------------------------------
+
+// CSR is a compressed-sparse-row matrix.
+type CSR = sparse.CSR
+
+// MatrixBuilder accumulates COO entries into a CSR matrix.
+type MatrixBuilder = sparse.Builder
+
+// NewMatrixBuilder returns a builder for a rows×cols matrix.
+func NewMatrixBuilder(rows, cols int) *MatrixBuilder { return sparse.NewBuilder(rows, cols) }
+
+// Poisson3D builds the paper's Eq. (15) operator on an n×n×n grid.
+func Poisson3D(n int) *CSR { return sparse.Poisson3D(n) }
+
+// Poisson3DAniso builds the 7-point operator on an nx×ny×nz grid.
+func Poisson3DAniso(nx, ny, nz int) *CSR { return sparse.Poisson3DAniso(nx, ny, nz) }
+
+// Poisson2D builds the 5-point operator on an n×n grid.
+func Poisson2D(n int) *CSR { return sparse.Poisson2D(n) }
+
+// KKT builds a symmetric indefinite saddle-point system (the Fig. 3
+// workload class).
+func KKT(gridN, nc int, seed int64) *CSR { return sparse.KKT(gridN, nc, seed) }
+
+// OnesRHS returns the all-ones right-hand side.
+func OnesRHS(n int) []float64 { return sparse.OnesRHS(n) }
+
+// SmoothField samples a smooth synthetic field (a realistic solver
+// state / forcing).
+func SmoothField(n int, seed int64) []float64 { return sparse.SmoothField(n, seed) }
+
+// RHSForSolution returns b = A·xExact.
+func RHSForSolution(a *CSR, xExact []float64) []float64 { return sparse.RHSForSolution(a, xExact) }
+
+// ---- Solvers ----------------------------------------------------------------
+
+// SolverOptions configure convergence testing.
+type SolverOptions = solver.Options
+
+// Stepper is the iteration-level solver interface.
+type Stepper = solver.Stepper
+
+// Result summarizes a solve.
+type Result = solver.Result
+
+// SeqSpace is the sequential reduction space.
+type SeqSpace = solver.SeqSpace
+
+// CG is the preconditioned conjugate gradient solver.
+type CG = solver.CG
+
+// GMRES is the restarted GMRES(k) solver.
+type GMRES = solver.GMRES
+
+// Stationary covers Jacobi/Gauss-Seidel/SOR/SSOR.
+type Stationary = solver.Stationary
+
+// StationaryKind selects the stationary sweep.
+type StationaryKind = solver.StationaryKind
+
+// Stationary method kinds.
+const (
+	KindJacobi      = solver.KindJacobi
+	KindGaussSeidel = solver.KindGaussSeidel
+	KindSOR         = solver.KindSOR
+	KindSSOR        = solver.KindSSOR
+)
+
+// NewCG constructs a CG solver; see solver.NewCG.
+var NewCG = solver.NewCG
+
+// NewGMRES constructs a GMRES(k) solver; see solver.NewGMRES.
+var NewGMRES = solver.NewGMRES
+
+// NewStationary constructs a stationary solver; see solver.NewStationary.
+var NewStationary = solver.NewStationary
+
+// RunToConvergence drives a Stepper to convergence with an optional
+// per-iteration callback.
+var RunToConvergence = solver.RunToConvergence
+
+// ---- Compression -------------------------------------------------------------
+
+// SZParams configure the SZ-like compressor.
+type SZParams = sz.Params
+
+// SZMode selects the error-bound interpretation.
+type SZMode = sz.Mode
+
+// Error-bound modes.
+const (
+	AbsBound = sz.Abs
+	RelRange = sz.RelRange
+	PWRel    = sz.PWRel
+)
+
+// CompressSZ compresses with the SZ-like error-bounded compressor.
+var CompressSZ = sz.Compress
+
+// DecompressSZ reverses CompressSZ.
+var DecompressSZ = sz.Decompress
+
+// ---- Checkpoint/restart -------------------------------------------------------
+
+// Checkpointer is the FTI-like Protect/Checkpoint/Recover library.
+type Checkpointer = fti.Checkpointer
+
+// Storage is where checkpoints live.
+type Storage = fti.Storage
+
+// CheckpointInfo reports the cost of one checkpoint.
+type CheckpointInfo = fti.Info
+
+// NewCheckpointer wraps storage with an encoder.
+var NewCheckpointer = fti.New
+
+// NewMemStorage returns an in-memory checkpoint store.
+var NewMemStorage = fti.NewMemStorage
+
+// NewDirStorage returns a directory-backed checkpoint store.
+var NewDirStorage = fti.NewDirStorage
+
+// RawEncoder stores vectors verbatim (traditional checkpointing).
+type RawEncoder = fti.Raw
+
+// SZEncoder stores vectors through the lossy compressor.
+type SZEncoder = fti.SZ
+
+// ---- The paper's scheme --------------------------------------------------------
+
+// Scheme selects traditional, lossless, or lossy checkpointing.
+type Scheme = core.Scheme
+
+// The three checkpointing schemes.
+const (
+	Traditional = core.Traditional
+	LosslessGz  = core.Lossless
+	Lossy       = core.Lossy
+)
+
+// ManagerConfig assembles a Manager.
+type ManagerConfig = core.Config
+
+// Manager wires a solver to checkpoint storage under a scheme.
+type Manager = core.Manager
+
+// NewManager builds a Manager; see core.NewManager.
+var NewManager = core.NewManager
+
+// RegisterStatics checkpoints A and b once (static variables).
+var RegisterStatics = core.RegisterStatics
+
+// ---- Performance model ----------------------------------------------------------
+
+// YoungInterval is Eq. (1): the optimal checkpoint interval.
+var YoungInterval = model.YoungInterval
+
+// ExpectedOverheadRatio is Eq. (5).
+var ExpectedOverheadRatio = model.ExpectedOverheadRatio
+
+// LossyOverheadRatio is Eq. (8).
+var LossyOverheadRatio = model.LossyOverheadRatio
+
+// MaxExtraIterations is Theorem 1 (Eq. 9).
+var MaxExtraIterations = model.MaxExtraIterations
+
+// StationaryExtraIterations is Theorem 2's pointwise bound.
+var StationaryExtraIterations = model.StationaryExtraIterations
+
+// GMRESAdaptiveBound is Theorem 3's adaptive error bound.
+var GMRESAdaptiveBound = model.GMRESAdaptiveBound
+
+// ---- Experiments -----------------------------------------------------------------
+
+// ExperimentConfig tunes an experiment run.
+type ExperimentConfig = experiments.Config
+
+// ExperimentResult is a rendered experiment outcome.
+type ExperimentResult = experiments.Result
+
+// RunExperiment regenerates a table/figure by ID (fig1…fig10, table3).
+var RunExperiment = experiments.Run
+
+// ExperimentIDs lists all reproducible artifacts.
+var ExperimentIDs = experiments.IDs

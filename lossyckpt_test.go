@@ -1,0 +1,95 @@
+package lossyckpt_test
+
+import (
+	"testing"
+
+	lossyckpt "repro"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly as the README's
+// quickstart does: build a system, solve under lossy checkpointing,
+// fail, recover, converge.
+func TestFacadeEndToEnd(t *testing.T) {
+	a := lossyckpt.Poisson3D(8)
+	b := lossyckpt.OnesRHS(a.Rows)
+	cg := lossyckpt.NewCG(a, nil, b, nil, lossyckpt.SeqSpace{}, lossyckpt.SolverOptions{RTol: 1e-7})
+	mgr, err := lossyckpt.NewManager(lossyckpt.ManagerConfig{
+		Scheme:   lossyckpt.Lossy,
+		Interval: 5,
+		SZParams: lossyckpt.SZParams{Mode: lossyckpt.PWRel, ErrorBound: 1e-4},
+	}, lossyckpt.NewMemStorage(), cg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := false
+	res, err := lossyckpt.RunToConvergence(cg, lossyckpt.SolverOptions{}, func(it int, rnorm float64) error {
+		if _, err := mgr.MaybeCheckpoint(); err != nil {
+			return err
+		}
+		if it == 12 && !failed {
+			failed = true
+			if _, err := mgr.Recover(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("facade solve did not converge")
+	}
+	if !failed {
+		t.Fatal("failure injection did not run")
+	}
+}
+
+// TestFacadeModel sanity-checks the re-exported model functions.
+func TestFacadeModel(t *testing.T) {
+	if got := lossyckpt.YoungInterval(3600, 25); got < 400 || got > 440 {
+		t.Fatalf("YoungInterval = %v, want ≈424", got)
+	}
+	if got := lossyckpt.ExpectedOverheadRatio(1.0/3600, 120); got < 0.3 || got > 0.5 {
+		t.Fatalf("ExpectedOverheadRatio = %v", got)
+	}
+	if got := lossyckpt.MaxExtraIterations(120, 25, 1.0/3600, 1.2); got < 400 || got > 600 {
+		t.Fatalf("MaxExtraIterations = %v, want ≈500", got)
+	}
+}
+
+// TestFacadeCompression round-trips the re-exported compressor.
+func TestFacadeCompression(t *testing.T) {
+	x := lossyckpt.SmoothField(5000, 1)
+	comp, err := lossyckpt.CompressSZ(x, lossyckpt.SZParams{Mode: lossyckpt.AbsBound, ErrorBound: 1e-5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := lossyckpt.DecompressSZ(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(x) {
+		t.Fatalf("round trip length %d != %d", len(got), len(x))
+	}
+	for i := range x {
+		if d := x[i] - got[i]; d > 1e-5*1.000001 || d < -1e-5*1.000001 {
+			t.Fatalf("bound violated at %d: %g", i, d)
+		}
+	}
+}
+
+// TestExperimentRegistryViaFacade lists and runs one experiment.
+func TestExperimentRegistryViaFacade(t *testing.T) {
+	ids := lossyckpt.ExperimentIDs()
+	if len(ids) != 11 {
+		t.Fatalf("expected 11 artifacts, got %v", ids)
+	}
+	res, err := lossyckpt.RunExperiment("fig1", lossyckpt.ExperimentConfig{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil {
+		t.Fatal("nil result")
+	}
+}
