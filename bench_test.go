@@ -7,6 +7,7 @@ package lossyckpt_test
 import (
 	"fmt"
 	"io"
+	"math"
 	"testing"
 
 	lossyckpt "repro"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/fti"
 	"repro/internal/lossless"
 	"repro/internal/model"
+	"repro/internal/parallel"
 	"repro/internal/solver"
 	"repro/internal/sparse"
 	"repro/internal/sz"
@@ -126,6 +128,95 @@ func BenchmarkFPCCompress(b *testing.B) {
 		if _, err := (lossless.FPC{}).Compress(x); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSZCompressParallel measures the blocked SZ pipeline on a
+// 1M-element solver state, serial (one worker) versus the full worker
+// pool. The error bound is verified once post-decompression so the
+// timed path is known to produce valid output.
+func BenchmarkSZCompressParallel(b *testing.B) {
+	x := solverState(1 << 20)
+	p := sz.Params{Mode: sz.PWRel, ErrorBound: 1e-4}
+	comp, err := sz.Compress(x, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	got, err := sz.Decompress(comp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := range x {
+		if d := math.Abs(x[i] - got[i]); d > 1e-4*math.Abs(x[i])*(1+1e-10) {
+			b.Fatalf("index %d: error bound violated: %g", i, d)
+		}
+	}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			prev := parallel.SetWorkers(bc.workers)
+			defer parallel.SetWorkers(prev)
+			b.SetBytes(int64(8 * len(x)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sz.Compress(x, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSZDecompressParallel is the decode side of the blocked
+// container on the same 1M-element state.
+func BenchmarkSZDecompressParallel(b *testing.B) {
+	x := solverState(1 << 20)
+	comp, err := sz.Compress(x, sz.Params{Mode: sz.PWRel, ErrorBound: 1e-4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			prev := parallel.SetWorkers(bc.workers)
+			defer parallel.SetWorkers(prev)
+			b.SetBytes(int64(8 * len(x)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sz.Decompress(comp); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCSRMulVecParallel measures SpMV on the paper's 100³ Poisson
+// operator (1M rows, ~6.9M nonzeros), serial versus the worker pool.
+func BenchmarkCSRMulVecParallel(b *testing.B) {
+	a := sparse.Poisson3D(100)
+	x := make([]float64, a.Cols)
+	dst := make([]float64, a.Rows)
+	for i := range x {
+		x[i] = float64(i%17) + 0.25
+	}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			prev := parallel.SetWorkers(bc.workers)
+			defer parallel.SetWorkers(prev)
+			b.SetBytes(int64(12 * a.NNZ()))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a.MulVec(dst, x)
+			}
+		})
 	}
 }
 

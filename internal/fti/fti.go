@@ -59,6 +59,14 @@ type Checkpointer struct {
 	seq        int
 	staticSize int
 
+	// encBuf is the snapshot encode buffer, reused across checkpoints.
+	// Checkpoints recur every few hundred iterations for the life of a
+	// solve, so the steady state writes into the same backing array
+	// instead of growing a fresh multi-megabyte slice each time.
+	// Reuse is safe because Storage.Write must not retain its data
+	// argument after returning.
+	encBuf []byte
+
 	// Registered variables (FTI-style Protect API).
 	vecs   []protVec
 	ints   []protInt
@@ -191,11 +199,12 @@ func (c *Checkpointer) Recover() error {
 func (c *Checkpointer) Save(s *Snapshot) (Info, error) {
 	c.seq++
 	info := Info{Seq: c.seq, EncoderName: c.enc.Name(), StaticBytes: c.staticSize}
-	payload, rawBytes, vecBytes, err := encodeSnapshot(s, c.enc)
+	payload, rawBytes, vecBytes, err := encodeSnapshot(s, c.enc, c.encBuf)
 	if err != nil {
 		c.seq--
 		return Info{}, err
 	}
+	c.encBuf = payload
 	info.RawBytes = rawBytes
 	info.VectorBytes = vecBytes
 	info.Bytes = len(payload)
@@ -299,9 +308,11 @@ func parseCkptName(name string) (int, bool) {
 const fileMagic = "FTIG"
 
 // encodeSnapshot serializes a snapshot: header, scalars, encoded
-// vectors, CRC32 trailer.
-func encodeSnapshot(s *Snapshot, enc Encoder) (payload []byte, rawBytes, vecBytes int, err error) {
-	var out []byte
+// vectors, CRC32 trailer. The payload is appended into buf's backing
+// array when capacity allows (buf may be nil); the caller owns the
+// returned slice and may pass it back as buf on the next call.
+func encodeSnapshot(s *Snapshot, enc Encoder, buf []byte) (payload []byte, rawBytes, vecBytes int, err error) {
+	out := buf[:0]
 	var scratch [binary.MaxVarintLen64]byte
 	putUvarint := func(v uint64) {
 		n := binary.PutUvarint(scratch[:], v)

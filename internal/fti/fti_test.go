@@ -357,3 +357,62 @@ func TestSetEncoderAdaptiveBound(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestEncodeBufferReuseKeepsCheckpointsIndependent: the Checkpointer
+// reuses its encode buffer across checkpoints; earlier checkpoints in
+// storage must not be clobbered by later ones, and recovery from an
+// older retained checkpoint must still decode.
+func TestEncodeBufferReuseKeepsCheckpoints(t *testing.T) {
+	store := NewMemStorage()
+	x := sparse.SmoothField(5000, 9)
+	it := 0
+	c := New(store, Raw{})
+	c.Protect("x", &x)
+	c.ProtectInt("iteration", &it)
+
+	// First checkpoint.
+	it = 1
+	if _, err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	firstBytes, err := store.Read(ckptName(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := append([]byte(nil), firstBytes...)
+
+	// Second checkpoint with different content reuses the buffer.
+	for i := range x {
+		x[i] = -x[i]
+	}
+	it = 2
+	if _, err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	afterBytes, err := store.Read(ckptName(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(saved) != string(afterBytes) {
+		t.Fatal("buffer reuse corrupted an already-stored checkpoint")
+	}
+
+	// Drop the newest; recovery must reproduce checkpoint 1 exactly.
+	if err := c.DropLatest(); err != nil {
+		t.Fatal(err)
+	}
+	it = 0
+	for i := range x {
+		x[i] = 0
+	}
+	if err := c.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if it != 1 {
+		t.Fatalf("recovered iteration %d, want 1", it)
+	}
+	want := sparse.SmoothField(5000, 9)
+	if d := vec.MaxAbsDiff(want, x); d != 0 {
+		t.Fatalf("recovered vector differs from checkpoint 1 by %g", d)
+	}
+}

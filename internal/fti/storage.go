@@ -15,6 +15,9 @@ import (
 // and the I/O cost is accounted by the cluster model instead.
 type Storage interface {
 	// Write stores data under name, replacing any previous content.
+	// Implementations must not retain data after returning: the
+	// Checkpointer reuses its encode buffer across checkpoints, so a
+	// retained slice would be overwritten by the next snapshot.
 	Write(name string, data []byte) error
 	// Read returns the content stored under name.
 	Read(name string) ([]byte, error)

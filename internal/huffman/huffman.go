@@ -11,6 +11,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // node is a Huffman tree node used only during code-length
@@ -44,12 +45,12 @@ func (h *nodeHeap) Pop() interface{} {
 const maxCodeLen = 58 // fits a code plus slack in a uint64 accumulator
 
 // codeLengths returns the canonical Huffman code length per symbol
-// given frequencies (zero frequency ⇒ length 0). Lengths are clamped
-// by construction far below maxCodeLen for any realistic input; if the
-// tree ever gets deeper, frequencies are flattened and the tree is
-// rebuilt (a standard, lossless fallback).
-func codeLengths(freq []uint64) []int {
-	lengths := make([]int, len(freq))
+// given frequencies (zero frequency ⇒ length 0), writing into the
+// pooled lengths slice its caller provides (pre-zeroed, same length as
+// freq). Lengths are clamped by construction far below maxCodeLen for
+// any realistic input; if the tree ever gets deeper, frequencies are
+// flattened and the tree is rebuilt (a standard, lossless fallback).
+func codeLengths(freq []uint64, lengths []int) []int {
 	for shift := uint(0); ; shift++ {
 		var h nodeHeap
 		serial := 0
@@ -111,8 +112,11 @@ func assignDepths(n *node, depth int, lengths []int) int {
 }
 
 // canonicalCodes converts code lengths to canonical codes: symbols
-// sorted by (length, symbol) receive consecutive code values.
-func canonicalCodes(lengths []int) []uint64 {
+// sorted by (length, symbol) receive consecutive code values. codes is
+// a caller-provided (pooled) slice of the same length as lengths; only
+// entries for symbols with nonzero length are written, and only those
+// are ever read back.
+func canonicalCodes(lengths []int, codes []uint64) {
 	type ls struct{ sym, l int }
 	var active []ls
 	for sym, l := range lengths {
@@ -126,7 +130,6 @@ func canonicalCodes(lengths []int) []uint64 {
 		}
 		return active[i].sym < active[j].sym
 	})
-	codes := make([]uint64, len(lengths))
 	var code uint64
 	prevLen := 0
 	for _, e := range active {
@@ -135,27 +138,91 @@ func canonicalCodes(lengths []int) []uint64 {
 		code++
 		prevLen = e.l
 	}
-	return codes
+}
+
+// freqPool recycles frequency-count buffers: with the default SZ
+// alphabet of 65,536 bins a fresh table is a 512 KiB allocation per
+// encoded block, which dominated the allocation profile of the
+// checkpoint path. Clearing a pooled table is a memclr — far cheaper
+// than allocating and garbage-collecting one.
+var freqPool = sync.Pool{New: func() any { s := make([]uint64, 0, 1024); return &s }}
+
+func getFreq(n int) []uint64 {
+	s := *freqPool.Get().(*[]uint64)
+	if cap(s) < n {
+		s = make([]uint64, n)
+	} else {
+		s = s[:n]
+		clear(s)
+	}
+	return s
+}
+
+func putFreq(s []uint64) {
+	s = s[:0]
+	freqPool.Put(&s)
+}
+
+// getCodes returns an uncleared pooled []uint64 for canonical codes;
+// canonicalCodes writes every entry that is ever read back.
+func getCodes(n int) []uint64 {
+	s := *freqPool.Get().(*[]uint64)
+	if cap(s) < n {
+		s = make([]uint64, n)
+	}
+	return s[:n]
+}
+
+// lengthsPool recycles the per-symbol code-length tables (another
+// 512 KiB at the default SZ alphabet).
+var lengthsPool = sync.Pool{New: func() any { s := make([]int, 0, 1024); return &s }}
+
+func getLengths(n int) []int {
+	s := *lengthsPool.Get().(*[]int)
+	if cap(s) < n {
+		s = make([]int, n)
+	} else {
+		s = s[:n]
+		clear(s)
+	}
+	return s
+}
+
+func putLengths(s []int) {
+	s = s[:0]
+	lengthsPool.Put(&s)
 }
 
 // Encode Huffman-codes the symbol stream. Symbols must lie in
 // [0, alphabet). The output is self-describing: Decode needs no side
 // information.
 func Encode(symbols []int, alphabet int) ([]byte, error) {
+	return AppendEncode(nil, symbols, alphabet)
+}
+
+// AppendEncode is Encode appending to dst (which may be nil or a
+// recycled buffer), returning the extended slice. It is the
+// allocation-free entry point used by the blocked SZ compressor, which
+// encodes many blocks concurrently into pooled buffers.
+func AppendEncode(dst []byte, symbols []int, alphabet int) ([]byte, error) {
 	if alphabet <= 0 {
 		return nil, fmt.Errorf("huffman: alphabet size must be positive, got %d", alphabet)
 	}
-	freq := make([]uint64, alphabet)
+	freq := getFreq(alphabet)
+	defer putFreq(freq)
 	for _, s := range symbols {
 		if s < 0 || s >= alphabet {
 			return nil, fmt.Errorf("huffman: symbol %d outside alphabet [0,%d)", s, alphabet)
 		}
 		freq[s]++
 	}
-	lengths := codeLengths(freq)
-	codes := canonicalCodes(lengths)
+	lengths := codeLengths(freq, getLengths(alphabet))
+	defer putLengths(lengths)
+	codes := getCodes(alphabet)
+	defer putFreq(codes)
+	canonicalCodes(lengths, codes)
 
-	var out []byte
+	out := dst
 	var scratch [binary.MaxVarintLen64]byte
 	putUvarint := func(v uint64) {
 		n := binary.PutUvarint(scratch[:], v)
@@ -197,6 +264,14 @@ func Encode(symbols []int, alphabet int) ([]byte, error) {
 
 // Decode reverses Encode.
 func Decode(data []byte) ([]int, error) {
+	return DecodeInto(data, nil)
+}
+
+// DecodeInto is Decode writing into buf's backing array when its
+// capacity suffices (buf may be nil or a recycled zero-length slice).
+// The returned slice aliases buf when no growth was needed, letting
+// callers pool the symbol buffer across blocks.
+func DecodeInto(data []byte, buf []int) ([]int, error) {
 	off := 0
 	getUvarint := func() (uint64, error) {
 		v, n := binary.Uvarint(data[off:])
@@ -218,7 +293,11 @@ func Decode(data []byte) ([]int, error) {
 	if err != nil {
 		return nil, err
 	}
-	lengths := make([]int, alphabet)
+	if alphabet > 1<<24 {
+		return nil, fmt.Errorf("huffman: alphabet %d exceeds 2^24", alphabet)
+	}
+	lengths := getLengths(int(alphabet))
+	defer putLengths(lengths)
 	for i := uint64(0); i < present; i++ {
 		sym, err := getUvarint()
 		if err != nil {
@@ -234,9 +313,14 @@ func Decode(data []byte) ([]int, error) {
 		off++
 	}
 	if count == 0 {
+		if buf != nil {
+			return buf[:0], nil
+		}
 		return []int{}, nil
 	}
-	codes := canonicalCodes(lengths)
+	codes := getCodes(int(alphabet))
+	defer putFreq(codes)
+	canonicalCodes(lengths, codes)
 
 	// Build a (length → firstCode, firstIndex) canonical decoding
 	// table plus symbols sorted canonically.
@@ -274,7 +358,10 @@ func Decode(data []byte) ([]int, error) {
 		}
 	}
 
-	out := make([]int, 0, count)
+	out := buf[:0]
+	if uint64(cap(out)) < count {
+		out = make([]int, 0, count)
+	}
 	var acc uint64
 	var nbits uint
 	for uint64(len(out)) < count {

@@ -115,7 +115,7 @@ func TestDecodeRejectsTruncated(t *testing.T) {
 func TestCodeLengthsKraft(t *testing.T) {
 	// Kraft inequality must hold with equality for a full tree.
 	freq := []uint64{100, 50, 20, 5, 5, 1, 0, 0}
-	lengths := codeLengths(freq)
+	lengths := codeLengths(freq, make([]int, len(freq)))
 	var kraft float64
 	for sym, l := range lengths {
 		if freq[sym] > 0 && l == 0 {

@@ -1,0 +1,147 @@
+package parallel
+
+import (
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(10000)
+		grain := 1 + rng.Intn(600)
+		hits := make([]int32, n)
+		For(n, grain, func(lo, hi int) {
+			if lo < 0 || hi > n || lo >= hi {
+				t.Errorf("bad chunk [%d,%d) for n=%d", lo, hi, n)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Errorf("index %d visited %d times (n=%d grain=%d)", i, h, n, grain)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEmptyAndNegative(t *testing.T) {
+	called := false
+	For(0, 10, func(lo, hi int) { called = true })
+	For(-5, 10, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("For must not invoke fn for empty ranges")
+	}
+}
+
+func TestForSingleChunkRunsInline(t *testing.T) {
+	var gid uint64
+	For(100, 1000, func(lo, hi int) {
+		if lo != 0 || hi != 100 {
+			t.Fatalf("expected one chunk [0,100), got [%d,%d)", lo, hi)
+		}
+		gid++
+	})
+	if gid != 1 {
+		t.Fatalf("fn called %d times, want 1", gid)
+	}
+}
+
+func TestForPanicPropagates(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("expected panic \"boom\", got %v", r)
+		}
+	}()
+	For(1000, 10, func(lo, hi int) {
+		if lo == 500 {
+			panic("boom")
+		}
+	})
+}
+
+func TestSetWorkers(t *testing.T) {
+	prev := SetWorkers(3)
+	defer SetWorkers(prev)
+	if got := Workers(); got != 3 {
+		t.Fatalf("Workers = %d after SetWorkers(3)", got)
+	}
+	if got := SetWorkers(0); got != 3 {
+		t.Fatalf("SetWorkers returned %d, want previous value 3", got)
+	}
+	if got := Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers = %d after clearing override, want GOMAXPROCS %d",
+			got, runtime.GOMAXPROCS(0))
+	}
+}
+
+func TestForOversubscribed(t *testing.T) {
+	// More workers than chunks and than GOMAXPROCS: still exact coverage.
+	prev := SetWorkers(16)
+	defer SetWorkers(prev)
+	var sum atomic.Int64
+	For(1<<16, 1024, func(lo, hi int) {
+		var s int64
+		for i := lo; i < hi; i++ {
+			s += int64(i)
+		}
+		sum.Add(s)
+	})
+	want := int64(1<<16) * (1<<16 - 1) / 2
+	if sum.Load() != want {
+		t.Fatalf("sum = %d, want %d", sum.Load(), want)
+	}
+}
+
+func TestGrain(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	if g := Grain(1<<20, 256, 4); g != 1<<20/16 {
+		t.Fatalf("Grain = %d, want %d", g, 1<<20/16)
+	}
+	if g := Grain(100, 256, 4); g != 256 {
+		t.Fatalf("Grain must respect minGrain: got %d", g)
+	}
+}
+
+func TestPoolsRoundTrip(t *testing.T) {
+	b := GetBytes(100)
+	if len(b) != 0 || cap(b) < 100 {
+		t.Fatalf("GetBytes: len=%d cap=%d", len(b), cap(b))
+	}
+	b = append(b, 1, 2, 3)
+	PutBytes(b)
+	b2 := GetBytes(10)
+	if len(b2) != 0 {
+		t.Fatalf("recycled buffer must have zero length, got %d", len(b2))
+	}
+
+	s := GetInts(50)
+	if len(s) != 0 || cap(s) < 50 {
+		t.Fatalf("GetInts: len=%d cap=%d", len(s), cap(s))
+	}
+	PutInts(s)
+
+	f := GetFloat64s(70)
+	if len(f) != 0 || cap(f) < 70 {
+		t.Fatalf("GetFloat64s: len=%d cap=%d", len(f), cap(f))
+	}
+	PutFloat64s(f)
+
+	// Zero-capacity puts must be no-ops, not pool corruption.
+	PutBytes(nil)
+	PutInts(nil)
+	PutFloat64s(nil)
+}

@@ -1,0 +1,244 @@
+package sz
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/parallel"
+)
+
+// The SZG2 blocked container:
+//
+//	"SZG2" | mode byte | uvarint n | uvarint blockElems | uvarint nBlocks
+//	       | nBlocks × uvarint blockByteLen | concatenated block payloads
+//
+// Block i covers elements [i·blockElems, min(n, (i+1)·blockElems)).
+// Each block payload is a kind byte followed by the same kind-specific
+// encoding the legacy SZG1 stream uses, so every block is a fully
+// independent compression unit: its own predictor state (chosen per
+// block under PredictorAuto), its own Huffman table, its own
+// unpredictable-value list. Blocks therefore compress and decompress
+// concurrently with bit-exact determinism — the output bytes do not
+// depend on the schedule, only on the input and parameters.
+//
+// Error-bound semantics match the legacy format exactly. Abs and PWRel
+// bounds are pointwise, so per-block encoding preserves them verbatim.
+// The RelRange bound is defined against the *global* value range, so
+// the range is computed once over the whole vector and the derived
+// absolute bound is shared by every block — a block-local range would
+// silently tighten or loosen the guarantee.
+
+// compressBlocked emits the SZG2 container, compressing blocks
+// concurrently across the parallel worker pool.
+func compressBlocked(x []float64, p Params) ([]byte, error) {
+	n := len(x)
+	blockElems := p.BlockSize
+	nBlocks := (n + blockElems - 1) / blockElems
+
+	// Mode-specific preparation that needs a global view.
+	ebAbs := p.ErrorBound
+	if p.Mode == RelRange {
+		lo, hi := valueRange(x)
+		ebAbs = p.ErrorBound * (hi - lo)
+		if ebAbs == 0 {
+			// Globally constant data collapses to the legacy constant
+			// stream regardless of size.
+			out := []byte(magic)
+			out = append(out, byte(p.Mode))
+			return appendConstant(out, x), nil
+		}
+	}
+
+	blocks := make([][]byte, nBlocks)
+	errs := make([]error, nBlocks)
+	parallel.For(nBlocks, 1, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			start := b * blockElems
+			end := start + blockElems
+			if end > n {
+				end = n
+			}
+			chunk := x[start:end]
+			buf := parallel.GetBytes(len(chunk) + 64)
+			var err error
+			switch p.Mode {
+			case Abs, RelRange:
+				buf = append(buf, kindCore)
+				buf, err = appendCore(buf, chunk, ebAbs, p.Predictor, p.Intervals)
+			case PWRel:
+				buf = append(buf, kindLogTransform)
+				buf, err = appendLogTransform(buf, chunk, p)
+			default:
+				err = fmt.Errorf("sz: unknown mode %d", p.Mode)
+			}
+			blocks[b], errs[b] = buf, err
+		}
+	})
+	for b, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sz: block %d: %w", b, err)
+		}
+	}
+
+	total := 0
+	for _, blk := range blocks {
+		total += len(blk)
+	}
+	out := make([]byte, 0, total+16+binary.MaxVarintLen64*(nBlocks+3))
+	out = append(out, magicBlocked...)
+	out = append(out, byte(p.Mode))
+	var scratch [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) {
+		k := binary.PutUvarint(scratch[:], v)
+		out = append(out, scratch[:k]...)
+	}
+	putUvarint(uint64(n))
+	putUvarint(uint64(blockElems))
+	putUvarint(uint64(nBlocks))
+	for _, blk := range blocks {
+		putUvarint(uint64(len(blk)))
+	}
+	for b, blk := range blocks {
+		out = append(out, blk...)
+		parallel.PutBytes(blk)
+		blocks[b] = nil
+	}
+	return out, nil
+}
+
+// decompressBlocked reverses compressBlocked, decoding blocks
+// concurrently straight into their slices of the output vector.
+func decompressBlocked(data []byte) ([]float64, error) {
+	off := len(magicBlocked) + 1 // skip magic and the informational mode byte
+	if len(data) < off {
+		return nil, fmt.Errorf("sz: truncated blocked header")
+	}
+	getUvarint := func() (uint64, error) {
+		v, k := binary.Uvarint(data[off:])
+		if k <= 0 {
+			return 0, fmt.Errorf("sz: truncated blocked header")
+		}
+		off += k
+		return v, nil
+	}
+	n64, err := getUvarint()
+	if err != nil {
+		return nil, err
+	}
+	blockElems64, err := getUvarint()
+	if err != nil {
+		return nil, err
+	}
+	nBlocks64, err := getUvarint()
+	if err != nil {
+		return nil, err
+	}
+	n := int(n64)
+	blockElems := int(blockElems64)
+	nBlocks := int(nBlocks64)
+	if n < 0 || blockElems < 1 || nBlocks < 1 {
+		return nil, fmt.Errorf("sz: invalid blocked header (n=%d blockElems=%d nBlocks=%d)",
+			n, blockElems, nBlocks)
+	}
+	if want := (n + blockElems - 1) / blockElems; want != nBlocks {
+		return nil, fmt.Errorf("sz: blocked header inconsistent: %d elements in %d-element blocks needs %d blocks, header says %d",
+			n, blockElems, want, nBlocks)
+	}
+	// Allocation guards against crafted headers: every block needs at
+	// least one length byte, and both block kinds spend at least one
+	// bit (core) or one bitmap bit (log transform) per element, so a
+	// genuine stream can never claim more blocks than remaining bytes
+	// or more elements than 8× the remaining bytes.
+	if nBlocks > len(data)-off {
+		return nil, fmt.Errorf("sz: %d blocks exceed %d remaining bytes", nBlocks, len(data)-off)
+	}
+	if n > 8*(len(data)-off) {
+		return nil, fmt.Errorf("sz: %d elements exceed %d payload bytes", n, len(data)-off)
+	}
+	lens := make([]int, nBlocks)
+	for b := range lens {
+		l, err := getUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if l > uint64(len(data)-off) {
+			return nil, fmt.Errorf("sz: block %d length %d exceeds payload", b, l)
+		}
+		lens[b] = int(l)
+	}
+	offsets := make([]int, nBlocks+1)
+	offsets[0] = off
+	for b, l := range lens {
+		offsets[b+1] = offsets[b] + l
+	}
+	if offsets[nBlocks] != len(data) {
+		return nil, fmt.Errorf("sz: blocked payload is %d bytes, blocks cover %d",
+			len(data)-off, offsets[nBlocks]-off)
+	}
+
+	out := make([]float64, n)
+	errs := make([]error, nBlocks)
+	parallel.For(nBlocks, 1, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			start := b * blockElems
+			end := start + blockElems
+			if end > n {
+				end = n
+			}
+			errs[b] = decodeBlockInto(out[start:end], data[offsets[b]:offsets[b+1]])
+		}
+	})
+	for b, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sz: block %d: %w", b, err)
+		}
+	}
+	return out, nil
+}
+
+// decodeBlockInto decodes one block payload (kind byte + payload) into
+// dst, which must have exactly the block's element count. Only core
+// and log-transform blocks exist inside SZG2 containers — globally
+// constant data collapses to the legacy constant stream before
+// blocking, and keeping kindConstant out of blocks is what makes the
+// n ≤ 8·payload allocation guard in decompressBlocked sound.
+func decodeBlockInto(dst []float64, blk []byte) error {
+	if len(blk) < 1 {
+		return fmt.Errorf("empty block")
+	}
+	kind, payload := blk[0], blk[1:]
+	switch kind {
+	case kindCore:
+		_, err := decodeCoreInto(payload, dst)
+		return err
+	case kindLogTransform:
+		_, err := decodeLogTransformInto(payload, dst)
+		return err
+	}
+	return fmt.Errorf("unknown block payload kind %d", kind)
+}
+
+// blockedStats reports (nBlocks, blockElems) for an SZG2 stream and
+// (1, len) for legacy streams; used by tests and diagnostics.
+func blockedStats(data []byte) (nBlocks, blockElems int, blocked bool) {
+	if len(data) < 5 || string(data[:4]) != magicBlocked {
+		return 1, 0, false
+	}
+	off := 5
+	n, k := binary.Uvarint(data[off:])
+	if k <= 0 {
+		return 1, 0, false
+	}
+	off += k
+	be, k := binary.Uvarint(data[off:])
+	if k <= 0 {
+		return 1, 0, false
+	}
+	off += k
+	nb, k := binary.Uvarint(data[off:])
+	if k <= 0 {
+		return 1, 0, false
+	}
+	_ = n
+	return int(nb), int(be), true
+}

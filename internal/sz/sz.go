@@ -16,14 +16,25 @@
 // (|x−x′| ≤ eb·|x|). The paper's analysis (Theorems 2 and 3) is stated
 // in terms of the pointwise-relative bound, implemented here with the
 // standard logarithmic-transform reduction to the absolute mode.
+//
+// Two container formats exist. Inputs that fit in a single block are
+// written in the legacy single-stream "SZG1" format. Larger inputs use
+// the blocked "SZG2" container: the vector is split into fixed-size
+// blocks that are compressed and decompressed independently — each
+// block carries its own predictor state and Huffman table — so the
+// whole pipeline parallelizes across blocks (see internal/parallel)
+// while the pointwise error bound is preserved exactly. Decompress
+// accepts both formats, so legacy SZG1 checkpoints remain readable.
 package sz
 
 import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/huffman"
+	"repro/internal/parallel"
 )
 
 // Mode selects how the error bound is interpreted.
@@ -67,20 +78,32 @@ const (
 
 // Params configure compression. Zero values select the defaults used
 // in the paper's experiments (65,536 quantization intervals, automatic
-// predictor selection).
+// predictor selection, 32,768-element blocks).
 type Params struct {
 	Mode       Mode
 	ErrorBound float64
 	Intervals  int // quantization bins; default 65536
 	Predictor  Predictor
+	// BlockSize is the number of elements per independently compressed
+	// block in the SZG2 container (default 32,768 elements = 256 KiB).
+	// Inputs of at most BlockSize elements are written in the legacy
+	// single-stream SZG1 format. Smaller blocks expose more
+	// parallelism but pay one Huffman table per block.
+	BlockSize int
 }
 
 const (
 	magic            = "SZG1"
+	magicBlocked     = "SZG2"
 	defaultIntervals = 65536
-	kindCore         = 0 // Abs/RelRange payload
-	kindConstant     = 1 // degenerate constant vector
-	kindLogTransform = 2 // PWRel payload
+	// defaultBlockElems is 256 KiB of float64s, in the 64–256 KiB
+	// block-size range production SZ implementations use: large enough
+	// to amortize the per-block Huffman table, small enough that even
+	// modest vectors split across all cores.
+	defaultBlockElems = 32768
+	kindCore          = 0 // Abs/RelRange payload
+	kindConstant      = 1 // degenerate constant vector
+	kindLogTransform  = 2 // PWRel payload
 )
 
 // Compress encodes x under the given parameters. The input is not
@@ -97,12 +120,54 @@ func Compress(x []float64, p Params) ([]byte, error) {
 	if p.Intervals < 4 || p.Intervals > 1<<24 {
 		return nil, fmt.Errorf("sz: intervals %d outside [4, 2^24]", p.Intervals)
 	}
-	for i, v := range x {
-		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return nil, fmt.Errorf("sz: non-finite value at index %d", i)
-		}
+	if p.BlockSize < 0 {
+		return nil, fmt.Errorf("sz: negative block size %d", p.BlockSize)
 	}
+	if p.BlockSize == 0 {
+		p.BlockSize = defaultBlockElems
+	}
+	if p.Mode == PWRel && p.ErrorBound >= 1 {
+		return nil, fmt.Errorf("sz: pointwise-relative bound must be < 1, got %v", p.ErrorBound)
+	}
+	if i := firstNonFinite(x); i >= 0 {
+		return nil, fmt.Errorf("sz: non-finite value at index %d", i)
+	}
+	if len(x) <= p.BlockSize {
+		return compressLegacy(x, p)
+	}
+	return compressBlocked(x, p)
+}
 
+// firstNonFinite scans x concurrently and returns the smallest index
+// holding a NaN or Inf, or -1 if all values are finite.
+func firstNonFinite(x []float64) int {
+	var first atomic.Int64
+	first.Store(int64(len(x)))
+	parallel.For(len(x), parallel.Grain(len(x), 1<<14, 4), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := x[i]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				// Keep the smallest offending index so the error
+				// message is deterministic under any schedule.
+				for {
+					cur := first.Load()
+					if int64(i) >= cur || first.CompareAndSwap(cur, int64(i)) {
+						break
+					}
+				}
+				return
+			}
+		}
+	})
+	if v := first.Load(); v < int64(len(x)) {
+		return int(v)
+	}
+	return -1
+}
+
+// compressLegacy emits the single-stream SZG1 format, byte-compatible
+// with streams written before the blocked container existed.
+func compressLegacy(x []float64, p Params) ([]byte, error) {
 	out := []byte(magic)
 	out = append(out, byte(p.Mode))
 
@@ -118,28 +183,22 @@ func Compress(x []float64, p Params) ([]byte, error) {
 			}
 		}
 		out = append(out, kindCore)
-		core, err := encodeCore(x, eb, p.Predictor, p.Intervals)
-		if err != nil {
-			return nil, err
-		}
-		return append(out, core...), nil
+		return appendCore(out, x, eb, p.Predictor, p.Intervals)
 
 	case PWRel:
-		if p.ErrorBound >= 1 {
-			return nil, fmt.Errorf("sz: pointwise-relative bound must be < 1, got %v", p.ErrorBound)
-		}
 		out = append(out, kindLogTransform)
-		payload, err := encodeLogTransform(x, p)
-		if err != nil {
-			return nil, err
-		}
-		return append(out, payload...), nil
+		return appendLogTransform(out, x, p)
 	}
 	return nil, fmt.Errorf("sz: unknown mode %d", p.Mode)
 }
 
 // Decompress reverses Compress. The output slice is freshly allocated.
+// Both the blocked SZG2 container and the legacy SZG1 single-stream
+// format are accepted.
 func Decompress(data []byte) ([]float64, error) {
+	if len(data) >= 4 && string(data[:4]) == magicBlocked {
+		return decompressBlocked(data)
+	}
 	if len(data) < 6 || string(data[:4]) != magic {
 		return nil, fmt.Errorf("sz: bad magic")
 	}
@@ -149,9 +208,9 @@ func Decompress(data []byte) ([]float64, error) {
 	case kindConstant:
 		return decodeConstant(payload)
 	case kindCore:
-		return decodeCore(payload)
+		return decodeCoreInto(payload, nil)
 	case kindLogTransform:
-		return decodeLogTransform(payload)
+		return decodeLogTransformInto(payload, nil)
 	}
 	return nil, fmt.Errorf("sz: unknown payload kind %d", kind)
 }
@@ -229,8 +288,9 @@ func choosePredictor(x []float64, eb float64, intervals int) Predictor {
 		n = 4096
 	}
 	half := intervals / 2
+	recon := parallel.GetFloat64s(n)[:n]
+	defer parallel.PutFloat64s(recon)
 	cost := func(pred Predictor) float64 {
-		recon := make([]float64, n)
 		var c float64
 		for i := 0; i < n; i++ {
 			p := predict(recon, i, pred)
@@ -253,16 +313,22 @@ func choosePredictor(x []float64, eb float64, intervals int) Predictor {
 	return PredictorLorenzo
 }
 
-// encodeCore runs the ABS-bound pipeline: predict → quantize → Huffman.
-func encodeCore(x []float64, eb float64, pred Predictor, intervals int) ([]byte, error) {
+// appendCore runs the ABS-bound pipeline (predict → quantize →
+// Huffman), appending the payload to dst. All large scratch state
+// comes from the parallel package's pools, keeping the per-call
+// allocation profile flat even when many blocks encode concurrently.
+func appendCore(dst []byte, x []float64, eb float64, pred Predictor, intervals int) ([]byte, error) {
 	if pred == PredictorAuto {
 		pred = choosePredictor(x, eb, intervals)
 	}
 	n := len(x)
 	half := intervals / 2
-	codes := make([]int, n)
-	recon := make([]float64, n)
-	var unpred []float64
+	codes := parallel.GetInts(n)[:n]
+	defer parallel.PutInts(codes)
+	recon := parallel.GetFloat64s(n)[:n]
+	defer parallel.PutFloat64s(recon)
+	unpred := parallel.GetFloat64s(0)
+	defer func() { parallel.PutFloat64s(unpred) }()
 	for i := 0; i < n; i++ {
 		p := predict(recon, i, pred)
 		diff := x[i] - p
@@ -286,12 +352,14 @@ func encodeCore(x []float64, eb float64, pred Predictor, intervals int) ([]byte,
 			unpred = append(unpred, x[i])
 		}
 	}
-	hstream, err := huffman.Encode(codes, intervals)
+	hstream := parallel.GetBytes(n)
+	defer func() { parallel.PutBytes(hstream) }()
+	hstream, err := huffman.AppendEncode(hstream, codes, intervals)
 	if err != nil {
 		return nil, err
 	}
 
-	var out []byte
+	out := dst
 	var scratch [binary.MaxVarintLen64]byte
 	putUvarint := func(v uint64) {
 		k := binary.PutUvarint(scratch[:], v)
@@ -313,7 +381,12 @@ func encodeCore(x []float64, eb float64, pred Predictor, intervals int) ([]byte,
 	return out, nil
 }
 
-func decodeCore(p []byte) ([]float64, error) {
+// decodeCoreInto decodes a core payload. When dst is non-nil its
+// length must match the stored element count and the reconstruction is
+// written in place (the blocked container decodes each block straight
+// into its slice of the output vector); when dst is nil a fresh slice
+// is allocated.
+func decodeCoreInto(p []byte, dst []float64) ([]float64, error) {
 	off := 0
 	getUvarint := func() (uint64, error) {
 		v, k := binary.Uvarint(p[off:])
@@ -349,10 +422,19 @@ func decodeCore(p []byte) ([]float64, error) {
 	if off+int(hlen)+8*int(nUnpred) > len(p) {
 		return nil, fmt.Errorf("sz: truncated core payload")
 	}
-	codes, err := huffman.Decode(p[off : off+int(hlen)])
+	// Every value costs at least one bit in the Huffman stream, so a
+	// count beyond 8× the payload bytes is corrupt; checking before
+	// allocating keeps crafted headers from demanding terabytes.
+	if n64 > 8*uint64(len(p)) {
+		return nil, fmt.Errorf("sz: %d values exceed %d payload bytes", n64, len(p))
+	}
+	cbuf := parallel.GetInts(int(n64))
+	codes, err := huffman.DecodeInto(p[off:off+int(hlen)], cbuf)
 	if err != nil {
+		parallel.PutInts(cbuf)
 		return nil, err
 	}
+	defer parallel.PutInts(codes)
 	off += int(hlen)
 	n := int(n64)
 	if len(codes) != n {
@@ -360,7 +442,12 @@ func decodeCore(p []byte) ([]float64, error) {
 	}
 	intervals := int(intervals64)
 	half := intervals / 2
-	recon := make([]float64, n)
+	recon := dst
+	if recon == nil {
+		recon = make([]float64, n)
+	} else if len(recon) != n {
+		return nil, fmt.Errorf("sz: core block holds %d values, expected %d", n, len(recon))
+	}
 	ui := 0
 	for i := 0; i < n; i++ {
 		c := codes[i]
@@ -389,17 +476,19 @@ func decodeCore(p []byte) ([]float64, error) {
 // strictly safer.
 const tinyThreshold = 2.2250738585072014e-308 // math.SmallestNormalFloat64
 
-// encodeLogTransform implements the pointwise-relative bound by
-// compressing ln|x| under the absolute bound ln(1+eb). Signs, exact
-// zeros, and subnormal values travel in side channels; zeros and
-// subnormals reconstruct exactly, trivially satisfying the bound.
-func encodeLogTransform(x []float64, p Params) ([]byte, error) {
+// appendLogTransform implements the pointwise-relative bound by
+// compressing ln|x| under the absolute bound ln(1+eb), appending the
+// payload to dst. Signs, exact zeros, and subnormal values travel in
+// side channels; zeros and subnormals reconstruct exactly, trivially
+// satisfying the bound.
+func appendLogTransform(dst []byte, x []float64, p Params) ([]byte, error) {
 	n := len(x)
 	signs := make([]byte, (n+7)/8)
 	zeros := make([]byte, (n+7)/8)
 	tiny := make([]byte, (n+7)/8)
 	var exact []float64
-	logs := make([]float64, 0, n)
+	logs := parallel.GetFloat64s(n)
+	defer func() { parallel.PutFloat64s(logs) }()
 	for i, v := range x {
 		if v == 0 {
 			zeros[i/8] |= 1 << (i % 8)
@@ -415,11 +504,7 @@ func encodeLogTransform(x []float64, p Params) ([]byte, error) {
 		}
 		logs = append(logs, math.Log(math.Abs(v)))
 	}
-	core, err := encodeCore(logs, math.Log1p(p.ErrorBound), p.Predictor, p.Intervals)
-	if err != nil {
-		return nil, err
-	}
-	var out []byte
+	out := dst
 	var scratch [binary.MaxVarintLen64]byte
 	k := binary.PutUvarint(scratch[:], uint64(n))
 	out = append(out, scratch[:k]...)
@@ -433,10 +518,12 @@ func encodeLogTransform(x []float64, p Params) ([]byte, error) {
 		binary.LittleEndian.PutUint64(b8[:], math.Float64bits(v))
 		out = append(out, b8[:]...)
 	}
-	return append(out, core...), nil
+	return appendCore(out, logs, math.Log1p(p.ErrorBound), p.Predictor, p.Intervals)
 }
 
-func decodeLogTransform(p []byte) ([]float64, error) {
+// decodeLogTransformInto decodes a log-transform payload, writing into
+// dst when non-nil (its length must match the stored count).
+func decodeLogTransformInto(p []byte, dst []float64) ([]float64, error) {
 	n64, k := binary.Uvarint(p)
 	if k <= 0 {
 		return nil, fmt.Errorf("sz: truncated log header")
@@ -465,14 +552,33 @@ func decodeLogTransform(p []byte) ([]float64, error) {
 		exact[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[off:]))
 		off += 8
 	}
-	logs, err := decodeCore(p[off:])
+	// The core sub-stream leads with its element count; peeking it lets
+	// the log buffer come from the scratch pool instead of a fresh
+	// allocation per block.
+	nLogs64, k := binary.Uvarint(p[off:])
+	if k <= 0 {
+		return nil, fmt.Errorf("sz: truncated core header")
+	}
+	if nLogs64 > uint64(n) {
+		return nil, fmt.Errorf("sz: %d logs for %d values", nLogs64, n)
+	}
+	lbuf := parallel.GetFloat64s(int(nLogs64))
+	defer func() { parallel.PutFloat64s(lbuf) }()
+	lbuf = lbuf[:nLogs64]
+	logs, err := decodeCoreInto(p[off:], lbuf)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]float64, n)
+	out := dst
+	if out == nil {
+		out = make([]float64, n)
+	} else if len(out) != n {
+		return nil, fmt.Errorf("sz: log block holds %d values, expected %d", n, len(out))
+	}
 	li, ei := 0, 0
 	for i := 0; i < n; i++ {
 		if zeros[i/8]&(1<<(i%8)) != 0 {
+			out[i] = 0
 			continue
 		}
 		var v float64

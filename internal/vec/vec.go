@@ -11,48 +11,108 @@ import (
 
 // Dot returns the inner product x·y. It panics if the lengths differ,
 // because a length mismatch in a solver is always a programming error.
+//
+// The sum runs over four independent accumulators: the partial sums
+// have no loop-carried dependency, so the CPU overlaps the
+// multiply-adds (a measurable speedup on every superscalar core), and
+// pairwise-combining four shorter sums also carries less rounding
+// error than one long serial sum.
 func Dot(x, y []float64) float64 {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("vec: Dot length mismatch %d != %d", len(x), len(y)))
 	}
-	var s float64
-	for i, v := range x {
-		s += v * y[i]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		s0 += x[i] * y[i]
+		s1 += x[i+1] * y[i+1]
+		s2 += x[i+2] * y[i+2]
+		s3 += x[i+3] * y[i+3]
 	}
-	return s
+	for ; i < len(x); i++ {
+		s0 += x[i] * y[i]
+	}
+	return (s0 + s1) + (s2 + s3)
 }
 
-// Norm2 returns the Euclidean norm ‖x‖₂ computed with scaling to avoid
-// overflow for very large components.
+// Norm2 returns the Euclidean norm ‖x‖₂, scaled by the largest
+// magnitude so that components near the float64 overflow (or
+// underflow) threshold square safely. The scaled sum of squares uses
+// four independent accumulators like Dot.
 func Norm2(x []float64) float64 {
-	var scale, ssq float64
-	ssq = 1
-	for _, v := range x {
-		if v == 0 {
-			continue
+	scale := NormInf(x)
+	if scale == 0 {
+		return 0
+	}
+	if math.IsInf(scale, 0) {
+		// An infinite component makes the norm +Inf; the scaled loop
+		// would produce Inf·0 = NaN instead.
+		return math.Inf(1)
+	}
+	var s0, s1, s2, s3 float64
+	if scale >= tinyNormal {
+		// Multiplying by 1/scale is exact enough here and much cheaper
+		// than a divide per element.
+		inv := 1 / scale
+		i := 0
+		for ; i+4 <= len(x); i += 4 {
+			r0, r1, r2, r3 := x[i]*inv, x[i+1]*inv, x[i+2]*inv, x[i+3]*inv
+			s0 += r0 * r0
+			s1 += r1 * r1
+			s2 += r2 * r2
+			s3 += r3 * r3
 		}
-		a := math.Abs(v)
-		if scale < a {
-			r := scale / a
-			ssq = 1 + ssq*r*r
-			scale = a
-		} else {
-			r := a / scale
-			ssq += r * r
+		for ; i < len(x); i++ {
+			r := x[i] * inv
+			s0 += r * r
+		}
+	} else {
+		// Subnormal maximum: 1/scale would overflow, divide instead.
+		for _, v := range x {
+			r := v / scale
+			s0 += r * r
 		}
 	}
-	return scale * math.Sqrt(ssq)
+	return scale * math.Sqrt((s0+s1)+(s2+s3))
 }
+
+// tinyNormal is the smallest positive normal float64; below it the
+// reciprocal 1/scale overflows to +Inf.
+const tinyNormal = 2.2250738585072014e-308
 
 // NormInf returns the maximum-magnitude component of x.
 func NormInf(x []float64) float64 {
-	var m float64
-	for _, v := range x {
-		if a := math.Abs(v); a > m {
-			m = a
+	var m0, m1, m2, m3 float64
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		if a := math.Abs(x[i]); a > m0 {
+			m0 = a
+		}
+		if a := math.Abs(x[i+1]); a > m1 {
+			m1 = a
+		}
+		if a := math.Abs(x[i+2]); a > m2 {
+			m2 = a
+		}
+		if a := math.Abs(x[i+3]); a > m3 {
+			m3 = a
 		}
 	}
-	return m
+	for ; i < len(x); i++ {
+		if a := math.Abs(x[i]); a > m0 {
+			m0 = a
+		}
+	}
+	if m1 > m0 {
+		m0 = m1
+	}
+	if m2 > m0 {
+		m0 = m2
+	}
+	if m3 > m0 {
+		m0 = m3
+	}
+	return m0
 }
 
 // Axpy computes y ← a·x + y.

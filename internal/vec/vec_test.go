@@ -164,6 +164,64 @@ func TestRange(t *testing.T) {
 	}
 }
 
+// TestUnrolledKernelsMatchNaive: the 4-way unrolled Dot/Norm2/NormInf
+// must agree with a naive reference at every length around the unroll
+// boundary (remainder handling is where unrolled loops break).
+func TestUnrolledKernelsMatchNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for n := 0; n <= 33; n++ {
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 10
+			y[i] = rng.NormFloat64() * 10
+		}
+		var dotRef, ssqRef, infRef float64
+		for i := range x {
+			dotRef += x[i] * y[i]
+			ssqRef += x[i] * x[i]
+			if a := math.Abs(x[i]); a > infRef {
+				infRef = a
+			}
+		}
+		if got := Dot(x, y); !almostEqual(got, dotRef, 1e-13) {
+			t.Fatalf("n=%d: Dot = %v, naive %v", n, got, dotRef)
+		}
+		if got := Norm2(x); !almostEqual(got, math.Sqrt(ssqRef), 1e-13) {
+			t.Fatalf("n=%d: Norm2 = %v, naive %v", n, got, math.Sqrt(ssqRef))
+		}
+		if got := NormInf(x); got != infRef {
+			t.Fatalf("n=%d: NormInf = %v, naive %v", n, got, infRef)
+		}
+	}
+}
+
+// TestNorm2Infinite: an infinite component must yield +Inf, not NaN
+// (diverging solver residuals should record the direction of blow-up).
+func TestNorm2Infinite(t *testing.T) {
+	if got := Norm2([]float64{1, math.Inf(1), 2}); !math.IsInf(got, 1) {
+		t.Fatalf("Norm2 with +Inf component = %v, want +Inf", got)
+	}
+	if got := Norm2([]float64{math.Inf(-1)}); !math.IsInf(got, 1) {
+		t.Fatalf("Norm2 with -Inf component = %v, want +Inf", got)
+	}
+}
+
+// TestNorm2SubnormalScale: a vector whose largest magnitude is
+// subnormal must not produce Inf or 0 from the reciprocal-scaling
+// fast path.
+func TestNorm2SubnormalScale(t *testing.T) {
+	x := []float64{5e-324, 0, -5e-324}
+	got := Norm2(x)
+	want := 5e-324 * math.Sqrt2
+	if math.IsInf(got, 0) || got == 0 {
+		t.Fatalf("Norm2 of subnormal vector = %v", got)
+	}
+	if !almostEqual(got, want, 1e-10) {
+		t.Fatalf("Norm2 = %g, want about %g", got, want)
+	}
+}
+
 // Property: Dot is symmetric and bilinear within floating-point
 // tolerance, and Norm2(x)^2 ≈ Dot(x,x).
 func TestDotNormProperty(t *testing.T) {

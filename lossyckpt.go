@@ -33,6 +33,41 @@
 //	    _, err := mgr.MaybeCheckpoint()
 //	    return err
 //	})
+//
+// # Performance
+//
+// The two hot paths of the lossy-checkpointing argument — the
+// compressor and the solver inner loop — are parallel:
+//
+// SZ compression uses a blocked container ("SZG2"): vectors larger
+// than SZParams.BlockSize elements (default 32,768 = 256 KiB) are
+// split into fixed-size blocks that compress and decompress
+// independently, each with its own predictor state and Huffman table,
+// across a worker pool sized by GOMAXPROCS. The pointwise error bound
+// of every mode is preserved exactly (RelRange converts to an absolute
+// bound using the global value range before blocking), the output
+// bytes are schedule-independent, and legacy single-stream "SZG1"
+// checkpoints remain decodable. Inputs of at most one block keep the
+// legacy format byte-for-byte.
+//
+// Sparse matrix-vector products (CSR.MulVec / MulVecSub) partition by
+// row ranges above ~32k nonzeros; each row accumulates in serial
+// order, so parallel results are bitwise identical to serial ones and
+// convergence traces do not change. Smaller systems stay on the serial
+// path. BLAS-1 kernels (Dot, Norm2, NormInf) use 4-way unrolled
+// independent accumulators.
+//
+// Knobs: GOMAXPROCS sizes the pool; SetParallelWorkers overrides it
+// (SetParallelWorkers(1) forces serial execution, useful for
+// reproducing single-core baselines); SZParams.BlockSize trades
+// per-block Huffman-table overhead against parallelism. Checkpoint
+// encode buffers are pooled and reused across checkpoints, so a
+// custom Storage implementation must not retain the byte slice passed
+// to Write.
+//
+// Benchmarks: go test -bench 'SZCompressParallel|CSRMulVecParallel'
+// compares serial and parallel sub-benchmarks on 1M-element states
+// and the 100³ Poisson operator.
 package lossyckpt
 
 import (
@@ -40,10 +75,22 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fti"
 	"repro/internal/model"
+	"repro/internal/parallel"
 	"repro/internal/solver"
 	"repro/internal/sparse"
 	"repro/internal/sz"
 )
+
+// ---- Parallelism knobs ------------------------------------------------------
+
+// SetParallelWorkers overrides the worker count used by the blocked
+// compressor and the parallel matrix kernels, returning the previous
+// override (0 means "track GOMAXPROCS"). Pass 0 to restore the
+// default; pass 1 to force serial execution.
+func SetParallelWorkers(n int) int { return parallel.SetWorkers(n) }
+
+// ParallelWorkers reports the effective worker count.
+func ParallelWorkers() int { return parallel.Workers() }
 
 // ---- Sparse matrices and problem generators --------------------------------
 
