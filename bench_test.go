@@ -280,6 +280,47 @@ func BenchmarkCheckpointLossy(b *testing.B) {
 	}
 }
 
+// BenchmarkCheckpointStall measures the solver-visible stall of one
+// checkpoint on the 1M-element PWRel workload: the full encode+write
+// in sync mode versus the capture copy alone in async mode (the
+// background encode+write runs between iterations and is drained
+// outside the timed region, as it would overlap solver work). The
+// async/sync ns/op ratio is the pipeline's critical-path win.
+func BenchmarkCheckpointStall(b *testing.B) {
+	x := solverState(1 << 20)
+	params := sz.Params{Mode: sz.PWRel, ErrorBound: 1e-4}
+	snap := func(i int) *fti.Snapshot {
+		return &fti.Snapshot{Iteration: i, Vectors: map[string][]float64{"x": x}}
+	}
+	b.Run("sync", func(b *testing.B) {
+		ck := fti.New(fti.NewMemStorage(), fti.SZ{Params: params})
+		b.SetBytes(int64(8 * len(x)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ck.Save(snap(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("async", func(b *testing.B) {
+		ac := fti.NewAsync(fti.New(fti.NewMemStorage(), fti.SZ{Params: params}))
+		b.SetBytes(int64(8 * len(x)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ac.SaveAsync(snap(i)); err != nil {
+				b.Fatal(err)
+			}
+			// Solver iterations would run here; the drain stands in for
+			// them and stays outside the timed stall.
+			b.StopTimer()
+			if _, err := ac.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	})
+}
+
 func BenchmarkCheckpointTraditional(b *testing.B) {
 	x := solverState(1 << 18)
 	ck := fti.New(fti.NewMemStorage(), fti.Raw{})

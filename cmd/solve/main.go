@@ -7,6 +7,7 @@
 //
 //	solve -method cg -grid 16 -scheme lossy -eb 1e-4 -mtti 300
 //	solve -method jacobi -grid 12 -scheme traditional -ckptdir /tmp/ck
+//	solve -method cg -grid 16 -scheme lossy -mtti 300 -async
 package main
 
 import (
@@ -38,15 +39,16 @@ func main() {
 	seed := flag.Int64("seed", 1, "failure-injection seed")
 	ckptDir := flag.String("ckptdir", "", "write checkpoints to this directory (default: in-memory)")
 	maxIter := flag.Int("maxiter", 2_000_000, "iteration cap")
+	async := flag.Bool("async", false, "asynchronous checkpointing: charge only the capture stall; encode+write overlap iterations")
 	flag.Parse()
 
-	if err := run(*method, *grid, *rtol, *schemeName, *eb, *interval, *mtti, *tit, *seed, *ckptDir, *maxIter); err != nil {
+	if err := run(*method, *grid, *rtol, *schemeName, *eb, *interval, *mtti, *tit, *seed, *ckptDir, *maxIter, *async); err != nil {
 		fmt.Fprintln(os.Stderr, "solve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(method string, grid int, rtol float64, schemeName string, eb, interval, mtti, tit float64, seed int64, ckptDir string, maxIter int) error {
+func run(method string, grid int, rtol float64, schemeName string, eb, interval, mtti, tit float64, seed int64, ckptDir string, maxIter int, async bool) error {
 	a := sparse.Poisson3D(grid)
 	b := sparse.OnesRHS(a.Rows)
 	fmt.Printf("system: 3D Poisson %d³ = %d unknowns, %d nonzeros\n", grid, a.Rows, a.NNZ())
@@ -142,12 +144,28 @@ func run(method string, grid int, rtol float64, schemeName string, eb, interval,
 		}
 		return mdl.RecoverySeconds(2048, float64(info.Bytes), raw, sch)
 	}
+	capSec := func(info fti.Info) float64 {
+		return mdl.CaptureSeconds(2048, float64(info.RawBytes))
+	}
 	if interval == 0 {
 		probe, err := mgr.Checkpoint()
 		if err != nil {
 			return err
 		}
-		interval = model.YoungInterval(mtti, ckptSec(probe))
+		// Young's interval balances the failure rate against the cost
+		// the solver actually pays per checkpoint: the full write in
+		// sync mode, the capture stall alone in async mode. The async
+		// interval is floored at the background encode+write time —
+		// checkpointing faster than the pipeline drains only converts
+		// the hidden cost back into backpressure stall.
+		perCkpt := ckptSec(probe)
+		if async {
+			perCkpt = capSec(probe)
+		}
+		interval = model.YoungInterval(mtti, perCkpt)
+		if async && interval < ckptSec(probe) {
+			interval = ckptSec(probe)
+		}
 		if interval == 0 {
 			interval = 100 * tit
 		}
@@ -162,6 +180,8 @@ func run(method string, grid int, rtol float64, schemeName string, eb, interval,
 		IntervalSeconds:   interval,
 		CheckpointSeconds: ckptSec,
 		RecoverySeconds:   recSec,
+		AsyncCheckpoint:   async,
+		CaptureSeconds:    capSec,
 		Failures:          failure.NewInjector(mtti, seed),
 		MaxIterations:     maxIter,
 	})
@@ -170,8 +190,12 @@ func run(method string, grid int, rtol float64, schemeName string, eb, interval,
 	}
 	fmt.Printf("converged=%v iterations=%d sim-time=%.0fs failures=%d checkpoints=%d\n",
 		out.Converged, out.IterationsExecuted, out.SimSeconds, out.Failures, out.Checkpoints)
-	fmt.Printf("checkpoint-time=%.0fs recovery-time=%.0fs final-residual=%.3e\n",
+	fmt.Printf("checkpoint-time=%.1fs recovery-time=%.0fs final-residual=%.3e\n",
 		out.CheckpointTime, out.RecoveryTime, out.FinalResidual)
+	if async {
+		fmt.Printf("async: aborted-in-flight=%d backpressure=%.1fs (stall is capture-only when 0)\n",
+			out.AbortedCheckpoints, out.BackpressureTime)
+	}
 	if info := mgr.LastInfo(); info.Bytes > 0 {
 		fmt.Printf("last checkpoint: %d bytes (ratio %.1fx, encoder %s)\n",
 			info.Bytes, info.CompressionRatio, info.EncoderName)

@@ -41,6 +41,11 @@ type Model struct {
 	// StaticPerRankSeconds models the extra recovery cost of
 	// reconstructing static variables, growing with scale.
 	StaticPerRankSeconds float64
+	// MemCopyPerCore is the per-core node-local memory bandwidth used
+	// by the asynchronous pipeline's capture stage (a deep copy of the
+	// protected state into the double buffer) — no PFS, no
+	// compression, so orders of magnitude faster than a checkpoint.
+	MemCopyPerCore float64
 }
 
 // Bebop returns the model calibrated to the paper's measurements.
@@ -52,6 +57,7 @@ func Bebop() *Model {
 		DecompressPerCore:    192e6,
 		LosslessPerCore:      100e6,
 		StaticPerRankSeconds: 0.004,
+		MemCopyPerCore:       4e9,
 	}
 }
 
@@ -80,6 +86,21 @@ func (m *Model) CheckpointSeconds(procs int, encodedBytes, rawBytes float64, sch
 		t += rawBytes / (m.LosslessPerCore * float64(procs))
 	}
 	return t
+}
+
+// CaptureSeconds returns the solver-visible stall of one asynchronous
+// checkpoint: the node-local deep copy of rawBytes across procs cores.
+// This is the only part of the checkpoint the async pipeline leaves on
+// the critical path; encode and PFS write (CheckpointSeconds) proceed
+// in the background.
+func (m *Model) CaptureSeconds(procs int, rawBytes float64) float64 {
+	if procs <= 0 {
+		panic(fmt.Sprintf("cluster: procs must be positive, got %d", procs))
+	}
+	// No silent fallback, matching the sibling cost methods: a Model
+	// literal that omits MemCopyPerCore yields a visible +Inf rather
+	// than a quietly substituted default.
+	return rawBytes / (m.MemCopyPerCore * float64(procs))
 }
 
 // RecoverySeconds returns the wall time of one recovery: reading the

@@ -79,6 +79,17 @@ type Config struct {
 	// ZFP-like transform codec). When set, SZParams and Adaptive are
 	// ignored — the caller owns the error-bound policy.
 	LossyEncoder fti.Encoder
+	// Async routes checkpoints through the asynchronous pipeline:
+	// Checkpoint returns after the capture copy (the returned Info is
+	// provisional — Bytes is unknown until the background encode
+	// finishes; WaitCheckpoint or LastInfo report the final
+	// accounting), and the encode+write run concurrently with solver
+	// iterations. HasCheckpoint and LastCheckpointIteration report
+	// committed checkpoints only; Recover drains the in-flight write
+	// first, and a background write that failed falls back to the
+	// previous committed checkpoint — the paper's failure-during-
+	// checkpoint semantics.
+	Async bool
 }
 
 // Manager connects a solver to a checkpointer under one of the three
@@ -87,6 +98,7 @@ type Config struct {
 type Manager struct {
 	cfg          Config
 	ckpt         *fti.Checkpointer
+	async        *fti.AsyncCheckpointer // non-nil in async mode
 	slv          solver.Checkpointable
 	rst          solver.Restartable
 	gmres        *solver.GMRES // non-nil when the solver is GMRES (CurrentX)
@@ -94,7 +106,15 @@ type Manager struct {
 	lastInfo     fti.Info
 	haveCkpt     bool
 	prevCkptIter int
+	prevInfo     fti.Info
 	prevHaveCkpt bool
+
+	// In-flight async save, promoted to the committed fields above
+	// once its background write finishes.
+	inflight     fti.Ticket
+	inflightIter int
+	inflightLive bool
+	asyncErr     error // failed background save, surfaced on next Checkpoint
 }
 
 // NewManager wires solver s to storage through the scheme in cfg. The
@@ -123,6 +143,9 @@ func NewManager(cfg Config, storage fti.Storage, s solver.Checkpointable) (*Mana
 	m.rst, _ = s.(solver.Restartable)
 	m.gmres, _ = s.(*solver.GMRES)
 	m.ckpt = fti.New(storage, m.encoder())
+	if cfg.Async {
+		m.async = fti.NewAsync(m.ckpt)
+	}
 	return m, nil
 }
 
@@ -151,13 +174,30 @@ func (m *Manager) encoder() fti.Encoder {
 }
 
 // Checkpointer exposes the underlying fti.Checkpointer (for statics).
+// In async mode, direct use is only safe while no save is in flight
+// (WaitCheckpoint drains).
 func (m *Manager) Checkpointer() *fti.Checkpointer { return m.ckpt }
 
+// AsyncCheckpointer exposes the asynchronous pipeline, nil unless
+// Config.Async is set. Useful for stall accounting (Stats).
+func (m *Manager) AsyncCheckpointer() *fti.AsyncCheckpointer { return m.async }
+
 // Due reports whether the periodic checkpoint condition of Algorithm 1
-// line 3 holds at the solver's current iteration.
+// line 3 holds at the solver's current iteration. An async checkpoint
+// captured at this iteration — committed or still in flight — counts
+// as taken.
 func (m *Manager) Due() bool {
 	it := m.slv.Iteration()
-	return m.cfg.Interval > 0 && it > 0 && it%m.cfg.Interval == 0 && it != m.lastCkptIter
+	if m.cfg.Interval <= 0 || it == 0 || it%m.cfg.Interval != 0 {
+		return false
+	}
+	if m.async != nil {
+		m.promote()
+		if m.inflightLive && it == m.inflightIter {
+			return false
+		}
+	}
+	return it != m.lastCkptIter
 }
 
 // MaybeCheckpoint takes a checkpoint if one is due. It returns the
@@ -173,8 +213,15 @@ func (m *Manager) MaybeCheckpoint() (*fti.Info, error) {
 	return &info, nil
 }
 
-// Checkpoint writes a checkpoint now, regardless of the interval.
+// Checkpoint writes a checkpoint now, regardless of the interval. In
+// async mode it returns after the capture copy with a provisional Info
+// (Seq, EncoderName, RawBytes; Bytes unknown until the background
+// encode finishes); an error from the previous background save is
+// returned here, before a new capture is taken.
 func (m *Manager) Checkpoint() (fti.Info, error) {
+	if m.async != nil {
+		return m.checkpointAsync()
+	}
 	snap := m.capture()
 	m.ckpt.SetEncoder(m.encoder())
 	info, err := m.ckpt.Save(snap)
@@ -182,23 +229,113 @@ func (m *Manager) Checkpoint() (fti.Info, error) {
 		return fti.Info{}, err
 	}
 	m.prevCkptIter, m.prevHaveCkpt = m.lastCkptIter, m.haveCkpt
+	m.prevInfo = m.lastInfo
 	m.lastCkptIter = m.slv.Iteration()
 	m.lastInfo = info
 	m.haveCkpt = true
 	return info, nil
 }
 
+// checkpointAsync is the capture-stall-only checkpoint path.
+func (m *Manager) checkpointAsync() (fti.Info, error) {
+	// Drain first: SetEncoder below mutates the wrapped Checkpointer,
+	// which the background stage reads. This is also where the
+	// at-most-one-in-flight backpressure lands in the solver's time,
+	// so the wait is accounted as backpressure in Stats.
+	m.async.WaitBackpressure()
+	m.promote()
+	if err := m.asyncErr; err != nil {
+		m.asyncErr = nil
+		return fti.Info{}, err
+	}
+	m.ckpt.SetEncoder(m.encoder())
+	snap := m.captureAsync()
+	t, err := m.async.SaveAsync(snap)
+	if err != nil {
+		return fti.Info{}, err
+	}
+	m.inflight, m.inflightLive = t, true
+	m.inflightIter = m.slv.Iteration()
+	info := fti.Info{Seq: t.Seq, EncoderName: m.ckpt.Encoder().Name()}
+	for _, v := range snap.Vectors {
+		info.RawBytes += 8 * len(v)
+	}
+	info.RawBytes += 8 * len(snap.Scalars)
+	return info, nil
+}
+
+// promote folds a finished background save into the committed-
+// checkpoint bookkeeping. Non-blocking: an in-flight save stays
+// in flight.
+func (m *Manager) promote() {
+	if !m.inflightLive {
+		return
+	}
+	select {
+	case <-m.inflight.Done():
+	default:
+		return
+	}
+	info, err := m.inflight.Wait()
+	m.inflightLive = false
+	if err != nil {
+		// The save rolled back; nothing was committed. Surface the
+		// error on the next Checkpoint call.
+		m.asyncErr = err
+		return
+	}
+	m.prevCkptIter, m.prevHaveCkpt = m.lastCkptIter, m.haveCkpt
+	m.prevInfo = m.lastInfo
+	m.lastCkptIter = m.inflightIter
+	m.lastInfo = info
+	m.haveCkpt = true
+}
+
+// WaitCheckpoint blocks until no checkpoint is in flight and returns
+// the Info of the most recent committed checkpoint. In sync mode it
+// returns LastInfo immediately. The error, if any, is the failure of
+// the drained background save (also cleared from the pipeline).
+func (m *Manager) WaitCheckpoint() (fti.Info, error) {
+	if m.async == nil {
+		return m.lastInfo, nil
+	}
+	m.async.Wait()
+	m.promote()
+	err := m.asyncErr
+	m.asyncErr = nil
+	return m.lastInfo, err
+}
+
 // AbortLastCheckpoint models a failure striking while the checkpoint
 // was being written: the partial file is discarded and the previous
 // checkpoint becomes the recovery target again. The virtual-time
 // simulator calls this when a failure lands inside a checkpoint
-// window.
+// window. In async mode the in-flight save is drained first; if it
+// already failed there is nothing to drop, otherwise the just-
+// committed file is discarded.
 func (m *Manager) AbortLastCheckpoint() error {
+	if m.async != nil {
+		m.async.Wait()
+		m.promote()
+		if m.asyncErr != nil {
+			// The aborted save never committed; dropping is a no-op.
+			m.asyncErr = nil
+			return nil
+		}
+	}
 	if err := m.ckpt.DropLatest(); err != nil {
 		return err
 	}
 	m.lastCkptIter, m.haveCkpt = m.prevCkptIter, m.prevHaveCkpt
-	if m.ckpt.LatestSeq() == 0 {
+	// Roll the accounting back too: LastInfo must describe the
+	// checkpoint recovery will actually restore, not the dropped one
+	// (the sim prices RecoverySeconds off it).
+	m.lastInfo = m.prevInfo
+	// Consult storage, not the sequence counter: with keep=1 the gc of
+	// the just-dropped checkpoint already removed its predecessor, so
+	// the abort can leave nothing to recover from — recovery must then
+	// restart from scratch rather than chase a deleted file.
+	if m.ckpt.CheckpointCount() == 0 {
 		m.haveCkpt = false
 	}
 	return nil
@@ -218,6 +355,26 @@ func (m *Manager) capture() *fti.Snapshot {
 	}
 }
 
+// captureAsync builds the async snapshot. The deep copy happens inside
+// SaveAsync (the pipeline's capture stage, into the double buffer), so
+// the lossy scheme can hand over the live solution vector without the
+// extra copy that the synchronous capture() pays.
+func (m *Manager) captureAsync() *fti.Snapshot {
+	if m.cfg.Scheme != Lossy {
+		// CaptureDynamic deep-copies by contract; SaveAsync copies once
+		// more into its reusable buffer — correct, just not zero-copy.
+		return m.capture()
+	}
+	x := m.slv.X()
+	if m.gmres != nil {
+		x = m.gmres.CurrentX()
+	}
+	return &fti.Snapshot{
+		Iteration: m.slv.Iteration(),
+		Vectors:   map[string][]float64{"x": x},
+	}
+}
+
 // currentX returns the best available approximate solution: GMRES
 // materializes the mid-cycle iterate; other solvers expose x directly.
 func (m *Manager) currentX() []float64 {
@@ -227,26 +384,62 @@ func (m *Manager) currentX() []float64 {
 	return append([]float64(nil), m.slv.X()...)
 }
 
-// HasCheckpoint reports whether at least one checkpoint exists.
-func (m *Manager) HasCheckpoint() bool { return m.haveCkpt }
+// HasCheckpoint reports whether at least one committed checkpoint
+// exists. An async save still in flight does not count: until its
+// write completes it is not a recovery target.
+func (m *Manager) HasCheckpoint() bool {
+	m.promote()
+	return m.haveCkpt
+}
 
-// LastInfo returns the accounting of the most recent checkpoint.
-func (m *Manager) LastInfo() fti.Info { return m.lastInfo }
+// LastInfo returns the accounting of the most recent committed
+// checkpoint.
+func (m *Manager) LastInfo() fti.Info {
+	m.promote()
+	return m.lastInfo
+}
 
 // LastCheckpointIteration returns the iteration number at the most
-// recent checkpoint (0 if none) — the rollback target.
+// recent committed checkpoint (0 if none) — the rollback target. An
+// in-flight async save is not yet a rollback target.
 func (m *Manager) LastCheckpointIteration() int {
+	m.promote()
 	if !m.haveCkpt {
 		return 0
 	}
 	return m.lastCkptIter
 }
 
+// InFlight reports whether an async checkpoint is currently being
+// encoded or written in the background.
+func (m *Manager) InFlight() bool {
+	if m.async == nil {
+		return false
+	}
+	m.promote()
+	return m.inflightLive
+}
+
 // Recover reinstates the solver from the latest checkpoint according
 // to the scheme. For lossy checkpointing this is Algorithm 2 lines
 // 7–13: decompress x, adopt it as a fresh initial guess, rebuild the
 // auxiliary state. It returns the iteration the solver rolled back to.
+//
+// In async mode, Recover first drains the in-flight write. If that
+// write completed, it is the recovery target like any committed
+// checkpoint; if it failed (the failure struck between SaveAsync and
+// write completion), nothing was committed and recovery falls back to
+// the previous committed checkpoint — exactly the paper's failure-
+// during-checkpoint path.
 func (m *Manager) Recover() (int, error) {
+	if m.async != nil {
+		m.async.Wait()
+		m.promote()
+		// A failed in-flight save is superseded by the recovery itself:
+		// its sequence rolled back, so Restore below already targets
+		// the previous committed checkpoint.
+		m.asyncErr = nil
+	}
 	snap, err := m.ckpt.Restore()
 	if err != nil {
 		return 0, err

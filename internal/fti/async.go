@@ -1,0 +1,288 @@
+package fti
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// AsyncCheckpointer is the asynchronous checkpoint pipeline: the
+// paper's overhead model (Eqs. 5 and 8) separates checkpoint cost from
+// compute cost, and FTI's headline feature is exactly this split — a
+// dedicated background flusher so the application only pays for
+// capturing its state. The pipeline has three stages:
+//
+//  1. capture — SaveAsync deep-copies the snapshot into one half of a
+//     double buffer. This is the only stage the solver waits for.
+//  2. encode — a background goroutine runs the configured Encoder
+//     (blocked SZ, lossless, or raw) over the captured copy.
+//  3. write — the same goroutine commits the encoded bytes to Storage.
+//
+// At most one save is in flight: a SaveAsync issued while the previous
+// encode+write is still running blocks until it finishes
+// (backpressure), which bounds memory at two capture buffers and two
+// encode buffers and keeps checkpoint ordering trivial.
+//
+// Concurrency contract: all AsyncCheckpointer methods, and any direct
+// use of the wrapped Checkpointer (SetEncoder, Restore, DropLatest,
+// ...), must happen on one goroutine — the solver loop — and direct
+// Checkpointer use is only safe after Wait/Flush has drained the
+// in-flight save. The background goroutine is the only other toucher
+// of the wrapped Checkpointer, and the drain forms the happens-before
+// edge between the two.
+//
+// A background save that fails does not panic and is not lost: the
+// error is held and surfaced by the next SaveAsync, Flush, or the
+// ticket's Wait, whichever comes first. The failed save rolled its
+// sequence number back, so recovery falls back to the previous
+// committed checkpoint — the same contract as the paper's
+// failure-during-checkpoint path.
+type AsyncCheckpointer struct {
+	c *Checkpointer
+
+	mu       sync.Mutex
+	inflight *asyncJob
+	sticky   error     // background failure awaiting surfacing
+	stickyJb *asyncJob // the job sticky came from (cleared by its Wait)
+	lastInfo Info      // most recent committed save
+	commit   int       // sequence of the most recent committed save
+	stats    AsyncStats
+
+	// Double buffers: slot flips on every save, so the capture of save
+	// n+1 never touches the memory the in-flight encode of save n is
+	// reading. (With at-most-one-in-flight the flip is one save ahead
+	// of strictly necessary, which is exactly the margin that keeps a
+	// Storage implementation that mis-retains its data argument from
+	// corrupting an already-written checkpoint.)
+	slot    int
+	caps    [2]*Snapshot
+	encBufs [2][]byte
+}
+
+// AsyncStats accounts where the pipeline's time went, in seconds of
+// real time. CaptureSeconds + BackpressureSeconds is the total
+// solver-visible stall; EncodeWriteSeconds ran in the background.
+type AsyncStats struct {
+	Saves               int
+	CaptureSeconds      float64
+	BackpressureSeconds float64
+	EncodeWriteSeconds  float64
+}
+
+type asyncJob struct {
+	snap *Snapshot
+	slot int
+	done chan struct{} // closed when the job's results are published
+	info Info
+	err  error
+}
+
+// Ticket identifies one asynchronous save.
+type Ticket struct {
+	// Seq is the sequence number the save will commit under if it
+	// succeeds.
+	Seq int
+	a   *AsyncCheckpointer
+	job *asyncJob
+}
+
+// Done returns a channel closed when the save has finished (committed
+// or failed). A zero Ticket returns a closed channel.
+func (t Ticket) Done() <-chan struct{} {
+	if t.job == nil {
+		ch := make(chan struct{})
+		close(ch)
+		return ch
+	}
+	return t.job.done
+}
+
+// Wait blocks until the save finishes and returns its Info and error.
+// Consuming the error here also clears it from the pipeline, so it is
+// not surfaced a second time by the next SaveAsync or Flush.
+func (t Ticket) Wait() (Info, error) {
+	if t.job == nil {
+		return Info{}, fmt.Errorf("fti: wait on zero Ticket")
+	}
+	<-t.job.done
+	t.a.mu.Lock()
+	if t.a.stickyJb == t.job {
+		t.a.sticky, t.a.stickyJb = nil, nil
+	}
+	t.a.mu.Unlock()
+	return t.job.info, t.job.err
+}
+
+// NewAsync wraps a Checkpointer in the asynchronous pipeline. The
+// wrapped Checkpointer must not be used directly while a save is in
+// flight (drain with Wait or Flush first).
+func NewAsync(c *Checkpointer) *AsyncCheckpointer {
+	return &AsyncCheckpointer{c: c}
+}
+
+// Checkpointer returns the wrapped synchronous Checkpointer. Only safe
+// to use after Wait/Flush has drained the in-flight save.
+func (a *AsyncCheckpointer) Checkpointer() *Checkpointer { return a.c }
+
+// SaveAsync captures s and schedules its encode+write in the
+// background. It returns once the capture copy is complete — the
+// solver may mutate the snapshot's vectors immediately afterwards. If
+// a previous save is still in flight, SaveAsync first blocks until it
+// finishes (at-most-one-in-flight backpressure). If a previous
+// background save failed, that error is returned now and the new save
+// is not started.
+func (a *AsyncCheckpointer) SaveAsync(s *Snapshot) (Ticket, error) {
+	a.drain(true)
+	a.mu.Lock()
+	if err := a.sticky; err != nil {
+		a.sticky, a.stickyJb = nil, nil
+		a.mu.Unlock()
+		return Ticket{}, err
+	}
+	start := time.Now()
+	slot := a.slot
+	a.slot ^= 1
+	a.caps[slot] = copySnapshotInto(a.caps[slot], s)
+	job := &asyncJob{snap: a.caps[slot], slot: slot, done: make(chan struct{})}
+	a.inflight = job
+	a.stats.Saves++
+	a.stats.CaptureSeconds += time.Since(start).Seconds()
+	seq := a.c.seq + 1
+	a.mu.Unlock()
+	go a.run(job)
+	return Ticket{Seq: seq, a: a, job: job}, nil
+}
+
+// run is the background encode+write stage.
+func (a *AsyncCheckpointer) run(job *asyncJob) {
+	start := time.Now()
+	a.mu.Lock()
+	buf := a.encBufs[job.slot]
+	a.mu.Unlock()
+	payload, info, err := a.c.save(job.snap, buf)
+	a.mu.Lock()
+	if payload != nil {
+		a.encBufs[job.slot] = payload
+	}
+	if err == nil {
+		a.lastInfo = info
+		a.commit = info.Seq
+	} else {
+		a.sticky, a.stickyJb = err, job
+	}
+	job.info, job.err = info, err
+	// Close inside the critical section: anyone who observes
+	// inflight == nil under the mutex must also observe the ticket as
+	// done, or a non-blocking poll right after a drain could miss a
+	// finished save.
+	close(job.done)
+	a.inflight = nil
+	a.stats.EncodeWriteSeconds += time.Since(start).Seconds()
+	a.mu.Unlock()
+}
+
+// drain blocks until no save is in flight. backpressure marks the wait
+// as solver-visible stall in the stats.
+func (a *AsyncCheckpointer) drain(backpressure bool) {
+	a.mu.Lock()
+	job := a.inflight
+	a.mu.Unlock()
+	if job == nil {
+		return
+	}
+	start := time.Now()
+	<-job.done
+	if backpressure {
+		a.mu.Lock()
+		a.stats.BackpressureSeconds += time.Since(start).Seconds()
+		a.mu.Unlock()
+	}
+}
+
+// Wait blocks until no save is in flight. Afterwards the wrapped
+// Checkpointer may be used directly (swap encoders, Restore, ...).
+// Unlike Flush, Wait leaves any pending background error in place.
+func (a *AsyncCheckpointer) Wait() { a.drain(false) }
+
+// WaitBackpressure is Wait with the time spent blocked accounted as
+// solver-visible backpressure. Callers draining on the checkpoint path
+// (a new save about to be submitted) use it so Stats keeps its
+// invariant: CaptureSeconds + BackpressureSeconds is the total stall
+// the solver paid.
+func (a *AsyncCheckpointer) WaitBackpressure() { a.drain(true) }
+
+// Flush drains the in-flight save and returns the Info of the most
+// recent committed checkpoint along with any background error not yet
+// surfaced (which it clears).
+func (a *AsyncCheckpointer) Flush() (Info, error) {
+	a.drain(false)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	err := a.sticky
+	a.sticky, a.stickyJb = nil, nil
+	return a.lastInfo, err
+}
+
+// InFlight reports whether a save is currently running.
+func (a *AsyncCheckpointer) InFlight() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inflight != nil
+}
+
+// CommittedSeq returns the sequence number of the most recent save the
+// background stage fully committed to storage, 0 if none. In-flight
+// and failed saves are excluded — this is the recovery target.
+func (a *AsyncCheckpointer) CommittedSeq() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.commit
+}
+
+// LastInfo returns the Info of the most recent committed save.
+func (a *AsyncCheckpointer) LastInfo() Info {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.lastInfo
+}
+
+// Stats returns a snapshot of the pipeline's accounting.
+func (a *AsyncCheckpointer) Stats() AsyncStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+// copySnapshotInto deep-copies src into dst, reusing dst's maps and
+// vector backing arrays when shapes allow — the capture stage of the
+// pipeline, and the reason steady-state checkpointing allocates
+// nothing beyond the first two saves.
+func copySnapshotInto(dst, src *Snapshot) *Snapshot {
+	if dst == nil {
+		dst = &Snapshot{
+			Scalars: make(map[string]float64, len(src.Scalars)),
+			Vectors: make(map[string][]float64, len(src.Vectors)),
+		}
+	}
+	dst.Iteration = src.Iteration
+	clear(dst.Scalars)
+	for k, v := range src.Scalars {
+		dst.Scalars[k] = v
+	}
+	for k := range dst.Vectors {
+		if _, ok := src.Vectors[k]; !ok {
+			delete(dst.Vectors, k)
+		}
+	}
+	for k, v := range src.Vectors {
+		buf := dst.Vectors[k]
+		if cap(buf) < len(v) {
+			buf = make([]float64, len(v))
+		} else {
+			buf = buf[:len(v)]
+		}
+		copy(buf, v)
+		dst.Vectors[k] = buf
+	}
+	return dst
+}

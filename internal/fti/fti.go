@@ -90,9 +90,60 @@ type protFloat struct {
 // storage, retaining the two most recent checkpoints (FTI's default
 // safety margin: if a failure corrupts the newest file, recovery falls
 // back to the previous one).
+//
+// The sequence counter starts after the highest checkpoint already in
+// storage, so a Checkpointer created over a pre-existing checkpoint
+// directory (the restart-after-failure path) extends the series
+// instead of silently overwriting ckpt-000000000001.
 func New(storage Storage, enc Encoder) *Checkpointer {
-	return &Checkpointer{storage: storage, enc: enc, keep: 2}
+	c := &Checkpointer{storage: storage, enc: enc, keep: 2}
+	c.syncSeq()
+	return c
 }
+
+// ckptSeqs lists the sequence numbers of the checkpoints currently in
+// storage, nil on a listing error (best effort: the callers are
+// bookkeeping scans; a broken storage surfaces on the next read or
+// write). The single scan keeps the sequence counter, the retention
+// gc, and the abort-time emptiness check agreeing on what counts as a
+// checkpoint.
+func (c *Checkpointer) ckptSeqs() []int {
+	names, err := c.storage.List()
+	if err != nil {
+		return nil
+	}
+	var seqs []int
+	for _, n := range names {
+		if seq, ok := parseCkptName(n); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	return seqs
+}
+
+// syncSeq advances seq past every checkpoint present in storage.
+func (c *Checkpointer) syncSeq() {
+	for _, seq := range c.ckptSeqs() {
+		if seq > c.seq {
+			c.seq = seq
+		}
+	}
+}
+
+// SetKeep sets the retention window: the n most recent checkpoints are
+// kept, older ones are garbage-collected after each successful save.
+// n must be at least 1; at least one checkpoint must survive for
+// recovery to have a target.
+func (c *Checkpointer) SetKeep(n int) error {
+	if n < 1 {
+		return fmt.Errorf("fti: retention must keep at least 1 checkpoint, got %d", n)
+	}
+	c.keep = n
+	return nil
+}
+
+// Keep reports the current retention window.
+func (c *Checkpointer) Keep() int { return c.keep }
 
 // SetEncoder swaps the vector encoder; subsequent checkpoints use it.
 // The paper's Theorem-3 adaptive GMRES bound re-parameterizes the
@@ -197,14 +248,27 @@ func (c *Checkpointer) Recover() error {
 // Save writes a snapshot without going through the registration API;
 // the solver-integration layer (package core) uses it directly.
 func (c *Checkpointer) Save(s *Snapshot) (Info, error) {
+	payload, info, err := c.save(s, c.encBuf)
+	if payload != nil {
+		c.encBuf = payload
+	}
+	return info, err
+}
+
+// save encodes s into buf's backing array (growing it as needed) and
+// writes the result to storage, rolling the sequence counter back on
+// failure. It returns the (possibly reallocated) buffer so the caller
+// can reuse it on the next save; the buffer is returned even on error.
+// The AsyncCheckpointer calls save from its background goroutine with
+// its own double buffers, so save must not touch c.encBuf.
+func (c *Checkpointer) save(s *Snapshot, buf []byte) ([]byte, Info, error) {
 	c.seq++
 	info := Info{Seq: c.seq, EncoderName: c.enc.Name(), StaticBytes: c.staticSize}
-	payload, rawBytes, vecBytes, err := encodeSnapshot(s, c.enc, c.encBuf)
+	payload, rawBytes, vecBytes, err := encodeSnapshot(s, c.enc, buf)
 	if err != nil {
 		c.seq--
-		return Info{}, err
+		return buf, Info{}, err
 	}
-	c.encBuf = payload
 	info.RawBytes = rawBytes
 	info.VectorBytes = vecBytes
 	info.Bytes = len(payload)
@@ -214,10 +278,10 @@ func (c *Checkpointer) Save(s *Snapshot) (Info, error) {
 	name := ckptName(c.seq)
 	if err := c.storage.Write(name, payload); err != nil {
 		c.seq--
-		return Info{}, err
+		return payload, Info{}, err
 	}
 	c.gc()
-	return info, nil
+	return payload, info, nil
 }
 
 // Restore returns the most recent snapshot that passes integrity
@@ -249,6 +313,10 @@ func (c *Checkpointer) Restore() (*Snapshot, error) {
 			lastErr = fmt.Errorf("fti: checkpoint %d: %w", seq, err)
 			continue
 		}
+		// Re-sync the sequence counter with storage: a restore may have
+		// fallen back past checkpoints this Checkpointer never wrote,
+		// and the next save must not overwrite any surviving file.
+		c.syncSeq()
 		return s, nil
 	}
 	return nil, fmt.Errorf("fti: all checkpoints invalid: %w", lastErr)
@@ -257,6 +325,12 @@ func (c *Checkpointer) Restore() (*Snapshot, error) {
 // LatestSeq returns the sequence number of the last written
 // checkpoint, 0 if none.
 func (c *Checkpointer) LatestSeq() int { return c.seq }
+
+// CheckpointCount reports how many checkpoint files storage currently
+// holds (0 on a listing error). With keep=1 an aborted checkpoint can
+// empty storage even though the sequence counter is positive, so
+// recovery decisions must consult this, not LatestSeq.
+func (c *Checkpointer) CheckpointCount() int { return len(c.ckptSeqs()) }
 
 // DropLatest discards the most recent checkpoint — the failure-during-
 // checkpoint path: a fail-stop error mid-write leaves a partial file
@@ -276,16 +350,7 @@ func (c *Checkpointer) DropLatest() error {
 
 // gc removes checkpoints beyond the retention window.
 func (c *Checkpointer) gc() {
-	names, err := c.storage.List()
-	if err != nil {
-		return
-	}
-	var seqs []int
-	for _, n := range names {
-		if seq, ok := parseCkptName(n); ok {
-			seqs = append(seqs, seq)
-		}
-	}
+	seqs := c.ckptSeqs()
 	sort.Sort(sort.Reverse(sort.IntSlice(seqs)))
 	for i := c.keep; i < len(seqs); i++ {
 		_ = c.storage.Delete(ckptName(seqs[i]))

@@ -168,6 +168,104 @@ func TestRestoreNewestCheckpoint(t *testing.T) {
 	}
 }
 
+// TestNewResumesSequence: a Checkpointer created over pre-existing
+// storage (the restart-after-failure path) must extend the checkpoint
+// series, not silently overwrite ckpt-000000000001.
+func TestNewResumesSequence(t *testing.T) {
+	st := NewMemStorage()
+	c1 := New(st, Raw{})
+	for i := 1; i <= 3; i++ {
+		if _, err := c1.Save(&Snapshot{Iteration: i * 10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// keep=2 leaves ckpt-2 and ckpt-3.
+	before, _ := st.Read(ckptName(3))
+	saved := append([]byte(nil), before...)
+
+	c2 := New(st, Raw{})
+	if c2.LatestSeq() != 3 {
+		t.Fatalf("restarted Checkpointer starts at seq %d, want 3", c2.LatestSeq())
+	}
+	info, err := c2.Save(&Snapshot{Iteration: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Seq != 4 {
+		t.Fatalf("post-restart save got seq %d, want 4", info.Seq)
+	}
+	after, err := st.Read(ckptName(3))
+	if err != nil {
+		t.Fatalf("pre-existing checkpoint vanished: %v", err)
+	}
+	if string(saved) != string(after) {
+		t.Fatal("post-restart save overwrote a pre-existing checkpoint")
+	}
+	got, err := c2.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Iteration != 40 {
+		t.Fatalf("restored iteration %d, want 40", got.Iteration)
+	}
+}
+
+// TestRestoreResyncsSequence: if storage advanced behind this
+// Checkpointer's back (another writer, a recovered run), Restore must
+// re-sync the counter so the next save does not overwrite survivors.
+func TestRestoreResyncsSequence(t *testing.T) {
+	st := NewMemStorage()
+	c1 := New(st, Raw{})
+	if _, err := c1.Save(&Snapshot{Iteration: 10}); err != nil {
+		t.Fatal(err)
+	}
+	c2 := New(st, Raw{}) // sees seq 1
+	for i := 2; i <= 3; i++ {
+		if _, err := c1.Save(&Snapshot{Iteration: i * 10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := c2.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Iteration != 30 {
+		t.Fatalf("restored iteration %d, want 30", got.Iteration)
+	}
+	if c2.LatestSeq() != 3 {
+		t.Fatalf("seq after Restore = %d, want 3", c2.LatestSeq())
+	}
+	if info, err := c2.Save(&Snapshot{Iteration: 40}); err != nil || info.Seq != 4 {
+		t.Fatalf("save after resync: %+v %v, want seq 4", info, err)
+	}
+}
+
+func TestSetKeepValidatesAndApplies(t *testing.T) {
+	st := NewMemStorage()
+	c := New(st, Raw{})
+	if err := c.SetKeep(0); err == nil {
+		t.Fatal("SetKeep(0) must be rejected: recovery needs a target")
+	}
+	if err := c.SetKeep(-2); err == nil {
+		t.Fatal("SetKeep(-2) must be rejected")
+	}
+	if err := c.SetKeep(3); err != nil {
+		t.Fatal(err)
+	}
+	if c.Keep() != 3 {
+		t.Fatalf("Keep() = %d", c.Keep())
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := c.Save(&Snapshot{Iteration: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, _ := st.List()
+	if len(names) != 3 {
+		t.Fatalf("retained %d checkpoints with keep=3: %v", len(names), names)
+	}
+}
+
 func TestRetentionKeepsTwo(t *testing.T) {
 	st := NewMemStorage()
 	c := New(st, Raw{})

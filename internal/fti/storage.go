@@ -13,11 +13,21 @@ import (
 // (the PFS in the paper's setup); MemStorage backs the virtual-time
 // simulator, where thousands of checkpoints are taken per experiment
 // and the I/O cost is accounted by the cluster model instead.
+//
+// Ownership and concurrency contract: Write's data slice is owned by
+// the caller. Implementations must either finish using it or copy it
+// before returning — the Checkpointer reuses its encode buffers across
+// checkpoints (double-buffered in the asynchronous pipeline), so a
+// retained slice WILL be overwritten by a later snapshot. Conversely,
+// slices returned by Read are owned by the caller; the implementation
+// must not reuse their backing arrays. With the AsyncCheckpointer,
+// Write runs on a background goroutine while Read/List/Delete may be
+// issued from the solver goroutine (statics, recovery probes), so
+// implementations must be safe for concurrent use. All three provided
+// implementations satisfy the contract.
 type Storage interface {
 	// Write stores data under name, replacing any previous content.
-	// Implementations must not retain data after returning: the
-	// Checkpointer reuses its encode buffer across checkpoints, so a
-	// retained slice would be overwritten by the next snapshot.
+	// See the interface comment for the ownership rules on data.
 	Write(name string, data []byte) error
 	// Read returns the content stored under name.
 	Read(name string) ([]byte, error)

@@ -1,0 +1,111 @@
+package fti
+
+import (
+	"fmt"
+	"testing"
+)
+
+// failStorage fails every operation — the "global level down" stand-in.
+type failStorage struct{ err error }
+
+func (f failStorage) Write(string, []byte) error  { return f.err }
+func (f failStorage) Read(string) ([]byte, error) { return nil, f.err }
+func (f failStorage) Delete(string) error         { return f.err }
+func (f failStorage) List() ([]string, error)     { return nil, f.err }
+
+func TestTieredGlobalWriteFailurePropagates(t *testing.T) {
+	local := NewMemStorage()
+	tiered := &Tiered{Local: local, Global: failStorage{err: fmt.Errorf("pfs down")}}
+	if err := tiered.Write("a", []byte{1}); err == nil {
+		t.Fatal("global write failure must propagate: the global level is the reliability guarantee")
+	}
+	// The failed write must not leave a local copy that a later read
+	// could mistake for durable data.
+	if _, err := local.Read("a"); err == nil {
+		t.Fatal("local level has a copy of a write that never reached the global level")
+	}
+}
+
+func TestTieredLocalWriteFailureTolerated(t *testing.T) {
+	global := NewMemStorage()
+	tiered := &Tiered{Local: failStorage{err: fmt.Errorf("local disk full")}, Global: global}
+	if err := tiered.Write("a", []byte{7}); err != nil {
+		t.Fatalf("local-level failure must only cost the fast path: %v", err)
+	}
+	got, err := tiered.Read("a")
+	if err != nil || len(got) != 1 || got[0] != 7 {
+		t.Fatalf("read after local write failure: %v %v", got, err)
+	}
+}
+
+func TestTieredReadPrefersLocalFallsBackToGlobal(t *testing.T) {
+	local := NewMemStorage()
+	global := NewMemStorage()
+	tiered := &Tiered{Local: local, Global: global}
+
+	// Distinct contents expose which level served the read.
+	if err := local.Write("a", []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := global.Write("a", []byte{2}); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := tiered.Read("a"); err != nil || got[0] != 1 {
+		t.Fatalf("read should prefer the local level: %v %v", got, err)
+	}
+
+	// Node-local loss (the failure mode FTI levels exist for).
+	if err := local.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := tiered.Read("a"); err != nil || got[0] != 2 {
+		t.Fatalf("read should fall back to the global level: %v %v", got, err)
+	}
+}
+
+func TestTieredDeleteAppliesToBoth(t *testing.T) {
+	local := NewMemStorage()
+	global := NewMemStorage()
+	tiered := &Tiered{Local: local, Global: global}
+	if err := tiered.Write("a", []byte{3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tiered.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := local.Read("a"); err == nil {
+		t.Fatal("delete did not reach the local level")
+	}
+	if _, err := global.Read("a"); err == nil {
+		t.Fatal("delete did not reach the global level")
+	}
+	// A failing local level must not block the authoritative delete.
+	tiered2 := &Tiered{Local: failStorage{err: fmt.Errorf("gone")}, Global: global}
+	if err := global.Write("b", []byte{4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tiered2.Delete("b"); err != nil {
+		t.Fatalf("delete with failing local level: %v", err)
+	}
+	if _, err := global.Read("b"); err == nil {
+		t.Fatal("global delete skipped")
+	}
+}
+
+func TestTieredListsGlobalLevel(t *testing.T) {
+	local := NewMemStorage()
+	global := NewMemStorage()
+	tiered := &Tiered{Local: local, Global: global}
+	// Stale local-only junk (e.g. survivors of a partial cleanup) must
+	// not appear: the global level is authoritative.
+	if err := local.Write("stale", []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tiered.Write("a", []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	names, err := tiered.List()
+	if err != nil || len(names) != 1 || names[0] != "a" {
+		t.Fatalf("List = %v, %v; want [a]", names, err)
+	}
+}

@@ -1,0 +1,48 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAsyncEffectiveStall(t *testing.T) {
+	cases := []struct {
+		tcap, tbg, interval, want float64
+	}{
+		{1, 5, 10, 1},   // background fits: capture only
+		{1, 15, 10, 6},  // backpressure: 15 − 10 spills onto the solver
+		{1, 10, 10, 1},  // exact fit: capture only
+		{1, 5, 0, 6},    // no overlap window: degenerates to sync cost
+		{0, 0, 10, 0},   // free checkpoint
+		{-1, -1, 10, 0}, // garbage clamps to zero
+	}
+	for _, c := range cases {
+		if got := AsyncEffectiveStall(c.tcap, c.tbg, c.interval); got != c.want {
+			t.Errorf("AsyncEffectiveStall(%g,%g,%g) = %g, want %g",
+				c.tcap, c.tbg, c.interval, got, c.want)
+		}
+	}
+}
+
+func TestAsyncOverheadRatioBeatsSync(t *testing.T) {
+	const (
+		lambda   = 1.0 / 3600 // one failure per hour
+		tcap     = 0.5
+		tbg      = 30
+		interval = 120
+	)
+	async := AsyncOverheadRatio(lambda, tcap, tbg, interval)
+	sync := ExpectedOverheadRatio(lambda, tcap+tbg)
+	if !(async < sync) {
+		t.Fatalf("overlap must reduce overhead: async %g, sync %g", async, sync)
+	}
+	// With the background hidden entirely, the ratio equals the
+	// capture-only Eq. (5).
+	if got, want := async, ExpectedOverheadRatio(lambda, tcap); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("capture-only equivalence: %g vs %g", got, want)
+	}
+	// Degenerate interval reproduces the synchronous ratio exactly.
+	if got := AsyncOverheadRatio(lambda, tcap, tbg, 0); got != sync {
+		t.Fatalf("interval=0 must equal sync: %g vs %g", got, sync)
+	}
+}

@@ -56,6 +56,45 @@ func ExpectedTotalTime(n float64, tit, lambda, tckp, trc float64) float64 {
 	return n * tit / denom
 }
 
+// AsyncEffectiveStall is the solver-visible stall per checkpoint under
+// the asynchronous pipeline: the capture copy tcap, plus backpressure
+// when the background encode+write tbg does not fit inside the
+// checkpoint interval. The overlapped part of tbg is free — that is
+// the point of the pipeline: Eqs. (5) and (8) keep their form with
+// Tckp replaced by this stall.
+//
+//	stall = tcap + max(0, tbg − interval)
+//
+// interval ≤ 0 means "no overlap window" (back-to-back checkpoints)
+// and degenerates to the synchronous cost tcap + tbg.
+func AsyncEffectiveStall(tcap, tbg, interval float64) float64 {
+	if tcap < 0 {
+		tcap = 0
+	}
+	if tbg < 0 {
+		tbg = 0
+	}
+	if interval <= 0 {
+		return tcap + tbg
+	}
+	bp := tbg - interval
+	if bp < 0 {
+		bp = 0
+	}
+	return tcap + bp
+}
+
+// AsyncOverheadRatio is Eq. (5) with the overlapped checkpoint cost:
+// the expected fault-tolerance overhead ratio when only
+// AsyncEffectiveStall(tcap, tbg, interval) sits on the critical path
+// per checkpoint. Note the implicit fixed point: the Young-optimal
+// interval itself depends on the stall, which depends on the interval;
+// in the common regime tbg < interval the stall is just tcap and the
+// fixed point is YoungInterval(tf, tcap).
+func AsyncOverheadRatio(lambda, tcap, tbg, interval float64) float64 {
+	return ExpectedOverheadRatio(lambda, AsyncEffectiveStall(tcap, tbg, interval))
+}
+
 // LossyOverheadRatio is Eq. (8): the expected fault tolerance overhead
 // ratio for lossy checkpointing, accounting for the N′ extra
 // iterations each lossy recovery costs. tit is the mean iteration

@@ -40,11 +40,35 @@ type Config struct {
 	// checkpointing.
 	IntervalSeconds float64
 	// CheckpointSeconds maps a written checkpoint to its simulated
-	// duration (cluster model + measured compression ratio).
+	// duration (cluster model + measured compression ratio). In async
+	// mode this is the background encode+write time, overlapped with
+	// iterations.
 	CheckpointSeconds func(info fti.Info) float64
 	// RecoverySeconds maps the checkpoint being restored to the
 	// simulated recovery duration.
 	RecoverySeconds func(info fti.Info) float64
+
+	// AsyncCheckpoint enables the overlapped-checkpoint cost mode and
+	// requires a synchronous Manager (core.Config.Async off): the
+	// simulator models the overlap in virtual time, so the in-process
+	// checkpoint must complete inside m.Checkpoint() to yield the full
+	// Info the cost callbacks need. With an async Manager the Info
+	// would be provisional (Bytes 0) and Run returns an error. The
+	// solver is charged only CaptureSeconds per checkpoint plus any
+	// backpressure wait for the previous background encode+write
+	// (which occupies CheckpointSeconds of virtual time concurrently
+	// with iterations). A checkpoint whose background write has not
+	// finished when a failure strikes is not a recovery target — it is
+	// aborted and recovery falls back to the previous committed one,
+	// the same semantics the real AsyncCheckpointer has. Only the
+	// clock differs from sync mode: the solver executes the identical
+	// iteration/checkpoint/recovery sequence for a given failure
+	// trace.
+	AsyncCheckpoint bool
+	// CaptureSeconds maps a checkpoint to the solver-visible capture
+	// stall (the deep copy of the protected state) in async mode.
+	// Nil means a free capture.
+	CaptureSeconds func(info fti.Info) float64
 
 	// Failures injects fail-stop errors; nil disables them.
 	Failures *failure.Injector
@@ -81,17 +105,29 @@ type Outcome struct {
 	Failures              int
 	Checkpoints           int
 	AbortedCheckpoints    int
-	CheckpointTime        float64 // simulated seconds spent checkpointing
-	RecoveryTime          float64 // simulated seconds spent recovering
-	FailureEvents         []Event
-	Residuals             []float64 // per executed iteration (optional)
-	FinalResidual         float64
+	CheckpointTime        float64 // solver-visible seconds spent checkpointing
+	// BackpressureTime is the part of CheckpointTime spent waiting for
+	// the previous background encode+write (async mode only): the
+	// checkpoint interval was shorter than the background pipeline.
+	BackpressureTime float64
+	RecoveryTime     float64 // simulated seconds spent recovering
+	FailureEvents    []Event
+	Residuals        []float64 // per executed iteration (optional)
+	FinalResidual    float64
 }
 
 // Run executes the simulation to convergence or the iteration cap.
 func Run(cfg Config) (*Outcome, error) {
 	if cfg.Stepper == nil || cfg.Manager == nil {
 		return nil, fmt.Errorf("sim: Stepper and Manager are required")
+	}
+	if cfg.Manager.AsyncCheckpointer() != nil {
+		// Either way round, the simulator needs the full Info a
+		// synchronous Checkpoint returns: async overlap is modeled in
+		// virtual time via cfg.AsyncCheckpoint, not by the real
+		// pipeline, whose provisional Info (Bytes 0) would zero out
+		// the cost callbacks.
+		return nil, fmt.Errorf("sim: the simulator needs a synchronous Manager (disable core.Config.Async; use Config.AsyncCheckpoint for overlapped-cost modeling)")
 	}
 	if cfg.TitSeconds <= 0 {
 		return nil, fmt.Errorf("sim: TitSeconds must be positive")
@@ -104,6 +140,9 @@ func Run(cfg Config) (*Outcome, error) {
 	}
 	if cfg.RecoverySeconds == nil {
 		cfg.RecoverySeconds = func(fti.Info) float64 { return 0 }
+	}
+	if cfg.CaptureSeconds == nil {
+		cfg.CaptureSeconds = func(fti.Info) float64 { return 0 }
 	}
 
 	out := &Outcome{}
@@ -131,6 +170,36 @@ func Run(cfg Config) (*Outcome, error) {
 		return math.Inf(1)
 	}
 	nextFail := drawFail(0)
+
+	// Async mode: the background encode+write of the latest checkpoint
+	// occupies virtual time [capture end, pendingCommitAt) concurrently
+	// with iterations. Until it commits, that checkpoint is not a
+	// recovery target.
+	pendingLive := false
+	pendingCommitAt := 0.0
+	// commitPending marks the pending checkpoint committed if its
+	// background write finished by virtual time `now`.
+	commitPending := func(now float64) {
+		if pendingLive && pendingCommitAt <= now {
+			pendingLive = false
+			out.Checkpoints++
+		}
+	}
+	// abortPending discards a still-uncommitted pending checkpoint —
+	// the failure struck mid-write, so recovery must fall back to the
+	// previous committed one.
+	abortPending := func() error {
+		if !pendingLive {
+			return nil
+		}
+		pendingLive = false
+		out.AbortedCheckpoints++
+		if err := m.AbortLastCheckpoint(); err != nil {
+			return fmt.Errorf("sim: abort in-flight checkpoint: %w", err)
+		}
+		logicalAtCkpt = prevLogicalAtCkpt
+		return nil
+	}
 
 	// handleFailure advances the clock through the recovery (including
 	// nested failures during recovery) and restores the solver.
@@ -165,6 +234,23 @@ func Run(cfg Config) (*Outcome, error) {
 		return nil
 	}
 
+	// failDuringCheckpoint is the failure-inside-the-checkpoint-window
+	// path, shared by the sync write and the async capture: charge the
+	// wasted time up to the failure, discard the unusable checkpoint,
+	// and recover. (In sync mode the write was partial; in async mode
+	// the capture copy was.)
+	failDuringCheckpoint := func() error {
+		wasted := nextFail - t
+		t = nextFail
+		out.CheckpointTime += wasted
+		out.AbortedCheckpoints++
+		if err := m.AbortLastCheckpoint(); err != nil {
+			return fmt.Errorf("sim: abort checkpoint: %w", err)
+		}
+		logicalAtCkpt = prevLogicalAtCkpt
+		return handleFailure()
+	}
+
 	rnorm := s.ResidualNorm()
 	for !s.Converged(rnorm) {
 		if out.IterationsExecuted >= cfg.MaxIterations {
@@ -174,39 +260,81 @@ func Run(cfg Config) (*Outcome, error) {
 		// Periodic checkpoint (Algorithm 1/2 line 3), expressed in
 		// simulated time as in the paper's optimal-interval runs.
 		if cfg.IntervalSeconds > 0 && t-lastCkptAt >= cfg.IntervalSeconds {
-			info, err := m.Checkpoint()
-			if err != nil {
-				return nil, fmt.Errorf("sim: checkpoint: %w", err)
-			}
-			prevLogicalAtCkpt, logicalAtCkpt = logicalAtCkpt, logical
-			d := cfg.CheckpointSeconds(info)
-			if t+d > nextFail {
-				// The failure lands inside the checkpoint write: the
-				// partial checkpoint is unusable.
-				wasted := nextFail - t
-				t = nextFail
-				out.CheckpointTime += wasted
-				out.AbortedCheckpoints++
-				if err := m.AbortLastCheckpoint(); err != nil {
-					return nil, fmt.Errorf("sim: abort checkpoint: %w", err)
+			if cfg.AsyncCheckpoint {
+				// Backpressure: SaveAsync drains the previous
+				// background encode+write before capturing.
+				if pendingLive && pendingCommitAt > t {
+					if pendingCommitAt > nextFail {
+						// The failure strikes during the wait; the
+						// in-flight write never completes.
+						wasted := nextFail - t
+						t = nextFail
+						out.CheckpointTime += wasted
+						out.BackpressureTime += wasted
+						if err := abortPending(); err != nil {
+							return nil, err
+						}
+						if err := handleFailure(); err != nil {
+							return nil, err
+						}
+						rnorm = s.ResidualNorm()
+						continue
+					}
+					wait := pendingCommitAt - t
+					t = pendingCommitAt
+					out.CheckpointTime += wait
+					out.BackpressureTime += wait
 				}
-				logicalAtCkpt = prevLogicalAtCkpt
-				if err := handleFailure(); err != nil {
-					return nil, err
+				commitPending(t)
+				info, err := m.Checkpoint()
+				if err != nil {
+					return nil, fmt.Errorf("sim: checkpoint: %w", err)
 				}
-				rnorm = s.ResidualNorm()
-				continue
+				prevLogicalAtCkpt, logicalAtCkpt = logicalAtCkpt, logical
+				capSec := cfg.CaptureSeconds(info)
+				if t+capSec > nextFail {
+					if err := failDuringCheckpoint(); err != nil {
+						return nil, err
+					}
+					rnorm = s.ResidualNorm()
+					continue
+				}
+				t += capSec
+				out.CheckpointTime += capSec
+				pendingLive = true
+				pendingCommitAt = t + cfg.CheckpointSeconds(info)
+				lastCkptAt = t
+			} else {
+				info, err := m.Checkpoint()
+				if err != nil {
+					return nil, fmt.Errorf("sim: checkpoint: %w", err)
+				}
+				prevLogicalAtCkpt, logicalAtCkpt = logicalAtCkpt, logical
+				d := cfg.CheckpointSeconds(info)
+				if t+d > nextFail {
+					if err := failDuringCheckpoint(); err != nil {
+						return nil, err
+					}
+					rnorm = s.ResidualNorm()
+					continue
+				}
+				t += d
+				out.CheckpointTime += d
+				out.Checkpoints++
+				lastCkptAt = t
 			}
-			t += d
-			out.CheckpointTime += d
-			out.Checkpoints++
-			lastCkptAt = t
 		}
 
 		// One iteration of simulated duration Tit.
 		if t+cfg.TitSeconds > nextFail {
-			// Failure mid-iteration: the step's work is lost.
+			// Failure mid-iteration: the step's work is lost. A pending
+			// background write that finished before the failure had
+			// committed; one still in flight is lost with the node.
 			t = nextFail
+			commitPending(t)
+			if err := abortPending(); err != nil {
+				return nil, err
+			}
 			if err := handleFailure(); err != nil {
 				return nil, err
 			}
@@ -222,6 +350,9 @@ func Run(cfg Config) (*Outcome, error) {
 		}
 	}
 
+	// A background write still running at convergence completes during
+	// shutdown; it counts as taken but adds no solver-visible time.
+	commitPending(math.Inf(1))
 	out.Converged = s.Converged(rnorm)
 	out.SimSeconds = t
 	out.ConvergenceIterations = logical

@@ -57,17 +57,41 @@
 // path. BLAS-1 kernels (Dot, Norm2, NormInf) use 4-way unrolled
 // independent accumulators.
 //
+// Checkpointing itself is asynchronous on request: ManagerConfig.Async
+// (or fti.NewAsync around a Checkpointer) routes checkpoints through a
+// three-stage pipeline — synchronous capture (a deep copy into a
+// double buffer, the only part the solver waits for), background
+// encode through the blocked compressor, background storage write. At
+// most one checkpoint is in flight; a second request blocks until the
+// first commits (backpressure), and a background failure is surfaced
+// on the next Checkpoint call. Recovery drains the in-flight write
+// first, and a write that never completed falls back to the previous
+// committed checkpoint, exactly like the paper's failure-during-
+// checkpoint path. The numerics are unaffected: async and sync runs
+// produce bitwise-identical convergence traces. The analytic model
+// mirrors this with a capture-stall-only cost: AsyncEffectiveStall
+// (capture + max(0, encode+write − interval)) replaces Tckp in
+// Eq. (5)/(8), and the virtual-time simulator's AsyncCheckpoint mode
+// charges exactly that stall while background writes occupy simulated
+// time concurrently with iterations.
+//
 // Knobs: GOMAXPROCS sizes the pool; SetParallelWorkers overrides it
 // (SetParallelWorkers(1) forces serial execution, useful for
 // reproducing single-core baselines); SZParams.BlockSize trades
-// per-block Huffman-table overhead against parallelism. Checkpoint
-// encode buffers are pooled and reused across checkpoints, so a
-// custom Storage implementation must not retain the byte slice passed
-// to Write.
+// per-block Huffman-table overhead against parallelism;
+// (*Checkpointer).SetKeep sets the checkpoint retention window
+// (default 2, minimum 1). Checkpoint encode buffers are reused across
+// checkpoints — double-buffered in the async pipeline — so a custom
+// Storage implementation must not retain the byte slice passed to
+// Write, must not recycle buffers returned by Read, and must be safe
+// for concurrent use (the background writer runs while recovery-side
+// reads may be issued); see fti.Storage for the full ownership
+// contract.
 //
 // Benchmarks: go test -bench 'SZCompressParallel|CSRMulVecParallel'
 // compares serial and parallel sub-benchmarks on 1M-element states
-// and the 100³ Poisson operator.
+// and the 100³ Poisson operator; go test -bench CheckpointStall
+// compares the solver-visible stall of sync vs async checkpoints.
 package lossyckpt
 
 import (
@@ -205,8 +229,25 @@ type Storage = fti.Storage
 // CheckpointInfo reports the cost of one checkpoint.
 type CheckpointInfo = fti.Info
 
+// CheckpointSnapshot is one checkpoint's content (iteration, scalars,
+// vectors), for direct Checkpointer/AsyncCheckpointer use.
+type CheckpointSnapshot = fti.Snapshot
+
 // NewCheckpointer wraps storage with an encoder.
 var NewCheckpointer = fti.New
+
+// AsyncCheckpointer is the three-stage asynchronous checkpoint
+// pipeline: synchronous capture, background encode, background write.
+type AsyncCheckpointer = fti.AsyncCheckpointer
+
+// CheckpointTicket identifies one asynchronous save (Done/Wait).
+type CheckpointTicket = fti.Ticket
+
+// AsyncCheckpointStats accounts capture/backpressure/background time.
+type AsyncCheckpointStats = fti.AsyncStats
+
+// NewAsyncCheckpointer wraps a Checkpointer in the async pipeline.
+var NewAsyncCheckpointer = fti.NewAsync
 
 // NewMemStorage returns an in-memory checkpoint store.
 var NewMemStorage = fti.NewMemStorage
@@ -260,6 +301,13 @@ var MaxExtraIterations = model.MaxExtraIterations
 
 // StationaryExtraIterations is Theorem 2's pointwise bound.
 var StationaryExtraIterations = model.StationaryExtraIterations
+
+// AsyncEffectiveStall is the solver-visible stall per asynchronous
+// checkpoint: capture + max(0, encode+write − interval).
+var AsyncEffectiveStall = model.AsyncEffectiveStall
+
+// AsyncOverheadRatio is Eq. (5) with the overlapped checkpoint cost.
+var AsyncOverheadRatio = model.AsyncOverheadRatio
 
 // GMRESAdaptiveBound is Theorem 3's adaptive error bound.
 var GMRESAdaptiveBound = model.GMRESAdaptiveBound

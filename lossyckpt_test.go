@@ -45,6 +45,74 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 }
 
+// TestFacadeAsyncCheckpointing drives the async pipeline through the
+// public API: Manager in async mode, the standalone AsyncCheckpointer,
+// the SetKeep retention knob, and the overlapped-cost model helpers.
+func TestFacadeAsyncCheckpointing(t *testing.T) {
+	a := lossyckpt.Poisson3D(8)
+	b := lossyckpt.OnesRHS(a.Rows)
+	cg := lossyckpt.NewCG(a, nil, b, nil, lossyckpt.SeqSpace{}, lossyckpt.SolverOptions{RTol: 1e-7})
+	mgr, err := lossyckpt.NewManager(lossyckpt.ManagerConfig{
+		Scheme:   lossyckpt.Lossy,
+		Interval: 5,
+		Async:    true,
+		SZParams: lossyckpt.SZParams{Mode: lossyckpt.PWRel, ErrorBound: 1e-4},
+	}, lossyckpt.NewMemStorage(), cg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Checkpointer().SetKeep(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Checkpointer().SetKeep(0); err == nil {
+		t.Fatal("SetKeep(0) must be rejected through the facade")
+	}
+	failed := false
+	res, err := lossyckpt.RunToConvergence(cg, lossyckpt.SolverOptions{}, func(it int, rnorm float64) error {
+		if _, err := mgr.MaybeCheckpoint(); err != nil {
+			return err
+		}
+		if it == 12 && !failed {
+			failed = true
+			if _, err := mgr.Recover(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("async facade solve did not converge")
+	}
+	if _, err := mgr.WaitCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if stats := mgr.AsyncCheckpointer().Stats(); stats.Saves == 0 {
+		t.Fatal("no async saves recorded")
+	}
+
+	// Standalone pipeline usage.
+	ac := lossyckpt.NewAsyncCheckpointer(lossyckpt.NewCheckpointer(lossyckpt.NewMemStorage(), lossyckpt.RawEncoder{}))
+	x := []float64{1, 2, 3}
+	tk, err := ac.SaveAsync(&lossyckpt.CheckpointSnapshot{Iteration: 1, Vectors: map[string][]float64{"x": x}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info, err := tk.Wait(); err != nil || info.Seq != 1 {
+		t.Fatalf("ticket wait: %+v %v", info, err)
+	}
+
+	// Overlapped-cost model: background hidden by the interval.
+	if got := lossyckpt.AsyncEffectiveStall(0.5, 30, 120); got != 0.5 {
+		t.Fatalf("AsyncEffectiveStall = %v, want 0.5", got)
+	}
+	if a, s := lossyckpt.AsyncOverheadRatio(1.0/3600, 0.5, 30, 120), lossyckpt.ExpectedOverheadRatio(1.0/3600, 30.5); a >= s {
+		t.Fatalf("async ratio %v not below sync %v", a, s)
+	}
+}
+
 // TestFacadeModel sanity-checks the re-exported model functions.
 func TestFacadeModel(t *testing.T) {
 	if got := lossyckpt.YoungInterval(3600, 25); got < 400 || got > 440 {
