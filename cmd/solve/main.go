@@ -8,6 +8,19 @@
 //	solve -method cg -grid 16 -scheme lossy -eb 1e-4 -mtti 300
 //	solve -method jacobi -grid 12 -scheme traditional -ckptdir /tmp/ck
 //	solve -method cg -grid 16 -scheme lossy -mtti 300 -async
+//	solve -method cg -grid 16 -scheme lossy -mtti 300 -async -shards 8 -storage-workers 4
+//
+// -shards N splits every checkpoint into N shard objects plus a
+// manifest, written concurrently by up to -storage-workers goroutines
+// (0 = GOMAXPROCS). Passing -shards (any value, 1 included) also
+// switches the simulated write cost from the paper's collective model
+// (2,048 ranks writing concurrently at the full aggregate PFS
+// bandwidth) to the single-writer striped model: per-stripe bandwidth
+// × min(shards, stripes), saturating at the aggregate. Compare
+// -shards 1 against -shards 8 to see the storage stage scale with
+// stripes; the two models are different physical setups, so comparing
+// a -shards run against a run without the flag compares collective
+// writes against single-writer ones.
 package main
 
 import (
@@ -40,15 +53,26 @@ func main() {
 	ckptDir := flag.String("ckptdir", "", "write checkpoints to this directory (default: in-memory)")
 	maxIter := flag.Int("maxiter", 2_000_000, "iteration cap")
 	async := flag.Bool("async", false, "asynchronous checkpointing: charge only the capture stall; encode+write overlap iterations")
+	shards := flag.Int("shards", 1, "shard objects per checkpoint (>1 writes shards + a manifest; passing the flag at all prices writes with the single-writer striped-PFS model)")
+	storageWorkers := flag.Int("storage-workers", 0, "worker pool bound for shard writes/reads (0 = GOMAXPROCS)")
 	flag.Parse()
+	// The striped single-writer cost model engages when -shards is
+	// given explicitly — including -shards 1, so monolithic and sharded
+	// runs compare within one model instead of across two.
+	striped := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "shards" {
+			striped = true
+		}
+	})
 
-	if err := run(*method, *grid, *rtol, *schemeName, *eb, *interval, *mtti, *tit, *seed, *ckptDir, *maxIter, *async); err != nil {
+	if err := run(*method, *grid, *rtol, *schemeName, *eb, *interval, *mtti, *tit, *seed, *ckptDir, *maxIter, *async, *shards, *storageWorkers, striped); err != nil {
 		fmt.Fprintln(os.Stderr, "solve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(method string, grid int, rtol float64, schemeName string, eb, interval, mtti, tit float64, seed int64, ckptDir string, maxIter int, async bool) error {
+func run(method string, grid int, rtol float64, schemeName string, eb, interval, mtti, tit float64, seed int64, ckptDir string, maxIter int, async bool, shards, storageWorkers int, striped bool) error {
 	a := sparse.Poisson3D(grid)
 	b := sparse.OnesRHS(a.Rows)
 	fmt.Printf("system: 3D Poisson %d³ = %d unknowns, %d nonzeros\n", grid, a.Rows, a.NNZ())
@@ -110,8 +134,10 @@ func run(method string, grid int, rtol float64, schemeName string, eb, interval,
 		storage = ds
 	}
 	mgr, err := core.NewManager(core.Config{
-		Scheme:   scheme,
-		SZParams: sz.Params{Mode: sz.PWRel, ErrorBound: eb},
+		Scheme:         scheme,
+		SZParams:       sz.Params{Mode: sz.PWRel, ErrorBound: eb},
+		Shards:         shards,
+		StorageWorkers: storageWorkers,
 	}, storage, s)
 	if err != nil {
 		return err
@@ -131,6 +157,17 @@ func run(method string, grid int, rtol float64, schemeName string, eb, interval,
 			sch = cluster.LosslessCompressed
 		case core.Lossy:
 			sch = cluster.LossyCompressed
+		}
+		if striped {
+			// Single-writer object writes under the striped-PFS model,
+			// engaging min(shards, stripes) stripes — used for every
+			// value of -shards (1 included) so monolithic and sharded
+			// runs compare within the same model.
+			n := info.Shards
+			if n < 1 {
+				n = shards
+			}
+			return mdl.ShardedCheckpointSeconds(2048, float64(info.Bytes), raw, sch, n)
 		}
 		return mdl.CheckpointSeconds(2048, float64(info.Bytes), raw, sch)
 	}
@@ -199,6 +236,10 @@ func run(method string, grid int, rtol float64, schemeName string, eb, interval,
 	if info := mgr.LastInfo(); info.Bytes > 0 {
 		fmt.Printf("last checkpoint: %d bytes (ratio %.1fx, encoder %s)\n",
 			info.Bytes, info.CompressionRatio, info.EncoderName)
+		if info.Shards > 1 {
+			fmt.Printf("sharded: %d shard objects + manifest, %d storage workers, striped write bandwidth %.2f GB/s\n",
+				info.Shards, storageWorkers, mdl.StripedWriteBandwidth(info.Shards)/1e9)
+		}
 	}
 	return nil
 }

@@ -46,6 +46,21 @@ type Model struct {
 	// protected state into the double buffer) — no PFS, no
 	// compression, so orders of magnitude faster than a checkpoint.
 	MemCopyPerCore float64
+
+	// Stripes and StripeBandwidth model the PFS's object-storage
+	// striping (Lustre OSTs): the file system exposes Stripes stripes
+	// of StripeBandwidth bytes/s each, with Stripes×StripeBandwidth =
+	// PFSBandwidth (the aggregate a fully collective write achieves).
+	// A checkpoint written as one monolithic object streams through a
+	// single stripe; sharding it into S objects engages min(S, Stripes)
+	// stripes — exactly why per-block shard objects make the storage
+	// stage scale (ShardedCheckpointSeconds).
+	Stripes         int
+	StripeBandwidth float64
+	// PerShardSeconds is the metadata cost of creating one shard
+	// object (open/create+commit on the PFS metadata server); it is
+	// the term that makes over-sharding (S ≫ Stripes) a loss.
+	PerShardSeconds float64
 }
 
 // Bebop returns the model calibrated to the paper's measurements.
@@ -58,6 +73,13 @@ func Bebop() *Model {
 		LosslessPerCore:      100e6,
 		StaticPerRankSeconds: 0.004,
 		MemCopyPerCore:       4e9,
+		// 48 OSTs splitting the calibrated 0.8 GB/s aggregate: a full
+		// stripe-wide sharded write recovers exactly the collective
+		// bandwidth the paper's measurements fix, a monolithic write
+		// gets one stripe's worth.
+		Stripes:         48,
+		StripeBandwidth: 0.80e9 / 48,
+		PerShardSeconds: 0.0005,
 	}
 }
 
@@ -71,6 +93,19 @@ const (
 	LossyCompressed
 )
 
+// compressSeconds is the scheme-dependent compression cost of one
+// checkpoint, shared by the collective and sharded write models so a
+// calibration change cannot skew their comparison.
+func (m *Model) compressSeconds(procs int, rawBytes float64, scheme Scheme) float64 {
+	switch scheme {
+	case LossyCompressed:
+		return rawBytes / (m.CompressPerCore * float64(procs))
+	case LosslessCompressed:
+		return rawBytes / (m.LosslessPerCore * float64(procs))
+	}
+	return 0
+}
+
 // CheckpointSeconds returns the wall time of one checkpoint: optional
 // compression of rawBytes across procs cores, then writing
 // encodedBytes through the shared PFS.
@@ -78,14 +113,54 @@ func (m *Model) CheckpointSeconds(procs int, encodedBytes, rawBytes float64, sch
 	if procs <= 0 {
 		panic(fmt.Sprintf("cluster: procs must be positive, got %d", procs))
 	}
-	t := m.PerRankSeconds*float64(procs) + encodedBytes/m.PFSBandwidth
-	switch scheme {
-	case LossyCompressed:
-		t += rawBytes / (m.CompressPerCore * float64(procs))
-	case LosslessCompressed:
-		t += rawBytes / (m.LosslessPerCore * float64(procs))
+	return m.PerRankSeconds*float64(procs) +
+		encodedBytes/m.PFSBandwidth +
+		m.compressSeconds(procs, rawBytes, scheme)
+}
+
+// StripedWriteBandwidth returns the effective PFS bandwidth of a
+// checkpoint written as shards parallel shard objects: per-stripe
+// bandwidth × min(shards, stripes), never exceeding the aggregate
+// PFSBandwidth. shards < 1 is treated as a monolithic single-object
+// write; a Model without striping parameters (Stripes or
+// StripeBandwidth zero) falls back to the aggregate bandwidth, so
+// pre-striping Model literals keep their old behavior.
+func (m *Model) StripedWriteBandwidth(shards int) float64 {
+	if m.Stripes <= 0 || m.StripeBandwidth <= 0 {
+		return m.PFSBandwidth
 	}
-	return t
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > m.Stripes {
+		shards = m.Stripes
+	}
+	bw := m.StripeBandwidth * float64(shards)
+	if m.PFSBandwidth > 0 && bw > m.PFSBandwidth {
+		bw = m.PFSBandwidth
+	}
+	return bw
+}
+
+// ShardedCheckpointSeconds returns the wall time of one checkpoint
+// written as shards parallel shard objects plus a manifest: optional
+// compression of rawBytes across procs cores (as in
+// CheckpointSeconds), then encodedBytes through min(shards, Stripes)
+// stripes, plus the per-object metadata cost of the shards and the
+// manifest. With shards = 1 and the Bebop striping parameters this is
+// the single-stripe serial write; at shards ≥ Stripes it recovers the
+// aggregate-bandwidth cost of the collective write the paper measures.
+func (m *Model) ShardedCheckpointSeconds(procs int, encodedBytes, rawBytes float64, scheme Scheme, shards int) float64 {
+	if procs <= 0 {
+		panic(fmt.Sprintf("cluster: procs must be positive, got %d", procs))
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	return m.PerRankSeconds*float64(procs) +
+		m.PerShardSeconds*float64(shards+1) + // +1: the manifest object
+		encodedBytes/m.StripedWriteBandwidth(shards) +
+		m.compressSeconds(procs, rawBytes, scheme)
 }
 
 // CaptureSeconds returns the solver-visible stall of one asynchronous

@@ -118,3 +118,56 @@ func TestTable3Sizes(t *testing.T) {
 		}
 	}
 }
+
+func TestStripedWriteBandwidth(t *testing.T) {
+	m := Bebop()
+	// Striping splits the calibrated aggregate exactly.
+	if got := m.StripedWriteBandwidth(m.Stripes) - m.PFSBandwidth; got > 1e-6 || got < -1e-6 {
+		t.Fatalf("full-stripe bandwidth %.3g != aggregate %.3g", m.StripedWriteBandwidth(m.Stripes), m.PFSBandwidth)
+	}
+	one := m.StripedWriteBandwidth(1)
+	if one != m.StripeBandwidth {
+		t.Fatalf("monolithic write should get one stripe: %.3g vs %.3g", one, m.StripeBandwidth)
+	}
+	// min(shards, stripes): bandwidth grows linearly then saturates.
+	if m.StripedWriteBandwidth(8) != 8*m.StripeBandwidth {
+		t.Fatal("8 shards should engage 8 stripes")
+	}
+	if m.StripedWriteBandwidth(10*m.Stripes) != m.PFSBandwidth {
+		t.Fatal("over-sharding must saturate at the aggregate")
+	}
+	if m.StripedWriteBandwidth(0) != one || m.StripedWriteBandwidth(-3) != one {
+		t.Fatal("shards < 1 must be treated as monolithic")
+	}
+	// A model without striping parameters keeps the aggregate (legacy
+	// Model literals).
+	legacy := &Model{PFSBandwidth: 1e9}
+	if legacy.StripedWriteBandwidth(4) != 1e9 {
+		t.Fatal("legacy model must fall back to the aggregate bandwidth")
+	}
+}
+
+func TestShardedCheckpointSeconds(t *testing.T) {
+	m := Bebop()
+	const procs = 2048
+	enc, raw := 1.0e9, 8.0e9
+	mono := m.ShardedCheckpointSeconds(procs, enc, raw, LossyCompressed, 1)
+	s8 := m.ShardedCheckpointSeconds(procs, enc, raw, LossyCompressed, 8)
+	full := m.ShardedCheckpointSeconds(procs, enc, raw, LossyCompressed, m.Stripes)
+	if !(s8 < mono) || !(full < s8) {
+		t.Fatalf("sharding must speed up the write: mono=%.2f s8=%.2f full=%.2f", mono, s8, full)
+	}
+	// At full striping the transfer term matches the collective model;
+	// only the per-shard metadata differs.
+	collective := m.CheckpointSeconds(procs, enc, raw, LossyCompressed)
+	extra := full - collective
+	want := m.PerShardSeconds * float64(m.Stripes+1)
+	if diff := extra - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("full-stripe sharded cost differs from collective by %.6f, want metadata %.6f", extra, want)
+	}
+	// Over-sharding: bandwidth saturated, metadata keeps growing.
+	over := m.ShardedCheckpointSeconds(procs, enc, raw, LossyCompressed, 4*m.Stripes)
+	if !(over > full) {
+		t.Fatal("over-sharding must cost more than full striping")
+	}
+}

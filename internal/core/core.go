@@ -90,6 +90,17 @@ type Config struct {
 	// previous committed checkpoint — the paper's failure-during-
 	// checkpoint semantics.
 	Async bool
+	// Shards splits every checkpoint into this many shard objects
+	// (written concurrently, cut along SZG2 block boundaries) plus a
+	// manifest committed last; 0 or 1 keeps the monolithic layout.
+	// Recovery from a group with any missing or corrupted shard falls
+	// back to the previous committed checkpoint. fti.Info.Shards
+	// reports the layout to striped-PFS cost models
+	// (cluster.Model.ShardedCheckpointSeconds).
+	Shards int
+	// StorageWorkers bounds the worker pool writing/reading shard
+	// objects (0 = GOMAXPROCS-sized; capped at Shards).
+	StorageWorkers int
 }
 
 // Manager connects a solver to a checkpointer under one of the three
@@ -143,6 +154,9 @@ func NewManager(cfg Config, storage fti.Storage, s solver.Checkpointable) (*Mana
 	m.rst, _ = s.(solver.Restartable)
 	m.gmres, _ = s.(*solver.GMRES)
 	m.ckpt = fti.New(storage, m.encoder())
+	if err := m.ckpt.SetSharding(cfg.Shards, cfg.StorageWorkers); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	if cfg.Async {
 		m.async = fti.NewAsync(m.ckpt)
 	}

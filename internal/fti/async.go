@@ -124,6 +124,16 @@ func NewAsync(c *Checkpointer) *AsyncCheckpointer {
 // to use after Wait/Flush has drained the in-flight save.
 func (a *AsyncCheckpointer) Checkpointer() *Checkpointer { return a.c }
 
+// SetSharding configures the wrapped Checkpointer's sharded storage
+// layout (see Checkpointer.SetSharding): the background write stage
+// then fans each checkpoint out into shards objects over a bounded
+// worker pool and commits a manifest last. The in-flight save, if any,
+// is drained first so the layout never changes mid-write.
+func (a *AsyncCheckpointer) SetSharding(shards, workers int) error {
+	a.drain(false)
+	return a.c.SetSharding(shards, workers)
+}
+
 // SaveAsync captures s and schedules its encode+write in the
 // background. It returns once the capture copy is complete — the
 // solver may mutate the snapshot's vectors immediately afterwards. If

@@ -15,6 +15,9 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/fti/shard"
+	"repro/internal/sz"
 )
 
 // Encoder turns a float64 vector into checkpoint bytes and back.
@@ -47,6 +50,10 @@ type Info struct {
 	VectorBytes      int // encoded bytes of the vector payload only
 	StaticBytes      int // bytes of statics written so far (once)
 	CompressionRatio float64
+	// Shards is the number of shard objects the checkpoint was written
+	// as (1 = a single monolithic object). Striped-PFS cost models key
+	// off it: a sharded write engages min(Shards, stripes) stripes.
+	Shards int
 }
 
 // Checkpointer coordinates Protect/Checkpoint/Recover for one rank (or
@@ -55,6 +62,12 @@ type Checkpointer struct {
 	storage Storage
 	enc     Encoder
 	keep    int // checkpoints retained (≥1)
+
+	// shards > 1 splits every checkpoint into that many shard objects
+	// plus a manifest (see package shard); storageWorkers bounds the
+	// worker pool writing/reading them (0 = GOMAXPROCS-sized).
+	shards         int
+	storageWorkers int
 
 	seq        int
 	staticSize int
@@ -144,6 +157,33 @@ func (c *Checkpointer) SetKeep(n int) error {
 
 // Keep reports the current retention window.
 func (c *Checkpointer) Keep() int { return c.keep }
+
+// SetSharding configures sharded checkpoint storage: each subsequent
+// checkpoint is split into shards objects (cut points aligned to the
+// SZG2 block boundaries of the encoded vectors) written concurrently
+// by at most workers goroutines, plus a manifest committed last.
+// shards ≤ 1 restores the monolithic layout; workers ≤ 0 sizes the
+// pool from GOMAXPROCS. Previously written checkpoints — sharded or
+// monolithic — remain restorable either way: Restore distinguishes the
+// layouts by the object's magic, not the configuration.
+func (c *Checkpointer) SetSharding(shards, workers int) error {
+	if shards > shard.MaxShards {
+		return fmt.Errorf("fti: %d shards exceed the %d maximum", shards, shard.MaxShards)
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if workers < 0 {
+		workers = 0
+	}
+	c.shards = shards
+	c.storageWorkers = workers
+	return nil
+}
+
+// Sharding reports the configured shard count and storage worker
+// bound (1, 0 means monolithic writes).
+func (c *Checkpointer) Sharding() (shards, workers int) { return max(c.shards, 1), c.storageWorkers }
 
 // SetEncoder swaps the vector encoder; subsequent checkpoints use it.
 // The paper's Theorem-3 adaptive GMRES bound re-parameterizes the
@@ -263,8 +303,8 @@ func (c *Checkpointer) Save(s *Snapshot) (Info, error) {
 // its own double buffers, so save must not touch c.encBuf.
 func (c *Checkpointer) save(s *Snapshot, buf []byte) ([]byte, Info, error) {
 	c.seq++
-	info := Info{Seq: c.seq, EncoderName: c.enc.Name(), StaticBytes: c.staticSize}
-	payload, rawBytes, vecBytes, err := encodeSnapshot(s, c.enc, buf)
+	info := Info{Seq: c.seq, EncoderName: c.enc.Name(), StaticBytes: c.staticSize, Shards: 1}
+	payload, rawBytes, vecBytes, bounds, err := encodeSnapshot(s, c.enc, buf, c.shards > 1)
 	if err != nil {
 		c.seq--
 		return buf, Info{}, err
@@ -276,11 +316,25 @@ func (c *Checkpointer) save(s *Snapshot, buf []byte) ([]byte, Info, error) {
 		info.CompressionRatio = float64(rawBytes) / float64(info.Bytes)
 	}
 	name := ckptName(c.seq)
-	if err := c.storage.Write(name, payload); err != nil {
+	// groupShards is the number of shard *objects* the just-written
+	// checkpoint owns: 0 for a monolithic write (its base name holds
+	// the payload itself, so any shard object under that base is stale
+	// debris from a crashed earlier attempt at the same sequence).
+	groupShards := 0
+	if c.shards > 1 {
+		written, err := shard.Write(c.storage, name, c.enc.Name(), payload, bounds,
+			shard.Options{Shards: c.shards, Workers: c.storageWorkers})
+		if err != nil {
+			c.seq--
+			return payload, Info{}, err
+		}
+		info.Shards = written
+		groupShards = written
+	} else if err := c.storage.Write(name, payload); err != nil {
 		c.seq--
 		return payload, Info{}, err
 	}
-	c.gc()
+	c.gc(groupShards)
 	return payload, info, nil
 }
 
@@ -307,6 +361,22 @@ func (c *Checkpointer) Restore() (*Snapshot, error) {
 		if err != nil {
 			lastErr = err
 			continue
+		}
+		// A sharded checkpoint stores its manifest under the plain
+		// checkpoint name; reassemble the payload from the shard group.
+		// Any missing or checksum-corrupted shard rejects the whole
+		// group and recovery falls back to the previous checkpoint.
+		if shard.IsManifest(data) {
+			man, err := shard.ParseManifest(data)
+			if err != nil {
+				lastErr = fmt.Errorf("fti: checkpoint %d: %w", seq, err)
+				continue
+			}
+			data, err = shard.Read(c.storage, man, shard.Options{Workers: c.storageWorkers})
+			if err != nil {
+				lastErr = fmt.Errorf("fti: checkpoint %d: %w", seq, err)
+				continue
+			}
 		}
 		s, err := decodeSnapshot(data, c.enc)
 		if err != nil {
@@ -341,19 +411,62 @@ func (c *Checkpointer) DropLatest() error {
 	if c.seq == 0 {
 		return nil
 	}
-	if err := c.storage.Delete(ckptName(c.seq)); err != nil {
+	// shard.Delete removes the manifest (or monolithic object) first —
+	// the checkpoint instantly stops being a recovery target — then any
+	// shard objects of the group.
+	if err := shard.Delete(c.storage, ckptName(c.seq)); err != nil {
 		return err
 	}
 	c.seq--
 	return nil
 }
 
-// gc removes checkpoints beyond the retention window.
-func (c *Checkpointer) gc() {
-	seqs := c.ckptSeqs()
+// gc removes checkpoints beyond the retention window — manifest (or
+// monolithic object) first, then the group's shards — and sweeps
+// orphan shards: objects named like a shard whose base checkpoint no
+// longer exists, left behind by a write that crashed between its shard
+// writes and its manifest commit. gc runs synchronously inside save,
+// after the new manifest committed, so the only in-flight group is its
+// own (already committed) one and the sweep cannot race a writer.
+//
+// writtenShards is the shard count of the just-written checkpoint
+// (c.seq): a crash-restart re-uses the orphans' sequence number, so
+// the new group can land on a base that stale higher-indexed shard
+// objects still reference — those are dead too, even though the base
+// is live.
+func (c *Checkpointer) gc(writtenShards int) {
+	names, err := c.storage.List()
+	if err != nil {
+		return
+	}
+	live := make(map[string]bool)
+	var seqs []int
+	for _, n := range names {
+		if seq, ok := parseCkptName(n); ok {
+			seqs = append(seqs, seq)
+			live[n] = true
+		}
+	}
 	sort.Sort(sort.Reverse(sort.IntSlice(seqs)))
 	for i := c.keep; i < len(seqs); i++ {
-		_ = c.storage.Delete(ckptName(seqs[i]))
+		base := ckptName(seqs[i])
+		delete(live, base)
+		_ = c.storage.Delete(base)
+	}
+	cur := ckptName(c.seq)
+	for _, n := range names {
+		base, idx, ok := shard.ShardBase(n)
+		if !ok {
+			continue
+		}
+		if live[base] && (base != cur || idx < writtenShards) {
+			continue
+		}
+		// Only objects whose base is a checkpoint name are checkpoint
+		// shards; a static blob that happens to end in ".sNNNNN" is not.
+		if _, isCkpt := parseCkptName(base); isCkpt {
+			_ = c.storage.Delete(n)
+		}
 	}
 }
 
@@ -376,7 +489,14 @@ const fileMagic = "FTIG"
 // vectors, CRC32 trailer. The payload is appended into buf's backing
 // array when capacity allows (buf may be nil); the caller owns the
 // returned slice and may pass it back as buf on the next call.
-func encodeSnapshot(s *Snapshot, enc Encoder, buf []byte) (payload []byte, rawBytes, vecBytes int, err error) {
+//
+// With wantBounds set, bounds lists preferred shard cut offsets within
+// the payload, sorted ascending: the start of every vector blob plus,
+// for blobs in the SZG2 blocked container, the start of each
+// compression block inside them — so a sharded write can cut along
+// boundaries where a shard holds whole compression units. Monolithic
+// callers pass false and skip the per-blob header parse entirely.
+func encodeSnapshot(s *Snapshot, enc Encoder, buf []byte, wantBounds bool) (payload []byte, rawBytes, vecBytes int, bounds []int, err error) {
 	out := buf[:0]
 	var scratch [binary.MaxVarintLen64]byte
 	putUvarint := func(v uint64) {
@@ -411,11 +531,20 @@ func encodeSnapshot(s *Snapshot, enc Encoder, buf []byte) (payload []byte, rawBy
 		v := s.Vectors[name]
 		blob, err := enc.Encode(v)
 		if err != nil {
-			return nil, 0, 0, fmt.Errorf("fti: encode vector %q: %w", name, err)
+			return nil, 0, 0, nil, fmt.Errorf("fti: encode vector %q: %w", name, err)
 		}
 		putString(name)
 		putUvarint(uint64(len(v)))
 		putUvarint(uint64(len(blob)))
+		if wantBounds {
+			blobStart := len(out)
+			bounds = append(bounds, blobStart)
+			if ranges, ok := sz.BlockRanges(blob); ok {
+				for _, r := range ranges[1:] { // ranges[0].Start is mid-header
+					bounds = append(bounds, blobStart+r.Start)
+				}
+			}
+		}
 		out = append(out, blob...)
 		rawBytes += 8 * len(v)
 		vecBytes += len(blob)
@@ -425,7 +554,7 @@ func encodeSnapshot(s *Snapshot, enc Encoder, buf []byte) (payload []byte, rawBy
 	var b4 [4]byte
 	binary.LittleEndian.PutUint32(b4[:], crc)
 	out = append(out, b4[:]...)
-	return out, rawBytes, vecBytes, nil
+	return out, rawBytes, vecBytes, bounds, nil
 }
 
 func decodeSnapshot(data []byte, enc Encoder) (*Snapshot, error) {

@@ -1,0 +1,75 @@
+package shard
+
+import (
+	"testing"
+)
+
+// FuzzParseManifest hammers the manifest parser with mutated inputs:
+// it must never panic, never accept a byte stream that fails its own
+// re-serialization check, and — the property the crafted-header tests
+// pin down deterministically — never size an allocation from a length
+// field that the bytes present cannot justify (the shard slice is the
+// only parser allocation, bounded by len(data)/7 entries).
+func FuzzParseManifest(f *testing.F) {
+	valid := AppendManifest(nil, &Manifest{
+		Encoder: "sz",
+		Total:   128,
+		Shards: []Info{
+			{Name: ShardName("ckpt-000000000001", 0), Size: 64, CRC: 7},
+			{Name: ShardName("ckpt-000000000001", 1), Size: 64, CRC: 8},
+		},
+	})
+	f.Add(valid)
+	f.Add([]byte(manifestMagic))
+	f.Add(sealManifest([]byte("FTSM\x01")))
+	f.Add(craftFuzzManifest("sz", 1<<40, 1<<40))
+	f.Add(craftFuzzManifest("", 0, 0))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ParseManifest(data)
+		if err != nil {
+			return
+		}
+		// Anything accepted must be internally consistent and must
+		// round-trip to an equivalent manifest.
+		if len(m.Shards) == 0 || len(m.Shards) > MaxShards {
+			t.Fatalf("accepted manifest with %d shards", len(m.Shards))
+		}
+		sum := 0
+		for _, s := range m.Shards {
+			if s.Size < 0 || s.Size > m.Total {
+				t.Fatalf("accepted shard size %d of total %d", s.Size, m.Total)
+			}
+			if _, _, ok := ShardBase(s.Name); !ok {
+				t.Fatalf("accepted malformed shard name %q", s.Name)
+			}
+			sum += s.Size
+		}
+		if sum != m.Total {
+			t.Fatalf("accepted sizes summing to %d with total %d", sum, m.Total)
+		}
+		// Semantic round trip (byte equality is too strict: Uvarint
+		// accepts non-canonical varint encodings that AppendManifest
+		// would re-emit canonically).
+		m2, err := ParseManifest(AppendManifest(nil, m))
+		if err != nil {
+			t.Fatalf("accepted manifest fails to re-parse: %v", err)
+		}
+		if m2.Encoder != m.Encoder || m2.Total != m.Total || len(m2.Shards) != len(m.Shards) {
+			t.Fatalf("manifest round trip mismatch")
+		}
+	})
+}
+
+// craftFuzzManifest frames a manifest header claiming the given total
+// and shard count with a valid CRC trailer and no entries.
+func craftFuzzManifest(encoder string, total, nShards uint64) []byte {
+	out := []byte(manifestMagic)
+	out = append(out, manifestVersion)
+	out = appendUvarint(out, uint64(len(encoder)))
+	out = append(out, encoder...)
+	out = appendUvarint(out, total)
+	out = appendUvarint(out, nShards)
+	return sealManifest(out)
+}

@@ -1,0 +1,472 @@
+// Package shard implements sharded checkpoint storage: one encoded
+// checkpoint payload is split into N independently written shard
+// objects plus a small manifest that names them. The decomposition is
+// the same one FTI-style multi-level checkpointing uses to engage
+// parallel-file-system stripes — each shard streams through its own
+// stripe (or its own worker goroutine on a local store), so the
+// storage stage of the checkpoint pipeline scales with workers
+// instead of being one serial monolithic write.
+//
+// Commit protocol (atomic by construction):
+//
+//  1. every shard object is written first, fanned out over a bounded
+//     worker pool;
+//  2. the manifest — shard names, sizes, per-shard CRC32C checksums,
+//     the encoder mode, and the total payload length — is written
+//     last, under the checkpoint's own name.
+//
+// A checkpoint group therefore exists exactly when its manifest does.
+// Readers that find shard objects without a manifest (a write aborted
+// by a crash) ignore them as orphans; readers that find a manifest
+// whose shards are missing or fail their checksum reject the whole
+// group, so recovery falls back to the previous committed checkpoint —
+// the paper's failure-during-checkpoint path. Deletion inverts the
+// order: manifest first (the group instantly stops being a recovery
+// target), then the shards, so a crash mid-delete leaves only
+// ignorable orphans, never a manifest pointing at deleted data.
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"strings"
+
+	"repro/internal/parallel"
+)
+
+// Storage is the minimal object-store contract the shard layer needs.
+// It is structurally identical to fti.Storage (which satisfies it), and
+// is redeclared here so the fti package can build on this one without
+// an import cycle. Write is called concurrently from the worker pool —
+// always with distinct names — so implementations must tolerate
+// concurrent writes to distinct objects.
+type Storage interface {
+	Write(name string, data []byte) error
+	Read(name string) ([]byte, error)
+	Delete(name string) error
+	List() ([]string, error)
+}
+
+// BatchWriter is an optional Storage extension the shard writer uses
+// for the shard objects of one group: WriteBatched must make the
+// object's *data* durable but may defer making its namespace entry
+// durable until the next full Write to the same store. The manifest is
+// always committed with a full Write after the batch, so on a
+// directory store one directory fsync commits the entire group —
+// N shards cost N data flushes but a single namespace flush, and the
+// commit protocol stays intact (no manifest entry can become durable
+// ahead of it in the same directory sync). Stores without the
+// extension just get a full Write per shard.
+type BatchWriter interface {
+	WriteBatched(name string, data []byte) error
+}
+
+const (
+	manifestMagic   = "FTSM"
+	manifestVersion = 1
+
+	// MaxShards bounds the shard count a writer accepts and a manifest
+	// parser believes. Far above any sane fan-out; its job is to make
+	// crafted manifests fail fast, mirroring the SZG2 header hardening.
+	MaxShards = 1 << 16
+
+	// maxNameLen bounds each shard name in a manifest; real names are
+	// "ckpt-%012d.s%05d" (25 bytes).
+	maxNameLen = 255
+)
+
+// castagnoli is the CRC32C polynomial table — the checksum storage
+// systems (iSCSI, ext4, Lustre) use, distinct from the IEEE CRC32 the
+// snapshot trailer uses, so a manifest can never be mistaken for a
+// payload integrity check.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum returns the CRC32C of data, the per-shard checksum recorded
+// in the manifest.
+func Checksum(data []byte) uint32 { return crc32.Checksum(data, castagnoli) }
+
+// Info describes one shard object of a committed group.
+type Info struct {
+	Name string // storage object name
+	Size int    // exact byte length
+	CRC  uint32 // CRC32C of the object's bytes
+}
+
+// Manifest describes a committed sharded checkpoint: the encoder that
+// produced the payload, its total reassembled length, and the shard
+// objects in payload order.
+type Manifest struct {
+	Encoder string
+	Total   int
+	Shards  []Info
+}
+
+// Options tune a sharded write or read.
+type Options struct {
+	// Shards is the number of shard objects per checkpoint. Values
+	// below 2 are the caller's monolithic path; Write clamps to the
+	// payload length so no shard is empty.
+	Shards int
+	// Workers bounds the worker pool that writes/reads shard objects
+	// concurrently; 0 means parallel.Workers(). The pool never exceeds
+	// the shard count.
+	Workers int
+}
+
+// ShardName returns the storage object name of shard i of group base.
+func ShardName(base string, i int) string {
+	return fmt.Sprintf("%s.s%05d", base, i)
+}
+
+// ShardBase reports whether name is a shard object name and, if so,
+// the base (manifest) name of its group and the shard's index.
+func ShardBase(name string) (base string, idx int, ok bool) {
+	i := strings.LastIndex(name, ".s")
+	if i <= 0 {
+		return "", 0, false
+	}
+	digits := name[i+2:]
+	if len(digits) != 5 {
+		return "", 0, false
+	}
+	for _, c := range digits {
+		if c < '0' || c > '9' {
+			return "", 0, false
+		}
+		idx = idx*10 + int(c-'0')
+	}
+	return name[:i], idx, true
+}
+
+// Split partitions [0, totalLen) into n contiguous byte ranges. Each
+// cut starts at its even-split position and snaps to the nearest
+// aligned boundary (a sorted list of offsets, e.g. SZG2 block starts
+// within the payload) when one lies within half an even span — shards
+// then hold whole compression blocks, at the cost of mild imbalance.
+// n is clamped so every range is non-empty.
+func Split(totalLen, n int, aligned []int) []Range {
+	if n < 1 {
+		n = 1
+	}
+	if n > totalLen {
+		n = totalLen
+	}
+	if totalLen == 0 || n <= 1 {
+		return []Range{{0, totalLen}}
+	}
+	span := totalLen / n
+	ranges := make([]Range, 0, n)
+	start := 0
+	ai := 0
+	for k := 1; k < n; k++ {
+		ideal := k * totalLen / n
+		cut := ideal
+		// Advance to the aligned boundary closest to ideal.
+		for ai < len(aligned) && aligned[ai] < ideal {
+			ai++
+		}
+		best, found := 0, false
+		if ai < len(aligned) && aligned[ai] < totalLen {
+			best, found = aligned[ai], true
+		}
+		if ai > 0 && aligned[ai-1] > start {
+			if !found || ideal-aligned[ai-1] < best-ideal {
+				best, found = aligned[ai-1], true
+			}
+		}
+		if found && abs(best-ideal) <= span/2 && best > start && best < totalLen {
+			cut = best
+		}
+		if cut <= start {
+			continue // degenerate: skip the cut rather than emit an empty shard
+		}
+		ranges = append(ranges, Range{start, cut})
+		start = cut
+	}
+	return append(ranges, Range{start, totalLen})
+}
+
+// Range is a half-open [Start, End) byte span of the payload.
+type Range struct {
+	Start, End int
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func (o Options) workers(shards int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = parallel.Workers()
+	}
+	if w > shards {
+		w = shards
+	}
+	return w
+}
+
+// Write stores payload under base as a sharded group: the shard
+// objects first, fanned out over the bounded worker pool, then the
+// manifest last (the commit point). aligned lists preferred cut
+// offsets within payload (sorted ascending; nil for even splits). On
+// any shard failure the already-written shards are best-effort deleted
+// and no manifest is written, so the group never becomes visible. The
+// shard count actually used (≥ 1) is returned.
+func Write(st Storage, base, encoder string, payload []byte, aligned []int, opt Options) (int, error) {
+	n := opt.Shards
+	if n > MaxShards {
+		return 0, fmt.Errorf("shard: %d shards exceed the %d maximum", n, MaxShards)
+	}
+	ranges := Split(len(payload), n, aligned)
+	n = len(ranges)
+	m := &Manifest{Encoder: encoder, Total: len(payload), Shards: make([]Info, n)}
+	writeShard := st.Write
+	if bw, ok := st.(BatchWriter); ok {
+		writeShard = bw.WriteBatched
+	}
+	errs := make([]error, n)
+	parallel.ForBounded(n, 1, opt.workers(n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			chunk := payload[ranges[i].Start:ranges[i].End]
+			name := ShardName(base, i)
+			m.Shards[i] = Info{Name: name, Size: len(chunk), CRC: Checksum(chunk)}
+			errs[i] = writeShard(name, chunk)
+		}
+	})
+	for i, err := range errs {
+		if err != nil {
+			// Roll back: the group must not be half-visible. Failures
+			// here are tolerable — shards without a manifest are
+			// orphans that every reader ignores and gc sweeps.
+			for j := range m.Shards {
+				if errs[j] == nil {
+					_ = st.Delete(m.Shards[j].Name)
+				}
+			}
+			return 0, fmt.Errorf("shard: write %s: %w", ShardName(base, i), err)
+		}
+	}
+	if err := st.Write(base, AppendManifest(nil, m)); err != nil {
+		// The write may have failed *after* making the manifest visible
+		// (e.g. a directory-store sync failure post-rename); delete the
+		// base first so no manifest can outlive its shards and count as
+		// an unrecoverable-but-present checkpoint.
+		_ = st.Delete(base)
+		for i := range m.Shards {
+			_ = st.Delete(m.Shards[i].Name)
+		}
+		return 0, fmt.Errorf("shard: commit manifest %s: %w", base, err)
+	}
+	return n, nil
+}
+
+// Read loads every shard of m over the bounded worker pool, verifies
+// each against its manifest size and CRC32C, and returns the
+// reassembled payload. A missing, truncated, or corrupted shard fails
+// the whole group with an error naming the offending shard.
+func Read(st Storage, m *Manifest, opt Options) ([]byte, error) {
+	n := len(m.Shards)
+	chunks := make([][]byte, n)
+	errs := make([]error, n)
+	parallel.ForBounded(n, 1, opt.workers(n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s := m.Shards[i]
+			data, err := st.Read(s.Name)
+			if err != nil {
+				errs[i] = fmt.Errorf("shard: missing shard %s: %w", s.Name, err)
+				continue
+			}
+			if len(data) != s.Size {
+				errs[i] = fmt.Errorf("shard: shard %s is %d bytes, manifest says %d", s.Name, len(data), s.Size)
+				continue
+			}
+			if Checksum(data) != s.CRC {
+				errs[i] = fmt.Errorf("shard: shard %s fails its CRC32C (corrupt)", s.Name)
+				continue
+			}
+			chunks[i] = data
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Assemble only after every shard verified: a crafted manifest's
+	// Total can't size an allocation unless real, checksummed shards
+	// add up to it.
+	payload := make([]byte, 0, m.Total)
+	for _, c := range chunks {
+		payload = append(payload, c...)
+	}
+	if len(payload) != m.Total {
+		return nil, fmt.Errorf("shard: reassembled %d bytes, manifest says %d", len(payload), m.Total)
+	}
+	return payload, nil
+}
+
+// Delete removes the group stored under base: the manifest (or
+// monolithic object) first — the group instantly stops being a
+// recovery target — then any shard objects of base still listed.
+// Shard deletions are best effort; leftovers are orphans that readers
+// ignore and a later gc sweeps.
+func Delete(st Storage, base string) error {
+	if err := st.Delete(base); err != nil {
+		return err
+	}
+	names, err := st.List()
+	if err != nil {
+		return nil // listing is advisory here; orphans are harmless
+	}
+	for _, n := range names {
+		if b, _, ok := ShardBase(n); ok && b == base {
+			_ = st.Delete(n)
+		}
+	}
+	return nil
+}
+
+// IsManifest reports whether data begins with the shard-manifest
+// magic — the cheap test the restore path uses to tell a sharded
+// checkpoint from a monolithic payload stored under the same name.
+func IsManifest(data []byte) bool {
+	return len(data) >= len(manifestMagic) && string(data[:len(manifestMagic)]) == manifestMagic
+}
+
+// AppendManifest serializes m into buf's backing array:
+//
+//	"FTSM" | version | encoder string | uvarint total | uvarint nShards
+//	       | nShards × (name string, uvarint size, 4-byte CRC32C)
+//	       | 4-byte CRC32C trailer over everything before it
+//
+// Strings are uvarint-length-prefixed.
+func AppendManifest(buf []byte, m *Manifest) []byte {
+	out := append(buf[:0], manifestMagic...)
+	out = append(out, manifestVersion)
+	var scratch [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) {
+		k := binary.PutUvarint(scratch[:], v)
+		out = append(out, scratch[:k]...)
+	}
+	putString := func(s string) {
+		putUvarint(uint64(len(s)))
+		out = append(out, s...)
+	}
+	putString(m.Encoder)
+	putUvarint(uint64(m.Total))
+	putUvarint(uint64(len(m.Shards)))
+	var b4 [4]byte
+	for _, s := range m.Shards {
+		putString(s.Name)
+		putUvarint(uint64(s.Size))
+		binary.LittleEndian.PutUint32(b4[:], s.CRC)
+		out = append(out, b4[:]...)
+	}
+	binary.LittleEndian.PutUint32(b4[:], Checksum(out))
+	return append(out, b4[:]...)
+}
+
+// ParseManifest decodes and validates a manifest. Crafted inputs are
+// rejected before any size derived from them backs an allocation: the
+// trailer CRC must match, the shard count is bounded by both MaxShards
+// and the bytes actually present (each entry costs ≥ 7 bytes), name
+// lengths are capped, sizes must be non-negative and sum exactly to
+// Total, and every name must be a well-formed shard name.
+func ParseManifest(data []byte) (*Manifest, error) {
+	if !IsManifest(data) {
+		return nil, fmt.Errorf("shard: not a manifest (bad magic)")
+	}
+	if len(data) < len(manifestMagic)+1+4 {
+		return nil, fmt.Errorf("shard: truncated manifest")
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if Checksum(body) != binary.LittleEndian.Uint32(trailer) {
+		return nil, fmt.Errorf("shard: manifest CRC32C mismatch (corrupt)")
+	}
+	if v := body[len(manifestMagic)]; v != manifestVersion {
+		return nil, fmt.Errorf("shard: unsupported manifest version %d", v)
+	}
+	off := len(manifestMagic) + 1
+	getUvarint := func() (uint64, error) {
+		v, k := binary.Uvarint(body[off:])
+		if k <= 0 {
+			return 0, fmt.Errorf("shard: truncated manifest varint at %d", off)
+		}
+		off += k
+		return v, nil
+	}
+	getString := func(maxLen int) (string, error) {
+		l, err := getUvarint()
+		if err != nil {
+			return "", err
+		}
+		if l > uint64(maxLen) || off+int(l) > len(body) {
+			return "", fmt.Errorf("shard: manifest string of %d bytes at %d rejected", l, off)
+		}
+		s := string(body[off : off+int(l)])
+		off += int(l)
+		return s, nil
+	}
+	m := &Manifest{}
+	var err error
+	if m.Encoder, err = getString(maxNameLen); err != nil {
+		return nil, err
+	}
+	total, err := getUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if total > 1<<56 {
+		return nil, fmt.Errorf("shard: manifest total %d rejected", total)
+	}
+	m.Total = int(total)
+	nShards, err := getUvarint()
+	if err != nil {
+		return nil, err
+	}
+	// Each entry needs at least a 1-byte name length, a 1-byte name, a
+	// 1-byte size varint, and the 4-byte CRC.
+	if nShards > MaxShards || nShards > uint64(len(body)-off)/7 {
+		return nil, fmt.Errorf("shard: manifest claims %d shards in %d bytes", nShards, len(body)-off)
+	}
+	if nShards == 0 {
+		return nil, fmt.Errorf("shard: manifest lists no shards")
+	}
+	m.Shards = make([]Info, nShards)
+	sum := 0
+	for i := range m.Shards {
+		name, err := getString(maxNameLen)
+		if err != nil {
+			return nil, err
+		}
+		if _, _, ok := ShardBase(name); !ok {
+			return nil, fmt.Errorf("shard: manifest entry %d has malformed shard name %q", i, name)
+		}
+		size, err := getUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if size > total {
+			return nil, fmt.Errorf("shard: shard %q size %d exceeds total %d", name, size, total)
+		}
+		if off+4 > len(body) {
+			return nil, fmt.Errorf("shard: truncated manifest entry %d", i)
+		}
+		crc := binary.LittleEndian.Uint32(body[off:])
+		off += 4
+		m.Shards[i] = Info{Name: name, Size: int(size), CRC: crc}
+		sum += int(size)
+	}
+	if off != len(body) {
+		return nil, fmt.Errorf("shard: %d trailing manifest bytes", len(body)-off)
+	}
+	if sum != m.Total {
+		return nil, fmt.Errorf("shard: shard sizes sum to %d, manifest total is %d", sum, m.Total)
+	}
+	return m, nil
+}

@@ -23,8 +23,22 @@ import (
 // must not reuse their backing arrays. With the AsyncCheckpointer,
 // Write runs on a background goroutine while Read/List/Delete may be
 // issued from the solver goroutine (statics, recovery probes), so
-// implementations must be safe for concurrent use. All three provided
+// implementations must be safe for concurrent use. The sharded layout
+// (Checkpointer.SetSharding) additionally issues concurrent Writes —
+// and, on recovery, concurrent Reads — from its worker pool, always
+// for distinct object names; implementations must support that too
+// (distinct files or map keys make it natural). All three provided
 // implementations satisfy the contract.
+//
+// Object layout under sharding: checkpoint seq N is either one
+// monolithic object "ckpt-%012d" (the snapshot payload) or a group —
+// shard objects "ckpt-%012d.s00000", ".s00001", … holding contiguous
+// payload spans, plus a manifest under the plain "ckpt-%012d" name,
+// written last as the commit point (see package shard for the commit
+// protocol and the manifest format). Retention, recovery scans, and
+// DropLatest all operate on the manifest name and treat the group as
+// one checkpoint; shard objects without a manifest are orphans that
+// recovery ignores and gc sweeps.
 type Storage interface {
 	// Write stores data under name, replacing any previous content.
 	// See the interface comment for the ownership rules on data.
@@ -57,18 +71,66 @@ func (s *DirStorage) path(name string) (string, error) {
 	return filepath.Join(s.dir, name), nil
 }
 
-// Write stores data as a file, atomically via rename.
+// Write stores data as a file, atomically via rename, fully durable:
+// the temp file is fsynced before the rename (the rename orders the
+// *name* but not the *data*, so without the sync a crash shortly
+// after commit could leave a committed shard or manifest as an empty
+// or partial file), and the directory is fsynced after it (a rename
+// lives in the page cache only; without the directory sync a crash
+// could persist a later operation — gc's unlink of the previous
+// checkpoint — but not this commit).
 func (s *DirStorage) Write(name string, data []byte) error {
+	return s.write(name, data, true)
+}
+
+// WriteBatched is Write minus the directory fsync — the shard batch
+// path (see shard.BatchWriter): the data is durable, the rename is
+// issued, and the directory sync of the next full Write (the group's
+// manifest commit, always in this same directory) makes every batched
+// entry durable at once.
+func (s *DirStorage) WriteBatched(name string, data []byte) error {
+	return s.write(name, data, false)
+}
+
+func (s *DirStorage) write(name string, data []byte, syncDir bool) error {
 	p, err := s.path(name)
 	if err != nil {
 		return err
 	}
 	tmp := p + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return fmt.Errorf("fti: write %s: %w", name, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("fti: write %s: %w", name, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("fti: sync %s: %w", name, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("fti: close %s: %w", name, err)
 	}
 	if err := os.Rename(tmp, p); err != nil {
 		return fmt.Errorf("fti: commit %s: %w", name, err)
+	}
+	if syncDir {
+		d, err := os.Open(s.dir)
+		if err != nil {
+			// Failing to open the directory means the commit cannot be
+			// made durable; report it rather than claim success.
+			return fmt.Errorf("fti: sync dir for %s: %w", name, err)
+		}
+		syncErr := d.Sync()
+		d.Close()
+		if syncErr != nil {
+			return fmt.Errorf("fti: sync dir for %s: %w", name, syncErr)
+		}
 	}
 	return nil
 }

@@ -56,6 +56,16 @@ func SetWorkers(n int) int {
 // loop runs inline with zero scheduling overhead, so callers can use
 // For unconditionally and tune the serial cutoff purely through grain.
 func For(n, grain int, fn func(lo, hi int)) {
+	ForBounded(n, grain, 0, fn)
+}
+
+// ForBounded is For with an explicit cap on the goroutine count:
+// at most workers goroutines (including the calling one) execute fn.
+// workers <= 0 means Workers(). Unlike For, the cap may exceed
+// GOMAXPROCS — the sharded checkpoint writer uses that for I/O-bound
+// storage fan-out, where goroutines spend their time blocked in write
+// syscalls rather than on a core.
+func ForBounded(n, grain, workers int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
@@ -63,7 +73,10 @@ func For(n, grain int, fn func(lo, hi int)) {
 		grain = 1
 	}
 	chunks := (n + grain - 1) / grain
-	w := Workers()
+	w := workers
+	if w <= 0 {
+		w = Workers()
+	}
 	if w > chunks {
 		w = chunks
 	}

@@ -145,3 +145,67 @@ func TestPoolsRoundTrip(t *testing.T) {
 	PutInts(nil)
 	PutFloat64s(nil)
 }
+
+func TestForBoundedCapsGoroutines(t *testing.T) {
+	// Force the default worker count high so the explicit bound is the
+	// binding constraint.
+	prev := SetWorkers(16)
+	defer SetWorkers(prev)
+
+	var active, peak atomic.Int32
+	ForBounded(64, 1, 3, func(lo, hi int) {
+		cur := active.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		runtime.Gosched()
+		active.Add(-1)
+	})
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("observed %d concurrent workers, bound was 3", p)
+	}
+}
+
+func TestForBoundedCoversRangeExactlyOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 100} {
+		n := 5000
+		hits := make([]int32, n)
+		ForBounded(n, 13, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForBoundedMayExceedGOMAXPROCS(t *testing.T) {
+	// I/O-bound fan-out: the bound is taken literally even above the
+	// CPU-tracking default, so storage writers can oversubscribe.
+	prev := SetWorkers(0)
+	defer SetWorkers(prev)
+	want := runtime.GOMAXPROCS(0) * 4
+	var distinct atomic.Int32
+	start := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		ForBounded(want, 1, want, func(lo, hi int) {
+			if distinct.Add(1) == int32(want) {
+				close(start) // all workers alive simultaneously
+			}
+			<-start
+		})
+		close(done)
+	}()
+	<-done
+	if got := distinct.Load(); got != int32(want) {
+		t.Fatalf("launched %d workers, want %d", got, want)
+	}
+}

@@ -42,7 +42,12 @@ type Config struct {
 	// CheckpointSeconds maps a written checkpoint to its simulated
 	// duration (cluster model + measured compression ratio). In async
 	// mode this is the background encode+write time, overlapped with
-	// iterations.
+	// iterations. Sharded checkpoints report their shard count in
+	// info.Shards, so striped-PFS costing is
+	// cluster.Model.ShardedCheckpointSeconds(..., info.Shards): the
+	// write engages min(shards, stripes) stripes. The numerics are
+	// layout-independent — sharded and monolithic runs execute
+	// identical iteration sequences — so only this callback changes.
 	CheckpointSeconds func(info fti.Info) float64
 	// RecoverySeconds maps the checkpoint being restored to the
 	// simulated recovery duration.

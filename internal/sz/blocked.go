@@ -106,12 +106,23 @@ func compressBlocked(x []float64, p Params) ([]byte, error) {
 	return out, nil
 }
 
-// decompressBlocked reverses compressBlocked, decoding blocks
-// concurrently straight into their slices of the output vector.
-func decompressBlocked(data []byte) ([]float64, error) {
+// blockedLayout describes where each block of an SZG2 stream lives:
+// offsets[b] is the absolute byte offset of block b's payload within
+// the stream, with offsets[nBlocks] == len(stream).
+type blockedLayout struct {
+	n, blockElems int
+	offsets       []int
+}
+
+// parseBlockedLayout validates an SZG2 container header and returns
+// the block layout. It is the single header parser shared by the
+// decompressor and the shard-alignment API, so the allocation guards
+// against crafted headers apply uniformly.
+func parseBlockedLayout(data []byte) (blockedLayout, error) {
+	var lay blockedLayout
 	off := len(magicBlocked) + 1 // skip magic and the informational mode byte
 	if len(data) < off {
-		return nil, fmt.Errorf("sz: truncated blocked header")
+		return lay, fmt.Errorf("sz: truncated blocked header")
 	}
 	getUvarint := func() (uint64, error) {
 		v, k := binary.Uvarint(data[off:])
@@ -123,25 +134,25 @@ func decompressBlocked(data []byte) ([]float64, error) {
 	}
 	n64, err := getUvarint()
 	if err != nil {
-		return nil, err
+		return lay, err
 	}
 	blockElems64, err := getUvarint()
 	if err != nil {
-		return nil, err
+		return lay, err
 	}
 	nBlocks64, err := getUvarint()
 	if err != nil {
-		return nil, err
+		return lay, err
 	}
 	n := int(n64)
 	blockElems := int(blockElems64)
 	nBlocks := int(nBlocks64)
 	if n < 0 || blockElems < 1 || nBlocks < 1 {
-		return nil, fmt.Errorf("sz: invalid blocked header (n=%d blockElems=%d nBlocks=%d)",
+		return lay, fmt.Errorf("sz: invalid blocked header (n=%d blockElems=%d nBlocks=%d)",
 			n, blockElems, nBlocks)
 	}
 	if want := (n + blockElems - 1) / blockElems; want != nBlocks {
-		return nil, fmt.Errorf("sz: blocked header inconsistent: %d elements in %d-element blocks needs %d blocks, header says %d",
+		return lay, fmt.Errorf("sz: blocked header inconsistent: %d elements in %d-element blocks needs %d blocks, header says %d",
 			n, blockElems, want, nBlocks)
 	}
 	// Allocation guards against crafted headers: every block needs at
@@ -150,19 +161,19 @@ func decompressBlocked(data []byte) ([]float64, error) {
 	// genuine stream can never claim more blocks than remaining bytes
 	// or more elements than 8× the remaining bytes.
 	if nBlocks > len(data)-off {
-		return nil, fmt.Errorf("sz: %d blocks exceed %d remaining bytes", nBlocks, len(data)-off)
+		return lay, fmt.Errorf("sz: %d blocks exceed %d remaining bytes", nBlocks, len(data)-off)
 	}
 	if n > 8*(len(data)-off) {
-		return nil, fmt.Errorf("sz: %d elements exceed %d payload bytes", n, len(data)-off)
+		return lay, fmt.Errorf("sz: %d elements exceed %d payload bytes", n, len(data)-off)
 	}
 	lens := make([]int, nBlocks)
 	for b := range lens {
 		l, err := getUvarint()
 		if err != nil {
-			return nil, err
+			return lay, err
 		}
 		if l > uint64(len(data)-off) {
-			return nil, fmt.Errorf("sz: block %d length %d exceeds payload", b, l)
+			return lay, fmt.Errorf("sz: block %d length %d exceeds payload", b, l)
 		}
 		lens[b] = int(l)
 	}
@@ -172,9 +183,21 @@ func decompressBlocked(data []byte) ([]float64, error) {
 		offsets[b+1] = offsets[b] + l
 	}
 	if offsets[nBlocks] != len(data) {
-		return nil, fmt.Errorf("sz: blocked payload is %d bytes, blocks cover %d",
+		return lay, fmt.Errorf("sz: blocked payload is %d bytes, blocks cover %d",
 			len(data)-off, offsets[nBlocks]-off)
 	}
+	return blockedLayout{n: n, blockElems: blockElems, offsets: offsets}, nil
+}
+
+// decompressBlocked reverses compressBlocked, decoding blocks
+// concurrently straight into their slices of the output vector.
+func decompressBlocked(data []byte) ([]float64, error) {
+	lay, err := parseBlockedLayout(data)
+	if err != nil {
+		return nil, err
+	}
+	n, blockElems, offsets := lay.n, lay.blockElems, lay.offsets
+	nBlocks := len(offsets) - 1
 
 	out := make([]float64, n)
 	errs := make([]error, nBlocks)
@@ -216,6 +239,90 @@ func decodeBlockInto(dst []float64, blk []byte) error {
 		return err
 	}
 	return fmt.Errorf("unknown block payload kind %d", kind)
+}
+
+// Range is a half-open [Start, End) byte span within an encoded
+// stream.
+type Range struct {
+	Start, End int
+}
+
+// BlockRanges returns the absolute byte span of every independently
+// compressed block payload inside an SZG2 stream, in order; the first
+// span starts after the container header and the last ends at
+// len(data). It returns (nil, false) when data is not a valid SZG2
+// container (legacy SZG1 streams, other formats, corrupt headers).
+//
+// The spans are the natural cut points for sharded checkpoint storage:
+// splitting the stream at block boundaries yields shards that each hold
+// whole compression units, so a future streaming decoder can decompress
+// a shard without its neighbors.
+func BlockRanges(data []byte) ([]Range, bool) {
+	if len(data) < len(magicBlocked) || string(data[:len(magicBlocked)]) != magicBlocked {
+		return nil, false
+	}
+	lay, err := parseBlockedLayout(data)
+	if err != nil {
+		return nil, false
+	}
+	ranges := make([]Range, len(lay.offsets)-1)
+	for b := range ranges {
+		ranges[b] = Range{Start: lay.offsets[b], End: lay.offsets[b+1]}
+	}
+	return ranges, true
+}
+
+// SplitBlocks partitions an encoded stream into at most maxParts
+// contiguous byte spans that cover it exactly. For SZG2 streams every
+// cut falls on a block boundary (the container header travels with the
+// first span) and the spans are balanced by bytes, not block count, so
+// unevenly compressible blocks still split into similar-sized parts.
+// Legacy or foreign streams return a single span; maxParts < 1 is
+// treated as 1.
+//
+// Note: this partitions a *bare* SZ stream (e.g. for future
+// shard-local streaming decode). The checkpoint writer does not cut
+// with it — a checkpoint payload wraps one or more SZ streams in
+// snapshot framing, so fti feeds BlockRanges-derived offsets to
+// shard.Split, which snaps even cuts of the whole payload to those
+// boundaries.
+func SplitBlocks(data []byte, maxParts int) []Range {
+	if maxParts < 1 {
+		maxParts = 1
+	}
+	whole := []Range{{Start: 0, End: len(data)}}
+	if maxParts == 1 {
+		return whole
+	}
+	blocks, ok := BlockRanges(data)
+	if !ok || len(blocks) == 0 {
+		return whole
+	}
+	if maxParts > len(blocks) {
+		maxParts = len(blocks)
+	}
+	parts := make([]Range, 0, maxParts)
+	start := 0
+	bi := 0
+	for p := 0; p < maxParts; p++ {
+		// Even byte target for the remaining parts, then advance to the
+		// nearest block boundary at or past it.
+		target := start + (len(data)-start+maxParts-p-1)/(maxParts-p)
+		end := len(data)
+		if p < maxParts-1 {
+			for bi < len(blocks)-1 && blocks[bi].End < target {
+				bi++
+			}
+			end = blocks[bi].End
+			bi++
+		}
+		parts = append(parts, Range{Start: start, End: end})
+		if end == len(data) {
+			break
+		}
+		start = end
+	}
+	return parts
 }
 
 // blockedStats reports (nBlocks, blockElems) for an SZG2 stream and

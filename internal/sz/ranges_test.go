@@ -1,0 +1,136 @@
+package sz
+
+import (
+	"math"
+	"testing"
+)
+
+func rangeTestData(n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 5 + math.Sin(float64(i)/300)*math.Cos(float64(i)/47)
+	}
+	return x
+}
+
+func TestBlockRangesCoverStream(t *testing.T) {
+	x := rangeTestData(200_000)
+	for _, mode := range []Mode{Abs, PWRel} {
+		data, err := Compress(x, Params{Mode: mode, ErrorBound: 1e-6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ranges, ok := BlockRanges(data)
+		if !ok {
+			t.Fatalf("mode %v: expected SZG2 stream", mode)
+		}
+		wantBlocks := (len(x) + defaultBlockElems - 1) / defaultBlockElems
+		if len(ranges) != wantBlocks {
+			t.Fatalf("mode %v: %d ranges for %d blocks", mode, len(ranges), wantBlocks)
+		}
+		// Contiguous, in-bounds, ending at the stream end.
+		for i, r := range ranges {
+			if r.End <= r.Start {
+				t.Fatalf("empty range %d: %+v", i, r)
+			}
+			if i > 0 && r.Start != ranges[i-1].End {
+				t.Fatalf("ranges %d..%d not contiguous", i-1, i)
+			}
+		}
+		if ranges[0].Start <= len(magicBlocked) {
+			t.Fatal("first block overlaps the container magic")
+		}
+		if ranges[len(ranges)-1].End != len(data) {
+			t.Fatal("last range does not end at the stream end")
+		}
+	}
+}
+
+func TestBlockRangesRejectNonBlocked(t *testing.T) {
+	small := rangeTestData(100) // fits one block: legacy SZG1
+	data, err := Compress(small, Params{Mode: Abs, ErrorBound: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := BlockRanges(data); ok {
+		t.Fatal("legacy stream reported block ranges")
+	}
+	if _, ok := BlockRanges([]byte("not a stream")); ok {
+		t.Fatal("foreign bytes reported block ranges")
+	}
+	// A truncated SZG2 header must be rejected, not panic.
+	big, err := Compress(rangeTestData(100_000), Params{Mode: Abs, ErrorBound: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := BlockRanges(big[:6]); ok {
+		t.Fatal("truncated header reported block ranges")
+	}
+}
+
+func TestSplitBlocksAlignsAndCovers(t *testing.T) {
+	x := rangeTestData(300_000)
+	data, err := Compress(x, Params{Mode: PWRel, ErrorBound: 1e-5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, _ := BlockRanges(data)
+	boundary := map[int]bool{}
+	for _, b := range blocks {
+		boundary[b.End] = true
+	}
+	for _, parts := range [][]Range{
+		SplitBlocks(data, 1),
+		SplitBlocks(data, 3),
+		SplitBlocks(data, 4),
+		SplitBlocks(data, 1000), // clamps to the block count
+	} {
+		prev := 0
+		for i, p := range parts {
+			if p.Start != prev || p.End <= p.Start {
+				t.Fatalf("parts not contiguous/non-empty: %v", parts)
+			}
+			if i < len(parts)-1 && !boundary[p.End] {
+				t.Fatalf("cut at %d is not a block boundary", p.End)
+			}
+			prev = p.End
+		}
+		if prev != len(data) {
+			t.Fatalf("parts cover %d of %d bytes", prev, len(data))
+		}
+	}
+	if got := len(SplitBlocks(data, 1000)); got != len(blocks) {
+		t.Fatalf("maxParts beyond block count yielded %d parts, want %d", got, len(blocks))
+	}
+	// Concatenating the parts must reproduce the stream, and the
+	// stream must still decompress within the bound.
+	parts := SplitBlocks(data, 4)
+	var joined []byte
+	for _, p := range parts {
+		joined = append(joined, data[p.Start:p.End]...)
+	}
+	out, err := Decompress(joined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(out[i]-x[i]) > 1e-5*math.Abs(x[i]) {
+			t.Fatalf("value %d outside bound after split/join", i)
+		}
+	}
+}
+
+func TestSplitBlocksLegacySingleSpan(t *testing.T) {
+	small := rangeTestData(64)
+	data, err := Compress(small, Params{Mode: Abs, ErrorBound: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := SplitBlocks(data, 8)
+	if len(parts) != 1 || parts[0] != (Range{0, len(data)}) {
+		t.Fatalf("legacy stream split into %v", parts)
+	}
+	if parts := SplitBlocks(data, 0); len(parts) != 1 {
+		t.Fatalf("maxParts 0: %v", parts)
+	}
+}

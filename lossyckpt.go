@@ -75,29 +75,52 @@
 // charges exactly that stall while background writes occupy simulated
 // time concurrently with iterations.
 //
+// The storage stage itself shards on request: ManagerConfig.Shards
+// (or (*Checkpointer).SetSharding) splits every checkpoint into N
+// shard objects written concurrently by a bounded worker pool
+// (ManagerConfig.StorageWorkers), with cut points aligned to the SZG2
+// compression-block boundaries, plus a small manifest — shard names,
+// sizes, per-shard CRC32C checksums, encoder mode — committed last.
+// A checkpoint exists exactly when its manifest does: shards without a
+// manifest (a crashed write) are orphans that recovery ignores and gc
+// sweeps, and a group with any missing or checksum-corrupted shard is
+// rejected whole, so recovery falls back to the previous committed
+// checkpoint, the paper's failure-during-checkpoint path again.
+// Sharded and monolithic checkpoints coexist in one storage directory,
+// and convergence traces are bitwise independent of the layout. The
+// cluster model prices the layout via striped-PFS bandwidth:
+// per-stripe bandwidth × min(shards, stripes)
+// (cluster.Model.ShardedCheckpointSeconds, keyed off
+// CheckpointInfo.Shards).
+//
 // Knobs: GOMAXPROCS sizes the pool; SetParallelWorkers overrides it
 // (SetParallelWorkers(1) forces serial execution, useful for
 // reproducing single-core baselines); SZParams.BlockSize trades
 // per-block Huffman-table overhead against parallelism;
 // (*Checkpointer).SetKeep sets the checkpoint retention window
-// (default 2, minimum 1). Checkpoint encode buffers are reused across
-// checkpoints — double-buffered in the async pipeline — so a custom
-// Storage implementation must not retain the byte slice passed to
-// Write, must not recycle buffers returned by Read, and must be safe
-// for concurrent use (the background writer runs while recovery-side
-// reads may be issued); see fti.Storage for the full ownership
-// contract.
+// (default 2, minimum 1); (*Checkpointer).SetSharding sets the shard
+// count and storage worker bound. Checkpoint encode buffers are reused
+// across checkpoints — double-buffered in the async pipeline — so a
+// custom Storage implementation must not retain the byte slice passed
+// to Write, must not recycle buffers returned by Read, and must be
+// safe for concurrent use (the background writer runs while
+// recovery-side reads may be issued, and the shard pool issues
+// concurrent writes/reads for distinct names); see fti.Storage for the
+// full ownership contract and the manifest+shard object layout.
 //
 // Benchmarks: go test -bench 'SZCompressParallel|CSRMulVecParallel'
 // compares serial and parallel sub-benchmarks on 1M-element states
 // and the 100³ Poisson operator; go test -bench CheckpointStall
-// compares the solver-visible stall of sync vs async checkpoints.
+// compares the solver-visible stall of sync vs async checkpoints;
+// go test -bench ShardedWrite compares monolithic and sharded storage
+// throughput on the same workload.
 package lossyckpt
 
 import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/fti"
+	"repro/internal/fti/shard"
 	"repro/internal/model"
 	"repro/internal/parallel"
 	"repro/internal/solver"
@@ -218,6 +241,18 @@ var CompressSZ = sz.Compress
 // DecompressSZ reverses CompressSZ.
 var DecompressSZ = sz.Decompress
 
+// SZRange is a byte span within an encoded SZ stream.
+type SZRange = sz.Range
+
+// SZBlockRanges reports the byte span of every compression block in an
+// SZG2 stream (false for legacy/foreign streams) — the shard-alignment
+// cut points.
+var SZBlockRanges = sz.BlockRanges
+
+// SZSplitBlocks partitions an SZ stream into at most n contiguous
+// spans cut on block boundaries.
+var SZSplitBlocks = sz.SplitBlocks
+
 // ---- Checkpoint/restart -------------------------------------------------------
 
 // Checkpointer is the FTI-like Protect/Checkpoint/Recover library.
@@ -254,6 +289,22 @@ var NewMemStorage = fti.NewMemStorage
 
 // NewDirStorage returns a directory-backed checkpoint store.
 var NewDirStorage = fti.NewDirStorage
+
+// ShardManifest describes a committed sharded checkpoint: encoder
+// mode, total payload length, and the shard objects with their sizes
+// and CRC32C checksums.
+type ShardManifest = shard.Manifest
+
+// ShardInfo describes one shard object of a manifest.
+type ShardInfo = shard.Info
+
+// ParseShardManifest decodes and validates a manifest object (crafted
+// sizes and shard counts are rejected before any allocation).
+var ParseShardManifest = shard.ParseManifest
+
+// IsShardManifest reports whether a stored object is a shard manifest
+// rather than a monolithic checkpoint payload.
+var IsShardManifest = shard.IsManifest
 
 // RawEncoder stores vectors verbatim (traditional checkpointing).
 type RawEncoder = fti.Raw
