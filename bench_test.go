@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"testing"
 
 	lossyckpt "repro"
@@ -352,6 +353,105 @@ func BenchmarkShardedWrite(b *testing.B) {
 	}
 	b.Run("monolithic", func(b *testing.B) { run(b, 1, 0) })
 	b.Run("shards=8,workers=4", func(b *testing.B) { run(b, 8, 4) })
+}
+
+// BenchmarkRecoverStall measures the restart path on the 1M-element
+// PWRel workload stored as 8 shards (4 storage workers) in a real
+// directory store: the legacy reassemble-then-decode restore
+// (RestoreReassembled: shard.Read into one contiguous buffer, whole-
+// payload CRC, fresh vector allocations) versus the streaming
+// shard-parallel restore (RestoreInto: per-shard read/CRC32C/block-
+// decode straight into reusable targets). Before timing, both paths
+// restore once and the snapshots are compared bitwise (reported as the
+// "bitwise-identical" metric). Allocation assertions enforce the
+// zero-copy claim: the streaming path must allocate less than the raw
+// payload per restore (no reassembly buffer, no fresh output vectors),
+// while the legacy path necessarily allocates more than it.
+func BenchmarkRecoverStall(b *testing.B) {
+	x := solverState(1 << 20)
+	rawBytes := float64(8 * len(x))
+	params := sz.Params{Mode: sz.PWRel, ErrorBound: 1e-4}
+	ck := fti.New(mustDirStorage(b), fti.SZ{Params: params})
+	if err := ck.SetSharding(8, 4); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := ck.Save(&fti.Snapshot{Iteration: 1, Vectors: map[string][]float64{"x": x}}); err != nil {
+		b.Fatal(err)
+	}
+
+	legacySnap, err := ck.RestoreReassembled()
+	if err != nil {
+		b.Fatal(err)
+	}
+	streamSnap, err := ck.Restore()
+	if err != nil {
+		b.Fatal(err)
+	}
+	lv, sv := legacySnap.Vectors["x"], streamSnap.Vectors["x"]
+	if legacySnap.Iteration != streamSnap.Iteration || len(lv) != len(sv) {
+		b.Fatal("streaming restore shape differs from the legacy path")
+	}
+	for i := range lv {
+		if math.Float64bits(lv[i]) != math.Float64bits(sv[i]) {
+			b.Fatalf("index %d: streaming %g != legacy %g", i, sv[i], lv[i])
+		}
+	}
+	b.ReportMetric(1, "bitwise-identical")
+
+	// allocPerOp times fn b.N times and returns the heap bytes
+	// allocated per op across all goroutines (the parallel decode
+	// workers included).
+	allocPerOp := func(b *testing.B, fn func()) float64 {
+		b.SetBytes(int64(rawBytes))
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fn()
+		}
+		b.StopTimer()
+		runtime.ReadMemStats(&m1)
+		per := float64(m1.TotalAlloc-m0.TotalAlloc) / float64(b.N)
+		b.ReportMetric(per/1e6, "MB-alloc/op")
+		return per
+	}
+
+	var legacyPer, streamPer float64
+	b.Run("legacy-reassemble", func(b *testing.B) {
+		legacyPer = allocPerOp(b, func() {
+			if _, err := ck.RestoreReassembled(); err != nil {
+				b.Fatal(err)
+			}
+		})
+		// Reassembly buffer + chunks + fresh output vectors: the legacy
+		// path cannot stay under the raw payload size. (Race builds
+		// inflate allocation counts; the bound only holds unraced.)
+		if !raceEnabled && legacyPer < rawBytes {
+			b.Fatalf("legacy restore allocated only %.1f MB/op — expected more than the %.1f MB raw payload",
+				legacyPer/1e6, rawBytes/1e6)
+		}
+	})
+	b.Run("streaming", func(b *testing.B) {
+		targets := map[string][]float64{"x": make([]float64, len(x))}
+		streamPer = allocPerOp(b, func() {
+			if _, err := ck.RestoreInto(targets); err != nil {
+				b.Fatal(err)
+			}
+		})
+		// O(shard) transient memory: shard chunks (≈ encoded bytes,
+		// released as they decode) plus skeleton bookkeeping — never
+		// the raw payload, never a reassembly buffer. (Race builds
+		// inflate allocation counts; the bound only holds unraced.)
+		if !raceEnabled && streamPer >= rawBytes {
+			b.Fatalf("streaming restore allocated %.1f MB/op — expected less than the %.1f MB raw payload",
+				streamPer/1e6, rawBytes/1e6)
+		}
+	})
+	if !raceEnabled && legacyPer > 0 && streamPer > 0 && streamPer >= legacyPer {
+		b.Fatalf("streaming restore (%.1f MB/op) must allocate less than the legacy path (%.1f MB/op)",
+			streamPer/1e6, legacyPer/1e6)
+	}
 }
 
 func mustDirStorage(b *testing.B) *fti.DirStorage {

@@ -27,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -179,6 +180,17 @@ func run(method string, grid int, rtol float64, schemeName string, eb, interval,
 		case core.Lossy:
 			sch = cluster.LossyCompressed
 		}
+		if striped {
+			// Restarts priced like the write path: a sharded group
+			// streams through min(shards, stripes) concurrent reads
+			// overlapped with decompression; shards=1 is the serial
+			// monolithic restore (exactly RecoverySeconds).
+			n := info.Shards
+			if n < 1 {
+				n = shards
+			}
+			return mdl.ShardedRecoverySeconds(2048, float64(info.Bytes), raw, sch, n)
+		}
 		return mdl.RecoverySeconds(2048, float64(info.Bytes), raw, sch)
 	}
 	capSec := func(info fti.Info) float64 {
@@ -240,6 +252,26 @@ func run(method string, grid int, rtol float64, schemeName string, eb, interval,
 			fmt.Printf("sharded: %d shard objects + manifest, %d storage workers, striped write bandwidth %.2f GB/s\n",
 				info.Shards, storageWorkers, mdl.StripedWriteBandwidth(info.Shards)/1e9)
 		}
+	}
+	// On failure-injected runs, measure one real restart so the
+	// in-process R (streaming shard-parallel restore) can be compared
+	// against the modeled ShardedRecoverySeconds at cluster scale.
+	if mtti > 0 && mgr.HasCheckpoint() {
+		info := mgr.LastInfo()
+		start := time.Now()
+		it, err := mgr.Recover()
+		if err != nil {
+			return fmt.Errorf("restart measurement: %w", err)
+		}
+		wall := time.Since(start).Seconds()
+		bps := 0.0
+		if wall > 0 {
+			bps = float64(info.Bytes) / wall
+		}
+		fmt.Printf("restart: measured %.2f ms wall for %d encoded bytes (%.1f MB/s, rolled back to iteration %d)\n",
+			1e3*wall, info.Bytes, bps/1e6, it)
+		fmt.Printf("restart: modeled R=%.2fs at 2048 ranks (%d shard objects)\n",
+			recSec(info), max(info.Shards, 1))
 	}
 	return nil
 }

@@ -61,6 +61,17 @@ type Model struct {
 	// object (open/create+commit on the PFS metadata server); it is
 	// the term that makes over-sharding (S ≫ Stripes) a loss.
 	PerShardSeconds float64
+
+	// ReadStripeBandwidth is the per-stripe bandwidth of the restore
+	// path's shard fan-out reads. PFS read paths typically outpace the
+	// write paths (no commit/sync round trips, no parity update,
+	// server-side caching), so per stripe this exceeds the write-side
+	// StripeBandwidth; a sharded restore reading min(shards, Stripes)
+	// objects concurrently can therefore beat even the aggregate write
+	// bandwidth a monolithic restore streams at. Zero means the read
+	// fan-out adds nothing beyond the aggregate (legacy Model
+	// literals).
+	ReadStripeBandwidth float64
 }
 
 // Bebop returns the model calibrated to the paper's measurements.
@@ -80,6 +91,11 @@ func Bebop() *Model {
 		Stripes:         48,
 		StripeBandwidth: 0.80e9 / 48,
 		PerShardSeconds: 0.0005,
+		// Read path per stripe at 2× the write path — the usual PFS
+		// asymmetry (no commit, no parity) — so a full-stripe shard
+		// fan-out restores at up to 1.6 GB/s against the 0.8 GB/s
+		// write aggregate.
+		ReadStripeBandwidth: 2 * 0.80e9 / 48,
 	}
 }
 
@@ -178,21 +194,87 @@ func (m *Model) CaptureSeconds(procs int, rawBytes float64) float64 {
 	return rawBytes / (m.MemCopyPerCore * float64(procs))
 }
 
+// decompressSeconds is the scheme-dependent decompression cost of one
+// recovery, shared by the serial and streaming restore models so a
+// calibration change cannot skew their comparison.
+func (m *Model) decompressSeconds(procs int, rawBytes float64, scheme Scheme) float64 {
+	switch scheme {
+	case LossyCompressed:
+		return rawBytes / (m.DecompressPerCore * float64(procs))
+	case LosslessCompressed:
+		return rawBytes / (m.LosslessPerCore * float64(procs))
+	}
+	return 0
+}
+
 // RecoverySeconds returns the wall time of one recovery: reading the
 // checkpoint back, optional decompression, and reconstructing the
-// static variables.
+// static variables. This is the legacy serial restore — the full read,
+// then the full decompression — of a monolithic checkpoint (which, as
+// one file striped across the OSTs, already streams at the aggregate
+// PFS bandwidth).
 func (m *Model) RecoverySeconds(procs int, encodedBytes, rawBytes float64, scheme Scheme) float64 {
 	if procs <= 0 {
 		panic(fmt.Sprintf("cluster: procs must be positive, got %d", procs))
 	}
-	t := m.PerRankSeconds*float64(procs) + encodedBytes/m.PFSBandwidth
-	switch scheme {
-	case LossyCompressed:
-		t += rawBytes / (m.DecompressPerCore * float64(procs))
-	case LosslessCompressed:
-		t += rawBytes / (m.LosslessPerCore * float64(procs))
+	return m.PerRankSeconds*float64(procs) +
+		encodedBytes/m.PFSBandwidth +
+		m.decompressSeconds(procs, rawBytes, scheme) +
+		m.StaticPerRankSeconds*float64(procs)
+}
+
+// StripedReadBandwidth returns the effective PFS bandwidth of a
+// restore reading a checkpoint stored as shards parallel objects:
+// per-stripe read bandwidth × min(shards, stripes), saturating at the
+// read-side aggregate (ReadStripeBandwidth × Stripes) and never below
+// the write-side aggregate PFSBandwidth — a monolithic checkpoint is
+// one file striped across the OSTs, so even a single-object read
+// streams at the aggregate, and a shard fan-out can always fall back
+// to that scan. Models without striping or read parameters keep the
+// aggregate (legacy Model literals).
+func (m *Model) StripedReadBandwidth(shards int) float64 {
+	if m.Stripes <= 0 || m.ReadStripeBandwidth <= 0 {
+		return m.PFSBandwidth
 	}
-	return t + m.StaticPerRankSeconds*float64(procs)
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > m.Stripes {
+		shards = m.Stripes
+	}
+	bw := m.ReadStripeBandwidth * float64(shards)
+	if bw < m.PFSBandwidth {
+		bw = m.PFSBandwidth
+	}
+	return bw
+}
+
+// ShardedRecoverySeconds returns the wall time of one recovery from a
+// checkpoint stored as shards parallel objects, mirroring
+// ShardedCheckpointSeconds on the read side. shards ≤ 1 is the legacy
+// monolithic restore and prices exactly like RecoverySeconds: the full
+// payload is read, then decompressed. A sharded group (shards ≥ 2)
+// restores through the streaming pipeline: min(shards, Stripes)
+// concurrent per-stripe reads, saturating at the read aggregate
+// (StripedReadBandwidth), with decompression overlapped against the
+// reads per shard — the transfer term is max(read, decompress) instead
+// of their sum. Read-side object opens carry no create/commit round
+// trips and overlap the transfer, so no per-shard metadata term
+// applies; the cost is therefore monotonically non-increasing in the
+// shard count up to the stripe saturation point.
+func (m *Model) ShardedRecoverySeconds(procs int, encodedBytes, rawBytes float64, scheme Scheme, shards int) float64 {
+	if procs <= 0 {
+		panic(fmt.Sprintf("cluster: procs must be positive, got %d", procs))
+	}
+	if shards <= 1 {
+		return m.RecoverySeconds(procs, encodedBytes, rawBytes, scheme)
+	}
+	read := encodedBytes / m.StripedReadBandwidth(shards)
+	dec := m.decompressSeconds(procs, rawBytes, scheme)
+	if dec > read {
+		read = dec
+	}
+	return m.PerRankSeconds*float64(procs) + read + m.StaticPerRankSeconds*float64(procs)
 }
 
 // MethodBaseline holds the paper's failure-free reference execution

@@ -171,3 +171,87 @@ func TestShardedCheckpointSeconds(t *testing.T) {
 		t.Fatal("over-sharding must cost more than full striping")
 	}
 }
+
+func TestStripedReadBandwidth(t *testing.T) {
+	m := Bebop()
+	// A monolithic read is one striped file scanned at the aggregate.
+	if m.StripedReadBandwidth(1) != m.PFSBandwidth {
+		t.Fatalf("single-object read %.3g, want the aggregate %.3g", m.StripedReadBandwidth(1), m.PFSBandwidth)
+	}
+	// The fan-out can always fall back to the monolithic scan, so the
+	// effective bandwidth never drops below the aggregate...
+	for s := 1; s <= 4*m.Stripes; s++ {
+		if m.StripedReadBandwidth(s) < m.PFSBandwidth {
+			t.Fatalf("%d shards read below the aggregate", s)
+		}
+		if s > 1 && m.StripedReadBandwidth(s) < m.StripedReadBandwidth(s-1) {
+			t.Fatalf("read bandwidth must be non-decreasing at %d shards", s)
+		}
+	}
+	// ...and saturates at the read-side aggregate at full striping.
+	full := m.ReadStripeBandwidth * float64(m.Stripes)
+	if got := m.StripedReadBandwidth(m.Stripes); got != full {
+		t.Fatalf("full-stripe read %.3g, want %.3g", got, full)
+	}
+	if m.StripedReadBandwidth(10*m.Stripes) != full {
+		t.Fatal("over-sharding must saturate at the read aggregate")
+	}
+	// Bebop's read path outpaces its write path.
+	if full <= m.PFSBandwidth {
+		t.Fatal("full-stripe read aggregate should exceed the write aggregate")
+	}
+	// A model without striping/read parameters keeps the aggregate.
+	legacy := &Model{PFSBandwidth: 1e9}
+	if legacy.StripedReadBandwidth(8) != 1e9 {
+		t.Fatal("legacy model must fall back to the aggregate bandwidth")
+	}
+}
+
+func TestShardedRecoverySeconds(t *testing.T) {
+	m := Bebop()
+	const procs = 2048
+	enc, raw := 2.0e9, 8.0e9
+	schemes := []Scheme{Uncompressed, LosslessCompressed, LossyCompressed}
+	// shards ≤ 1 prices exactly like the serial monolithic restore.
+	for _, sch := range schemes {
+		want := m.RecoverySeconds(procs, enc, raw, sch)
+		for _, s := range []int{-1, 0, 1} {
+			if got := m.ShardedRecoverySeconds(procs, enc, raw, sch, s); got != want {
+				t.Fatalf("scheme %d shards=%d: %.6f != RecoverySeconds %.6f", sch, s, got, want)
+			}
+		}
+	}
+	// Monotonically non-increasing in shard count up to (and past) the
+	// stripe saturation point, for every scheme.
+	for _, sch := range schemes {
+		prev := m.ShardedRecoverySeconds(procs, enc, raw, sch, 1)
+		for s := 2; s <= 2*m.Stripes; s++ {
+			got := m.ShardedRecoverySeconds(procs, enc, raw, sch, s)
+			if got > prev+1e-12 {
+				t.Fatalf("scheme %d: recovery cost increased at %d shards (%.6f after %.6f)", sch, s, got, prev)
+			}
+			prev = got
+		}
+	}
+	// The streaming pipeline overlaps read with decompression, so a
+	// sharded lossy restore strictly beats the serial one...
+	mono := m.ShardedRecoverySeconds(procs, enc, raw, LossyCompressed, 1)
+	s8 := m.ShardedRecoverySeconds(procs, enc, raw, LossyCompressed, 8)
+	full := m.ShardedRecoverySeconds(procs, enc, raw, LossyCompressed, m.Stripes)
+	if !(s8 < mono) {
+		t.Fatalf("sharding must speed up recovery: mono=%.2f s8=%.2f", mono, s8)
+	}
+	// ...and past saturation nothing changes (no per-object penalty on
+	// the read side).
+	if over := m.ShardedRecoverySeconds(procs, enc, raw, LossyCompressed, 4*m.Stripes); over != full {
+		t.Fatalf("over-sharded recovery %.4f != saturated %.4f", over, full)
+	}
+	// The transfer term is max(read, decompress) + fixed per-rank
+	// costs: verify against the explicit formula at full striping.
+	read := enc / m.StripedReadBandwidth(m.Stripes)
+	dec := raw / (m.DecompressPerCore * procs)
+	wantFull := m.PerRankSeconds*procs + math.Max(read, dec) + m.StaticPerRankSeconds*procs
+	if d := full - wantFull; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("full-stripe recovery %.6f, want %.6f", full, wantFull)
+	}
+}

@@ -126,6 +126,14 @@ type Manager struct {
 	inflightIter int
 	inflightLive bool
 	asyncErr     error // failed background save, surfaced on next Checkpoint
+
+	// recoverBuf holds the decode targets Recover reuses across
+	// recoveries: the restore path decodes vector payloads straight
+	// into these slices (fti.Checkpointer.RestoreInto), and the
+	// solvers copy on Restart/RestoreDynamic, so the buffers stay
+	// owned here — repeated recoveries (thousands per simulated run)
+	// stop allocating fresh payload-sized vectors.
+	recoverBuf map[string][]float64
 }
 
 // NewManager wires solver s to storage through the scheme in cfg. The
@@ -454,9 +462,17 @@ func (m *Manager) Recover() (int, error) {
 		// the previous committed checkpoint.
 		m.asyncErr = nil
 	}
-	snap, err := m.ckpt.Restore()
+	if m.recoverBuf == nil {
+		m.recoverBuf = map[string][]float64{}
+	}
+	snap, err := m.ckpt.RestoreInto(m.recoverBuf)
 	if err != nil {
 		return 0, err
+	}
+	// Adopt the restored vectors as next recovery's decode targets:
+	// same lengths next time means the decode lands in place again.
+	for k, v := range snap.Vectors {
+		m.recoverBuf[k] = v
 	}
 	if m.cfg.Scheme != Lossy {
 		err := m.slv.RestoreDynamic(solver.DynamicState{

@@ -431,3 +431,66 @@ func TestLossyStationaryRecovery(t *testing.T) {
 		t.Fatalf("Jacobi lossy recovery cost %d extra iterations (Theorem 2 says single digits)", extra)
 	}
 }
+
+// TestRepeatedRecoverReusesBuffersAndStaysDeterministic: Recover
+// decodes into Manager-owned reusable buffers (the solvers copy on
+// Restart/RestoreDynamic), so back-to-back recoveries must keep
+// returning the same restored state — a fresh Manager over the same
+// storage agrees — and the solver must converge after each.
+func TestRepeatedRecoverReusesBuffersAndStaysDeterministic(t *testing.T) {
+	for _, scheme := range []Scheme{Traditional, Lossy} {
+		a, b, xe := cgSystem(t)
+		s := newCG(t, a, b)
+		st := fti.NewMemStorage()
+		m, err := NewManager(Config{Scheme: scheme, Shards: 4, StorageWorkers: 2}, st, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 12; i++ {
+			s.Step()
+		}
+		if _, err := m.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 9; i++ {
+			s.Step()
+		}
+		it1, err := m.Recover()
+		if err != nil {
+			t.Fatal(err)
+		}
+		x1 := append([]float64(nil), s.X()...)
+		for i := 0; i < 5; i++ {
+			s.Step() // mutate state between recoveries
+		}
+		it2, err := m.Recover()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if it1 != it2 {
+			t.Fatalf("scheme %v: rollback iteration changed: %d then %d", scheme, it1, it2)
+		}
+		if d := vec.MaxAbsDiff(x1, s.X()); d != 0 {
+			t.Fatalf("scheme %v: repeated recovery changed restored x by %g", scheme, d)
+		}
+		// A fresh Manager over the same storage restores identically.
+		s2 := newCG(t, a, b)
+		m2, err := NewManager(Config{Scheme: scheme, Shards: 4, StorageWorkers: 2}, st, s2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m2.Recover(); err != nil {
+			t.Fatal(err)
+		}
+		if d := vec.MaxAbsDiff(s.X(), s2.X()); d != 0 {
+			t.Fatalf("scheme %v: fresh-manager recovery differs by %g", scheme, d)
+		}
+		res, err := solver.RunToConvergence(s, solver.Options{MaxIter: 100000}, nil)
+		if err != nil || !res.Converged {
+			t.Fatalf("scheme %v: post-recovery solve failed: %v", scheme, err)
+		}
+		if d := vec.MaxAbsDiff(s.X(), xe); d > 1e-5 {
+			t.Fatalf("scheme %v: converged far from the exact solution: %g", scheme, d)
+		}
+	}
+}

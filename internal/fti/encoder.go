@@ -10,6 +10,42 @@ import (
 	"repro/internal/zfp"
 )
 
+// DecoderInto is the optional streaming extension of Encoder: encoders
+// implementing it decode directly into a caller-provided slice, which
+// the restore path uses to reconstruct vector payloads in place —
+// straight into the registered (protected) variables — instead of
+// allocating a fresh vector and copying. All encoders in this package
+// implement it.
+//
+// Contract: dst's length must equal the encoded element count exactly
+// (an error is returned otherwise — never a partial decode into a
+// shorter dst); every element of dst is overwritten on success, so
+// stale contents cannot survive (accumulate-style decoders must zero
+// dst first); on error dst's contents are unspecified; and the
+// reconstruction must be bitwise identical to Decode on the same
+// bytes.
+type DecoderInto interface {
+	DecodeInto(dst []float64, data []byte) error
+}
+
+// DecodeInto decodes data with enc into dst, whose length must match
+// the encoded element count, using the encoder's DecoderInto fast path
+// when implemented and falling back to Decode plus a copy.
+func DecodeInto(enc Encoder, dst []float64, data []byte) error {
+	if di, ok := enc.(DecoderInto); ok {
+		return di.DecodeInto(dst, data)
+	}
+	v, err := enc.Decode(data)
+	if err != nil {
+		return err
+	}
+	if len(v) != len(dst) {
+		return fmt.Errorf("fti: decoded %d values into a %d-element destination", len(v), len(dst))
+	}
+	copy(dst, v)
+	return nil
+}
+
 // Raw is the traditional-checkpointing encoder: vectors are stored as
 // their exact little-endian byte image, no compression.
 type Raw struct{}
@@ -38,6 +74,17 @@ func (Raw) Decode(data []byte) ([]float64, error) {
 	return out, nil
 }
 
+// DecodeInto reverses Encode into dst (DecoderInto).
+func (Raw) DecodeInto(dst []float64, data []byte) error {
+	if len(data) != 8*len(dst) {
+		return fmt.Errorf("fti: raw payload is %d bytes, a %d-element destination needs %d", len(data), len(dst), 8*len(dst))
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+	}
+	return nil
+}
+
 // Lossless wraps a lossless codec (the paper's Gzip baseline).
 type Lossless struct {
 	Codec lossless.Codec
@@ -51,6 +98,11 @@ func (e Lossless) Encode(x []float64) ([]byte, error) { return e.Codec.Compress(
 
 // Decode decompresses exactly.
 func (e Lossless) Decode(data []byte) ([]float64, error) { return e.Codec.Decompress(data) }
+
+// DecodeInto decompresses exactly into dst (DecoderInto).
+func (e Lossless) DecodeInto(dst []float64, data []byte) error {
+	return e.Codec.DecompressInto(dst, data)
+}
 
 // SZ wraps the SZ-like error-bounded lossy compressor — the paper's
 // choice for 1D solver state.
@@ -67,6 +119,10 @@ func (e SZ) Encode(x []float64) ([]byte, error) { return sz.Compress(x, e.Params
 // Decode reconstructs within the error bound.
 func (SZ) Decode(data []byte) ([]float64, error) { return sz.Decompress(data) }
 
+// DecodeInto reconstructs within the error bound into dst
+// (DecoderInto).
+func (SZ) DecodeInto(dst []float64, data []byte) error { return sz.DecompressInto(dst, data) }
+
 // ZFP wraps the transform-based lossy compressor (absolute bound).
 type ZFP struct {
 	Bound float64
@@ -80,3 +136,6 @@ func (e ZFP) Encode(x []float64) ([]byte, error) { return zfp.Compress(x, e.Boun
 
 // Decode reconstructs within the bound.
 func (ZFP) Decode(data []byte) ([]float64, error) { return zfp.Decompress(data) }
+
+// DecodeInto reconstructs within the bound into dst (DecoderInto).
+func (ZFP) DecodeInto(dst []float64, data []byte) error { return zfp.DecompressInto(dst, data) }

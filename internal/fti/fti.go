@@ -22,7 +22,12 @@ import (
 
 // Encoder turns a float64 vector into checkpoint bytes and back.
 // Raw (traditional checkpointing), lossless codecs, and error-bounded
-// lossy compressors all implement it.
+// lossy compressors all implement it. Encoders that can decode into a
+// caller-provided slice additionally implement DecoderInto — the
+// restore path then reconstructs vectors in place (straight into the
+// registered variables) instead of allocating and copying; encoders
+// without it transparently fall back to Decode plus a copy (see
+// DecodeInto).
 type Encoder interface {
 	// Name tags checkpoint files for decode-time verification.
 	Name() string
@@ -249,9 +254,25 @@ func (c *Checkpointer) Checkpoint() (Info, error) {
 }
 
 // Recover loads the latest valid checkpoint back into the protected
-// variables.
+// variables. Vector payloads whose length matches the registered slice
+// decode directly into it — no whole-payload reassembly buffer, no
+// decode-then-copy; a vector whose length changed gets a freshly
+// allocated slice that never aliases the restored snapshot's backing
+// arrays, so a Snapshot retained from Restore cannot be mutated by
+// subsequent solver iterations.
+//
+// Because the decode is in place, a Recover that fails after decoding
+// began (every checkpoint invalid) may leave the protected vectors
+// partially overwritten; callers must treat the state as unspecified
+// after an error.
 func (c *Checkpointer) Recover() error {
-	s, err := c.Restore()
+	targets := make(map[string][]float64, len(c.vecs))
+	for _, pv := range c.vecs {
+		if v := *pv.ptr; len(v) > 0 {
+			targets[pv.name] = v
+		}
+	}
+	s, err := c.RestoreInto(targets)
 	if err != nil {
 		return err
 	}
@@ -261,9 +282,12 @@ func (c *Checkpointer) Recover() error {
 			return fmt.Errorf("fti: checkpoint lacks protected vector %q", pv.name)
 		}
 		if len(*pv.ptr) == len(v) {
+			if len(v) > 0 && &v[0] == &(*pv.ptr)[0] {
+				continue // decoded in place
+			}
 			copy(*pv.ptr, v)
 		} else {
-			*pv.ptr = v
+			*pv.ptr = append([]float64(nil), v...)
 		}
 	}
 	for _, pi := range c.ints {
@@ -339,8 +363,63 @@ func (c *Checkpointer) save(s *Snapshot, buf []byte) ([]byte, Info, error) {
 }
 
 // Restore returns the most recent snapshot that passes integrity
-// checks, falling back to older ones.
-func (c *Checkpointer) Restore() (*Snapshot, error) {
+// checks, falling back to older ones. The returned snapshot owns its
+// vectors (freshly allocated); RestoreInto is the in-place variant.
+func (c *Checkpointer) Restore() (*Snapshot, error) { return c.RestoreInto(nil) }
+
+// RestoreInto is Restore with caller-provided decode targets: a vector
+// payload whose name and length match an entry of targets decodes
+// directly into that slice — the returned snapshot's Vectors then
+// alias the targets — while all other vectors are freshly allocated.
+//
+// Sharded checkpoints stream: each shard is read, CRC32C-verified, and
+// block-decoded straight into its destination slices by a bounded
+// worker pool, with no whole-payload reassembly buffer. The redundant
+// whole-payload IEEE CRC is skipped for them — the per-shard CRC32C
+// checksums already covered every byte — while monolithic checkpoints
+// keep it. On error, target slices may hold partially decoded data
+// from a checkpoint that was later rejected; a recovery that falls
+// back to an older checkpoint overwrites them in full.
+func (c *Checkpointer) RestoreInto(targets map[string][]float64) (*Snapshot, error) {
+	return c.restore(func(seq int, data []byte) (*Snapshot, error) {
+		if shard.IsManifest(data) {
+			man, err := shard.ParseManifest(data)
+			if err != nil {
+				return nil, err
+			}
+			return c.restoreStreaming(man, targets)
+		}
+		return decodeSnapshotInto(data, c.enc, targets)
+	})
+}
+
+// RestoreReassembled is the pre-streaming restore path, retained for
+// equivalence testing and benchmarking against the streaming decoder:
+// a sharded group is reassembled into one contiguous payload
+// (shard.Read), the whole-payload IEEE CRC is verified, and every
+// vector decodes into a fresh allocation. Restore must produce a
+// bitwise-identical snapshot.
+func (c *Checkpointer) RestoreReassembled() (*Snapshot, error) {
+	return c.restore(func(seq int, data []byte) (*Snapshot, error) {
+		if shard.IsManifest(data) {
+			man, err := shard.ParseManifest(data)
+			if err != nil {
+				return nil, err
+			}
+			data, err = shard.Read(c.storage, man, shard.Options{Workers: c.storageWorkers})
+			if err != nil {
+				return nil, err
+			}
+		}
+		return decodeSnapshot(data, c.enc)
+	})
+}
+
+// restore walks the checkpoint series newest-first, handing each
+// base object (monolithic payload or shard manifest) to decode; any
+// missing, corrupt, or rejected checkpoint falls back to the previous
+// one — the paper's failure-during-checkpoint recovery path.
+func (c *Checkpointer) restore(decode func(seq int, data []byte) (*Snapshot, error)) (*Snapshot, error) {
 	names, err := c.storage.List()
 	if err != nil {
 		return nil, err
@@ -362,23 +441,7 @@ func (c *Checkpointer) Restore() (*Snapshot, error) {
 			lastErr = err
 			continue
 		}
-		// A sharded checkpoint stores its manifest under the plain
-		// checkpoint name; reassemble the payload from the shard group.
-		// Any missing or checksum-corrupted shard rejects the whole
-		// group and recovery falls back to the previous checkpoint.
-		if shard.IsManifest(data) {
-			man, err := shard.ParseManifest(data)
-			if err != nil {
-				lastErr = fmt.Errorf("fti: checkpoint %d: %w", seq, err)
-				continue
-			}
-			data, err = shard.Read(c.storage, man, shard.Options{Workers: c.storageWorkers})
-			if err != nil {
-				lastErr = fmt.Errorf("fti: checkpoint %d: %w", seq, err)
-				continue
-			}
-		}
-		s, err := decodeSnapshot(data, c.enc)
+		s, err := decode(seq, data)
 		if err != nil {
 			lastErr = fmt.Errorf("fti: checkpoint %d: %w", seq, err)
 			continue
@@ -558,6 +621,15 @@ func encodeSnapshot(s *Snapshot, enc Encoder, buf []byte, wantBounds bool) (payl
 }
 
 func decodeSnapshot(data []byte, enc Encoder) (*Snapshot, error) {
+	return decodeSnapshotInto(data, enc, nil)
+}
+
+// decodeSnapshotInto decodes a monolithic checkpoint payload,
+// reconstructing vectors whose name and length match a targets entry
+// directly into that slice (the returned snapshot aliases it) and
+// allocating the rest. The whole-payload IEEE CRC is verified — for a
+// monolithic object it is the only integrity check the bytes get.
+func decodeSnapshotInto(data []byte, enc Encoder, targets map[string][]float64) (*Snapshot, error) {
 	if len(data) < len(fileMagic)+4 {
 		return nil, fmt.Errorf("truncated checkpoint")
 	}
@@ -640,13 +712,23 @@ func decodeSnapshot(data []byte, enc Encoder) (*Snapshot, error) {
 		if off+int(blobLen) > len(body) {
 			return nil, fmt.Errorf("truncated vector %q", name)
 		}
-		v, err := enc.Decode(body[off : off+int(blobLen)])
-		if err != nil {
-			return nil, fmt.Errorf("decode vector %q: %w", name, err)
-		}
+		blob := body[off : off+int(blobLen)]
 		off += int(blobLen)
-		if uint64(len(v)) != n {
-			return nil, fmt.Errorf("vector %q decoded to %d values, header says %d", name, len(v), n)
+		var v []float64
+		if t, ok := targets[name]; ok && uint64(len(t)) == n {
+			if err := DecodeInto(enc, t, blob); err != nil {
+				return nil, fmt.Errorf("decode vector %q: %w", name, err)
+			}
+			v = t
+		} else {
+			var err error
+			v, err = enc.Decode(blob)
+			if err != nil {
+				return nil, fmt.Errorf("decode vector %q: %w", name, err)
+			}
+			if uint64(len(v)) != n {
+				return nil, fmt.Errorf("vector %q decoded to %d values, header says %d", name, len(v), n)
+			}
 		}
 		s.Vectors[name] = v
 	}

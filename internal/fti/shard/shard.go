@@ -30,6 +30,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"sort"
 	"strings"
 
 	"repro/internal/parallel"
@@ -265,31 +266,40 @@ func Write(st Storage, base, encoder string, payload []byte, aligned []int, opt 
 	return n, nil
 }
 
+// fetchVerify reads shard i of m and verifies it against its manifest
+// size and CRC32C — the single read-side integrity gate shared by the
+// reassembling Read and the streaming Reader, so no payload byte is
+// ever served unverified.
+func fetchVerify(st Storage, m *Manifest, i int) ([]byte, error) {
+	s := m.Shards[i]
+	data, err := st.Read(s.Name)
+	if err != nil {
+		return nil, fmt.Errorf("shard: missing shard %s: %w", s.Name, err)
+	}
+	if len(data) != s.Size {
+		return nil, fmt.Errorf("shard: shard %s is %d bytes, manifest says %d", s.Name, len(data), s.Size)
+	}
+	if Checksum(data) != s.CRC {
+		return nil, fmt.Errorf("shard: shard %s fails its CRC32C (corrupt)", s.Name)
+	}
+	return data, nil
+}
+
 // Read loads every shard of m over the bounded worker pool, verifies
 // each against its manifest size and CRC32C, and returns the
 // reassembled payload. A missing, truncated, or corrupted shard fails
 // the whole group with an error naming the offending shard.
+//
+// Read is the legacy whole-payload path (and the reference for
+// equivalence tests); the streaming Reader serves byte ranges and
+// per-shard decode without the reassembly buffer.
 func Read(st Storage, m *Manifest, opt Options) ([]byte, error) {
 	n := len(m.Shards)
 	chunks := make([][]byte, n)
 	errs := make([]error, n)
 	parallel.ForBounded(n, 1, opt.workers(n), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			s := m.Shards[i]
-			data, err := st.Read(s.Name)
-			if err != nil {
-				errs[i] = fmt.Errorf("shard: missing shard %s: %w", s.Name, err)
-				continue
-			}
-			if len(data) != s.Size {
-				errs[i] = fmt.Errorf("shard: shard %s is %d bytes, manifest says %d", s.Name, len(data), s.Size)
-				continue
-			}
-			if Checksum(data) != s.CRC {
-				errs[i] = fmt.Errorf("shard: shard %s fails its CRC32C (corrupt)", s.Name)
-				continue
-			}
-			chunks[i] = data
+			chunks[i], errs[i] = fetchVerify(st, m, i)
 		}
 	})
 	for _, err := range errs {
@@ -308,6 +318,174 @@ func Read(st Storage, m *Manifest, opt Options) ([]byte, error) {
 		return nil, fmt.Errorf("shard: reassembled %d bytes, manifest says %d", len(payload), m.Total)
 	}
 	return payload, nil
+}
+
+// Reader provides streaming access to a committed shard group without
+// reassembling its payload. Byte ranges are served straight from the
+// verified shard chunks — zero-copy when a range lies inside one shard,
+// a small stitched copy otherwise — and Process fans the chunks out
+// over a bounded worker pool so read, checksum verification, and the
+// caller's decode overlap across shards. Every served byte comes from
+// a chunk that already passed its manifest size and CRC32C checks, and
+// any missing, truncated, or corrupt shard fails the group, so callers
+// fall back to an older checkpoint exactly as with Read.
+//
+// A Reader serves one restore attempt on one goroutine: Bytes is the
+// serial skeleton-parsing phase, Process the terminal parallel decode
+// phase (it releases each chunk after its callback returns, so Bytes
+// must not be used afterwards).
+type Reader struct {
+	st      Storage
+	m       *Manifest
+	offs    []int // offs[i] = payload offset of shard i; offs[n] = Total
+	chunks  [][]byte
+	fetched []bool
+}
+
+// NewReader wraps a parsed manifest for streaming reads.
+func NewReader(st Storage, m *Manifest) *Reader {
+	offs := make([]int, len(m.Shards)+1)
+	for i, s := range m.Shards {
+		offs[i+1] = offs[i] + s.Size
+	}
+	return &Reader{
+		st: st, m: m, offs: offs,
+		chunks:  make([][]byte, len(m.Shards)),
+		fetched: make([]bool, len(m.Shards)),
+	}
+}
+
+// Total returns the reassembled payload length the group represents.
+func (r *Reader) Total() int { return r.offs[len(r.offs)-1] }
+
+// Offsets returns the payload offset of every shard boundary:
+// Offsets()[i] is where shard i begins and Offsets()[len(shards)] is
+// Total(). Callers must not modify the returned slice.
+func (r *Reader) Offsets() []int { return r.offs }
+
+// shardAt returns the index of the shard containing payload offset
+// off (off < Total), skipping any zero-size shards.
+func (r *Reader) shardAt(off int) int {
+	return sort.Search(len(r.offs)-1, func(i int) bool { return r.offs[i+1] > off })
+}
+
+// chunk returns shard i's verified content, reading it on first touch.
+func (r *Reader) chunk(i int) ([]byte, error) {
+	if !r.fetched[i] {
+		data, err := fetchVerify(r.st, r.m, i)
+		if err != nil {
+			return nil, err
+		}
+		r.chunks[i], r.fetched[i] = data, true
+	}
+	return r.chunks[i], nil
+}
+
+// Bytes returns payload bytes [start, end): a zero-copy sub-slice of
+// one shard's chunk when the span lies inside it, otherwise a fresh
+// stitched copy. Shards are fetched and verified on first touch.
+// Serial use only; Process is the concurrent path.
+func (r *Reader) Bytes(start, end int) ([]byte, error) {
+	if start < 0 || end < start || end > r.Total() {
+		return nil, fmt.Errorf("shard: byte range [%d,%d) outside payload of %d bytes", start, end, r.Total())
+	}
+	if start == end {
+		return []byte{}, nil
+	}
+	i := r.shardAt(start)
+	if end <= r.offs[i+1] {
+		c, err := r.chunk(i)
+		if err != nil {
+			return nil, err
+		}
+		return c[start-r.offs[i] : end-r.offs[i]], nil
+	}
+	out := make([]byte, 0, end-start)
+	for start < end {
+		c, err := r.chunk(i)
+		if err != nil {
+			return nil, err
+		}
+		hi := end
+		if hi > r.offs[i+1] {
+			hi = r.offs[i+1]
+		}
+		out = append(out, c[start-r.offs[i]:hi-r.offs[i]]...)
+		start = hi
+		i++
+	}
+	return out, nil
+}
+
+// Prefetch fetches and verifies every not-yet-cached shard overlapping
+// payload range [start, end) over the bounded worker pool, so a
+// subsequent Bytes call for the range is served from cache instead of
+// fetching shard-by-shard on the calling goroutine. Serial-phase use
+// only (call it between Bytes calls, not concurrently with them); the
+// fan-out inside is the same bounded pool Process uses.
+func (r *Reader) Prefetch(start, end int, opt Options) error {
+	if start < 0 || end < start || end > r.Total() {
+		return fmt.Errorf("shard: byte range [%d,%d) outside payload of %d bytes", start, end, r.Total())
+	}
+	if start == end {
+		return nil
+	}
+	lo := r.shardAt(start)
+	hi := r.shardAt(end - 1)
+	n := hi - lo + 1
+	errs := make([]error, n)
+	parallel.ForBounded(n, 1, opt.workers(n), func(a, b int) {
+		for i := a; i < b; i++ {
+			s := lo + i
+			if r.fetched[s] {
+				continue
+			}
+			data, err := fetchVerify(r.st, r.m, s)
+			if err != nil {
+				errs[i] = err
+				continue
+			}
+			r.chunks[s], r.fetched[s] = data, true
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Process fetches and verifies every shard of the group over a bounded
+// worker pool — including shards the caller has no work for, so a
+// corrupt or missing shard anywhere rejects the whole group — and
+// hands each verified chunk to fn exactly once as fn(i, start, chunk),
+// where start is the chunk's payload offset. The chunk is released
+// after fn returns, keeping transient memory proportional to the
+// in-flight shards rather than the payload; chunks already fetched by
+// Bytes are handed over without a second read. fn must be safe for
+// concurrent calls on distinct shards. The first shard or fn error
+// fails the group.
+func (r *Reader) Process(opt Options, fn func(i, start int, chunk []byte) error) error {
+	n := len(r.m.Shards)
+	errs := make([]error, n)
+	parallel.ForBounded(n, 1, opt.workers(n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c, err := r.chunk(i)
+			if err != nil {
+				errs[i] = err
+				continue
+			}
+			errs[i] = fn(i, r.offs[i], c)
+			r.chunks[i] = nil // release; decode output lives elsewhere
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Delete removes the group stored under base: the manifest (or

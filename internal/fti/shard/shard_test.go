@@ -403,3 +403,149 @@ func appendUvarint(b []byte, v uint64) []byte {
 	}
 	return append(b, byte(v))
 }
+
+// readerGroup writes a deterministic payload as a 5-shard group and
+// returns the store, the parsed manifest, and the payload.
+func readerGroup(t *testing.T, n int) (*memStore, *Manifest, []byte) {
+	t.Helper()
+	st := newMemStore()
+	payload := payloadOf(n)
+	if _, err := Write(st, "ckpt-000000000001", "sz", payload, nil, Options{Shards: 5}); err != nil {
+		t.Fatal(err)
+	}
+	man, _ := st.Read("ckpt-000000000001")
+	m, err := ParseManifest(man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, m, payload
+}
+
+// TestReaderBytes: every span — inside one shard, across boundaries,
+// whole payload, empty — must match the reassembled payload, and
+// in-shard spans must be served zero-copy from the chunk.
+func TestReaderBytes(t *testing.T) {
+	st, m, payload := readerGroup(t, 10_000)
+	r := NewReader(st, m)
+	if r.Total() != len(payload) {
+		t.Fatalf("Total %d != %d", r.Total(), len(payload))
+	}
+	offs := r.Offsets()
+	if len(offs) != len(m.Shards)+1 || offs[len(offs)-1] != len(payload) {
+		t.Fatalf("bad offsets %v", offs)
+	}
+	spans := [][2]int{
+		{0, 0},
+		{0, len(payload)},
+		{offs[1] - 3, offs[1] + 3}, // straddles a boundary
+		{offs[2], offs[3]},         // exactly one shard
+		{offs[1] + 1, offs[2] - 1}, // inside one shard
+		{len(payload) - 1, len(payload)},
+	}
+	for _, sp := range spans {
+		got, err := r.Bytes(sp[0], sp[1])
+		if err != nil {
+			t.Fatalf("Bytes(%d,%d): %v", sp[0], sp[1], err)
+		}
+		if !bytes.Equal(got, payload[sp[0]:sp[1]]) {
+			t.Fatalf("Bytes(%d,%d) mismatch", sp[0], sp[1])
+		}
+	}
+	if _, err := r.Bytes(-1, 3); err == nil {
+		t.Fatal("negative start accepted")
+	}
+	if _, err := r.Bytes(0, len(payload)+1); err == nil {
+		t.Fatal("overlong span accepted")
+	}
+}
+
+// TestReaderProcess: every shard chunk is handed over exactly once
+// with its payload offset, shards already fetched by Bytes included.
+func TestReaderProcess(t *testing.T) {
+	st, m, payload := readerGroup(t, 10_000)
+	r := NewReader(st, m)
+	if _, err := r.Bytes(0, 10); err != nil { // pre-fetch shard 0
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	rebuilt := make([]byte, len(payload))
+	err := r.Process(Options{Workers: 3}, func(i, start int, chunk []byte) error {
+		mu.Lock()
+		seen[i]++
+		mu.Unlock()
+		copy(rebuilt[start:], chunk)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Shards {
+		if seen[i] != 1 {
+			t.Fatalf("shard %d processed %d times", i, seen[i])
+		}
+	}
+	if !bytes.Equal(rebuilt, payload) {
+		t.Fatal("processed chunks do not reassemble the payload")
+	}
+}
+
+// TestReaderRejectsCorruptAndMissing: both access paths must fail on
+// a bad shard, naming it.
+func TestReaderRejectsCorruptAndMissing(t *testing.T) {
+	st, m, _ := readerGroup(t, 10_000)
+	bad, _ := st.Read(m.Shards[3].Name)
+	bad[0] ^= 0xff
+	_ = st.Write(m.Shards[3].Name, bad)
+	r := NewReader(st, m)
+	if _, err := r.Bytes(r.Offsets()[3], r.Offsets()[4]); err == nil || !strings.Contains(err.Error(), "CRC32C") {
+		t.Fatalf("corrupt shard served by Bytes: %v", err)
+	}
+	if err := r.Process(Options{}, func(int, int, []byte) error { return nil }); err == nil || !strings.Contains(err.Error(), "CRC32C") {
+		t.Fatalf("corrupt shard passed Process: %v", err)
+	}
+
+	st2, m2, _ := readerGroup(t, 10_000)
+	_ = st2.Delete(m2.Shards[1].Name)
+	r2 := NewReader(st2, m2)
+	if err := r2.Process(Options{}, func(int, int, []byte) error { return nil }); err == nil || !strings.Contains(err.Error(), "missing shard") {
+		t.Fatalf("missing shard passed Process: %v", err)
+	}
+}
+
+// TestReaderPrefetch: prefetched spans are served from cache, already
+// cached shards are not re-read, and a corrupt shard in the span
+// fails the prefetch.
+func TestReaderPrefetch(t *testing.T) {
+	st, m, payload := readerGroup(t, 10_000)
+	r := NewReader(st, m)
+	offs := r.Offsets()
+	if err := r.Prefetch(offs[1], offs[4], Options{Workers: 3}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Bytes(offs[1], offs[4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload[offs[1]:offs[4]]) {
+		t.Fatal("prefetched span mismatch")
+	}
+	if err := r.Prefetch(0, len(payload), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Prefetch(0, 0, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Prefetch(-1, 4, Options{}); err == nil {
+		t.Fatal("negative start accepted")
+	}
+
+	st2, m2, _ := readerGroup(t, 10_000)
+	bad, _ := st2.Read(m2.Shards[2].Name)
+	bad[3] ^= 0x55
+	_ = st2.Write(m2.Shards[2].Name, bad)
+	r2 := NewReader(st2, m2)
+	if err := r2.Prefetch(0, r2.Total(), Options{}); err == nil || !strings.Contains(err.Error(), "CRC32C") {
+		t.Fatalf("corrupt shard passed Prefetch: %v", err)
+	}
+}

@@ -30,6 +30,18 @@ import (
 // (distinct files or map keys make it natural). All three provided
 // implementations satisfy the contract.
 //
+// Read-side concurrency under streaming restore: a sharded recovery
+// (shard.Reader.Process via Checkpointer.RestoreInto) issues up to
+// storage-workers concurrent Reads for the group's shard objects and
+// decodes each returned slice on the worker that read it, retaining it
+// only until that shard's blocks are decoded. Because the returned
+// slices are caller-owned, the decoder slices them zero-copy; an
+// implementation that recycled Read buffers would corrupt restores.
+// Reads of distinct names may also race a concurrent background Write
+// of *different* names (an async save committing while an earlier
+// checkpoint is restored); implementations must not serialize
+// correctness on global mutable state beyond the per-name entries.
+//
 // Object layout under sharding: checkpoint seq N is either one
 // monolithic object "ckpt-%012d" (the snapshot payload) or a group —
 // shard objects "ckpt-%012d.s00000", ".s00001", … holding contiguous

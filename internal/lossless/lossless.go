@@ -24,6 +24,12 @@ type Codec interface {
 	Compress(x []float64) ([]byte, error)
 	// Decompress reverses Compress bit-exactly.
 	Decompress(data []byte) ([]float64, error)
+	// DecompressInto reverses Compress bit-exactly into dst, whose
+	// length must equal the stream's element count — no output
+	// allocation, the streaming restore path's contract (every element
+	// of dst is overwritten on success; on error dst's contents are
+	// unspecified).
+	DecompressInto(dst []float64, data []byte) error
 }
 
 // Flate is the DEFLATE/Gzip-family codec. Level follows compress/flate
@@ -63,27 +69,56 @@ func (f Flate) Compress(x []float64) ([]byte, error) {
 }
 
 // Decompress reverses Compress.
-func (Flate) Decompress(data []byte) ([]float64, error) {
+func (f Flate) Decompress(data []byte) ([]float64, error) {
+	raw, n, err := inflateFlate(data)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	fillFloats(out, raw)
+	return out, nil
+}
+
+// DecompressInto reverses Compress into dst (serial, allocation-free
+// on the output side); len(dst) must equal the stream's element count.
+func (f Flate) DecompressInto(dst []float64, data []byte) error {
+	raw, n, err := inflateFlate(data)
+	if err != nil {
+		return err
+	}
+	if n != len(dst) {
+		return fmt.Errorf("lossless: stream holds %d values, dst has %d", n, len(dst))
+	}
+	fillFloats(dst, raw)
+	return nil
+}
+
+// inflateFlate validates a Flate stream and returns the inflated byte
+// image plus the element count.
+func inflateFlate(data []byte) ([]byte, int, error) {
 	if len(data) < 8 {
-		return nil, fmt.Errorf("lossless: truncated flate header")
+		return nil, 0, fmt.Errorf("lossless: truncated flate header")
 	}
 	n := int(binary.LittleEndian.Uint64(data))
 	if n < 0 {
-		return nil, fmt.Errorf("lossless: negative length")
+		return nil, 0, fmt.Errorf("lossless: negative length")
 	}
 	r := flate.NewReader(bytes.NewReader(data[8:]))
 	raw, err := io.ReadAll(r)
 	if err != nil {
-		return nil, fmt.Errorf("lossless: inflate: %w", err)
+		return nil, 0, fmt.Errorf("lossless: inflate: %w", err)
 	}
 	if len(raw) != 8*n {
-		return nil, fmt.Errorf("lossless: inflated %d bytes, want %d", len(raw), 8*n)
+		return nil, 0, fmt.Errorf("lossless: inflated %d bytes, want %d", len(raw), 8*n)
 	}
-	out := make([]float64, n)
+	return raw, n, nil
+}
+
+// fillFloats decodes the little-endian byte image raw into out.
+func fillFloats(out []float64, raw []byte) {
 	for i := range out {
 		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
 	}
-	return out, nil
 }
 
 // FPC is a simplified FPC coder: each value is predicted by the better
@@ -151,7 +186,7 @@ func (FPC) Compress(x []float64) ([]byte, error) {
 }
 
 // Decompress reverses Compress.
-func (FPC) Decompress(data []byte) ([]float64, error) {
+func (c FPC) Decompress(data []byte) ([]float64, error) {
 	if len(data) < 8 {
 		return nil, fmt.Errorf("lossless: truncated fpc header")
 	}
@@ -159,13 +194,39 @@ func (FPC) Decompress(data []byte) ([]float64, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("lossless: negative length")
 	}
+	// Every value costs a header nibble, so a genuine stream can never
+	// claim more values than twice its remaining bytes; checking before
+	// allocating keeps crafted headers from demanding terabytes.
+	if n > 2*(len(data)-8) {
+		return nil, fmt.Errorf("lossless: %d values exceed %d payload bytes", n, len(data)-8)
+	}
+	out := make([]float64, n)
+	if err := c.DecompressInto(out, data); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecompressInto reverses Compress into dst (serial, allocation-free
+// on the output side); len(dst) must equal the stream's element count.
+func (FPC) DecompressInto(dst []float64, data []byte) error {
+	if len(data) < 8 {
+		return fmt.Errorf("lossless: truncated fpc header")
+	}
+	n := int(binary.LittleEndian.Uint64(data))
+	if n < 0 {
+		return fmt.Errorf("lossless: negative length")
+	}
+	if n != len(dst) {
+		return fmt.Errorf("lossless: stream holds %d values, dst has %d", n, len(dst))
+	}
 	hdrLen := (n + 1) / 2
 	if len(data) < 8+hdrLen {
-		return nil, fmt.Errorf("lossless: truncated fpc nibbles")
+		return fmt.Errorf("lossless: truncated fpc nibbles")
 	}
 	headers := data[8 : 8+hdrLen]
 	payload := data[8+hdrLen:]
-	out := make([]float64, n)
+	out := dst
 	var prev, prev2 float64
 	off := 0
 	for i := 0; i < n; i++ {
@@ -180,7 +241,7 @@ func (FPC) Decompress(data []byte) ([]float64, error) {
 			nres = 8
 		}
 		if off+nres > len(payload) {
-			return nil, fmt.Errorf("lossless: truncated fpc payload at value %d", i)
+			return fmt.Errorf("lossless: truncated fpc payload at value %d", i)
 		}
 		var res uint64
 		for b := 0; b < nres; b++ {
@@ -199,9 +260,9 @@ func (FPC) Decompress(data []byte) ([]float64, error) {
 		prev = v
 	}
 	if off != len(payload) {
-		return nil, fmt.Errorf("lossless: %d payload bytes unconsumed", len(payload)-off)
+		return fmt.Errorf("lossless: %d payload bytes unconsumed", len(payload)-off)
 	}
-	return out, nil
+	return nil
 }
 
 // lzBytes counts the leading zero bytes of v (0–8).

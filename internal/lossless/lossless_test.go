@@ -1,6 +1,7 @@
 package lossless
 
 import (
+	"encoding/binary"
 	"math"
 	"math/rand"
 	"testing"
@@ -181,5 +182,54 @@ func TestRoundTripProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestDecompressIntoMatchesDecompress: both codecs' in-place decodes
+// must be bit-exact against the allocating path and reject wrong-size
+// destinations (the extended Encoder contract's into-variant).
+func TestDecompressIntoMatchesDecompress(t *testing.T) {
+	x := sparse.SmoothField(20_000, 21)
+	for _, c := range codecs() {
+		comp, err := c.Compress(x)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		want, err := c.Decompress(comp)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		got := make([]float64, len(x))
+		for i := range got {
+			got[i] = math.NaN()
+		}
+		if err := c.DecompressInto(got, comp); err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		for i := range want {
+			if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+				t.Fatalf("%s index %d: into %g != alloc %g", c.Name(), i, got[i], want[i])
+			}
+		}
+		if err := c.DecompressInto(make([]float64, len(x)-1), comp); err == nil {
+			t.Fatalf("%s: short dst accepted", c.Name())
+		}
+		if err := c.DecompressInto(make([]float64, len(x)+1), comp); err == nil {
+			t.Fatalf("%s: long dst accepted", c.Name())
+		}
+	}
+}
+
+// TestFPCRejectsCraftedLength: a header claiming far more values than
+// the payload could hold must error before any allocation, so a
+// corrupt checkpoint falls back instead of OOM-ing the restore.
+func TestFPCRejectsCraftedLength(t *testing.T) {
+	crafted := make([]byte, 24)
+	binary.LittleEndian.PutUint64(crafted, 1<<40)
+	if _, err := (FPC{}).Decompress(crafted); err == nil {
+		t.Fatal("crafted fpc length accepted")
+	}
+	if err := (FPC{}).DecompressInto(make([]float64, 4), crafted); err == nil {
+		t.Fatal("crafted fpc length accepted by DecompressInto")
 	}
 }

@@ -50,7 +50,13 @@ type Config struct {
 	// identical iteration sequences — so only this callback changes.
 	CheckpointSeconds func(info fti.Info) float64
 	// RecoverySeconds maps the checkpoint being restored to the
-	// simulated recovery duration.
+	// simulated recovery duration. Like the write side, sharded
+	// checkpoints carry their layout in info.Shards, so restarts are
+	// priced through the streaming read model —
+	// cluster.Model.ShardedRecoverySeconds(..., info.Shards): min(
+	// shards, stripes) concurrent per-stripe reads overlapped with
+	// decompression, falling back to the serial RecoverySeconds cost
+	// at shards ≤ 1.
 	RecoverySeconds func(info fti.Info) float64
 
 	// AsyncCheckpoint enables the overlapped-checkpoint cost mode and

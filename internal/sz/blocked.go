@@ -116,9 +116,13 @@ type blockedLayout struct {
 
 // parseBlockedLayout validates an SZG2 container header and returns
 // the block layout. It is the single header parser shared by the
-// decompressor and the shard-alignment API, so the allocation guards
-// against crafted headers apply uniformly.
-func parseBlockedLayout(data []byte) (blockedLayout, error) {
+// decompressor, the shard-alignment API, and the streaming decoder, so
+// the allocation guards against crafted headers apply uniformly. data
+// must contain the complete header (through the block-length table)
+// but may be truncated before the block payloads; streamLen is the
+// byte length of the full stream, against which the guards and the
+// block spans are validated (in-memory callers pass len(data)).
+func parseBlockedLayout(data []byte, streamLen int) (blockedLayout, error) {
 	var lay blockedLayout
 	off := len(magicBlocked) + 1 // skip magic and the informational mode byte
 	if len(data) < off {
@@ -160,11 +164,11 @@ func parseBlockedLayout(data []byte) (blockedLayout, error) {
 	// bit (core) or one bitmap bit (log transform) per element, so a
 	// genuine stream can never claim more blocks than remaining bytes
 	// or more elements than 8× the remaining bytes.
-	if nBlocks > len(data)-off {
-		return lay, fmt.Errorf("sz: %d blocks exceed %d remaining bytes", nBlocks, len(data)-off)
+	if nBlocks > streamLen-off {
+		return lay, fmt.Errorf("sz: %d blocks exceed %d remaining bytes", nBlocks, streamLen-off)
 	}
-	if n > 8*(len(data)-off) {
-		return lay, fmt.Errorf("sz: %d elements exceed %d payload bytes", n, len(data)-off)
+	if n > 8*(streamLen-off) {
+		return lay, fmt.Errorf("sz: %d elements exceed %d payload bytes", n, streamLen-off)
 	}
 	lens := make([]int, nBlocks)
 	for b := range lens {
@@ -172,7 +176,7 @@ func parseBlockedLayout(data []byte) (blockedLayout, error) {
 		if err != nil {
 			return lay, err
 		}
-		if l > uint64(len(data)-off) {
+		if l > uint64(streamLen-off) {
 			return lay, fmt.Errorf("sz: block %d length %d exceeds payload", b, l)
 		}
 		lens[b] = int(l)
@@ -182,9 +186,9 @@ func parseBlockedLayout(data []byte) (blockedLayout, error) {
 	for b, l := range lens {
 		offsets[b+1] = offsets[b] + l
 	}
-	if offsets[nBlocks] != len(data) {
+	if offsets[nBlocks] != streamLen {
 		return lay, fmt.Errorf("sz: blocked payload is %d bytes, blocks cover %d",
-			len(data)-off, offsets[nBlocks]-off)
+			streamLen-off, offsets[nBlocks]-off)
 	}
 	return blockedLayout{n: n, blockElems: blockElems, offsets: offsets}, nil
 }
@@ -192,14 +196,35 @@ func parseBlockedLayout(data []byte) (blockedLayout, error) {
 // decompressBlocked reverses compressBlocked, decoding blocks
 // concurrently straight into their slices of the output vector.
 func decompressBlocked(data []byte) ([]float64, error) {
-	lay, err := parseBlockedLayout(data)
+	lay, err := parseBlockedLayout(data, len(data))
 	if err != nil {
 		return nil, err
 	}
+	out := make([]float64, lay.n)
+	if err := decodeBlocksInto(data, lay, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// decompressBlockedInto is decompressBlocked into a caller-provided
+// output vector, whose length must match the stream's element count.
+func decompressBlockedInto(data []byte, dst []float64) error {
+	lay, err := parseBlockedLayout(data, len(data))
+	if err != nil {
+		return err
+	}
+	if len(dst) != lay.n {
+		return fmt.Errorf("sz: stream holds %d values, dst has %d", lay.n, len(dst))
+	}
+	return decodeBlocksInto(data, lay, dst)
+}
+
+// decodeBlocksInto decodes every block of a parsed SZG2 stream into
+// its slice of out, concurrently across the worker pool.
+func decodeBlocksInto(data []byte, lay blockedLayout, out []float64) error {
 	n, blockElems, offsets := lay.n, lay.blockElems, lay.offsets
 	nBlocks := len(offsets) - 1
-
-	out := make([]float64, n)
 	errs := make([]error, nBlocks)
 	parallel.For(nBlocks, 1, func(lo, hi int) {
 		for b := lo; b < hi; b++ {
@@ -213,10 +238,10 @@ func decompressBlocked(data []byte) ([]float64, error) {
 	})
 	for b, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("sz: block %d: %w", b, err)
+			return fmt.Errorf("sz: block %d: %w", b, err)
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // decodeBlockInto decodes one block payload (kind byte + payload) into
@@ -247,6 +272,96 @@ type Range struct {
 	Start, End int
 }
 
+// BlockLayout describes the block structure of an SZG2 container for
+// streaming decode: the total element count, the elements per full
+// block (the last block may be shorter), and the absolute byte span of
+// every block payload within the stream. A consumer holding only a
+// contiguous piece of the stream — a checkpoint shard — can decode
+// exactly the blocks whose spans it covers (DecodeBlockInto), without
+// its neighbors.
+type BlockLayout struct {
+	N          int
+	BlockElems int
+	Blocks     []Range
+}
+
+// ElemRange returns the element span [lo, hi) that block b of the
+// layout reconstructs.
+func (l BlockLayout) ElemRange(b int) (lo, hi int) {
+	lo = b * l.BlockElems
+	hi = lo + l.BlockElems
+	if hi > l.N {
+		hi = l.N
+	}
+	return lo, hi
+}
+
+// HeaderPrefixLen is the number of leading bytes of an SZG2 stream
+// that always contain the fixed header fields (magic, mode byte, and
+// the three size varints); HeaderLenBound needs at most this much.
+const HeaderPrefixLen = 5 + 3*binary.MaxVarintLen64
+
+// HeaderLenBound reports an upper bound on the byte length of an SZG2
+// container header (through the per-block length table), given the
+// stream's first bytes. Streaming readers use it to size the header
+// fetch before ParseBlockLayout: peek HeaderPrefixLen bytes, get the
+// bound, fetch that much, parse. ok is false when prefix is not the
+// start of an SZG2 stream or is too short to tell.
+func HeaderLenBound(prefix []byte) (bound int, ok bool) {
+	if len(prefix) < len(magicBlocked) || string(prefix[:len(magicBlocked)]) != magicBlocked {
+		return 0, false
+	}
+	off := len(magicBlocked) + 1
+	if len(prefix) < off {
+		return 0, false
+	}
+	var nBlocks uint64
+	for j := 0; j < 3; j++ {
+		v, k := binary.Uvarint(prefix[off:])
+		if k <= 0 {
+			return 0, false
+		}
+		off += k
+		nBlocks = v
+	}
+	// Guard the bound arithmetic against a crafted count; the real
+	// nBlocks-vs-stream-length check happens in parseBlockedLayout.
+	if nBlocks > uint64(1<<31/binary.MaxVarintLen64) {
+		return 0, false
+	}
+	return off + int(nBlocks)*binary.MaxVarintLen64, true
+}
+
+// ParseBlockLayout validates an SZG2 container header and returns its
+// block layout. header must contain the complete header (magic
+// through the block-length table) and may be truncated anywhere after
+// it; streamLen is the byte length of the full stream, which the
+// crafted-header allocation guards and the block spans are validated
+// against. In-memory callers pass the whole stream and its length.
+func ParseBlockLayout(header []byte, streamLen int) (BlockLayout, error) {
+	if len(header) < len(magicBlocked) || string(header[:len(magicBlocked)]) != magicBlocked {
+		return BlockLayout{}, fmt.Errorf("sz: not an SZG2 stream")
+	}
+	lay, err := parseBlockedLayout(header, streamLen)
+	if err != nil {
+		return BlockLayout{}, err
+	}
+	bl := BlockLayout{N: lay.n, BlockElems: lay.blockElems, Blocks: make([]Range, len(lay.offsets)-1)}
+	for b := range bl.Blocks {
+		bl.Blocks[b] = Range{Start: lay.offsets[b], End: lay.offsets[b+1]}
+	}
+	return bl, nil
+}
+
+// DecodeBlockInto decodes one SZG2 block payload — the bytes of one
+// BlockLayout span — into dst, which must hold exactly the block's
+// element count (BlockLayout.ElemRange). It is the streaming-decode
+// entry point: every block is a fully independent compression unit,
+// so a shard holding whole blocks decodes without its neighbors.
+func DecodeBlockInto(dst []float64, block []byte) error {
+	return decodeBlockInto(dst, block)
+}
+
 // BlockRanges returns the absolute byte span of every independently
 // compressed block payload inside an SZG2 stream, in order; the first
 // span starts after the container header and the last ends at
@@ -261,7 +376,7 @@ func BlockRanges(data []byte) ([]Range, bool) {
 	if len(data) < len(magicBlocked) || string(data[:len(magicBlocked)]) != magicBlocked {
 		return nil, false
 	}
-	lay, err := parseBlockedLayout(data)
+	lay, err := parseBlockedLayout(data, len(data))
 	if err != nil {
 		return nil, false
 	}

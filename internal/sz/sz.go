@@ -215,6 +215,45 @@ func Decompress(data []byte) ([]float64, error) {
 	return nil, fmt.Errorf("sz: unknown payload kind %d", kind)
 }
 
+// DecompressInto reverses Compress into a caller-provided slice: dst
+// must have exactly the stream's element count, and no output
+// allocation is performed — the restore path uses it to reconstruct
+// checkpointed vectors straight into the solver's registered state.
+// Both the blocked SZG2 container and the legacy SZG1 single-stream
+// format are accepted, and the reconstruction is bitwise identical to
+// Decompress. Every element of dst is overwritten on success; on
+// error dst's contents are unspecified.
+func DecompressInto(dst []float64, data []byte) error {
+	if len(data) >= 4 && string(data[:4]) == magicBlocked {
+		return decompressBlockedInto(data, dst)
+	}
+	if len(data) < 6 || string(data[:4]) != magic {
+		return fmt.Errorf("sz: bad magic")
+	}
+	kind := data[5]
+	payload := data[6:]
+	switch kind {
+	case kindConstant:
+		return decodeConstantInto(payload, dst)
+	case kindCore:
+		_, err := decodeCoreInto(payload, ensureNonNil(dst))
+		return err
+	case kindLogTransform:
+		_, err := decodeLogTransformInto(payload, ensureNonNil(dst))
+		return err
+	}
+	return fmt.Errorf("sz: unknown payload kind %d", kind)
+}
+
+// ensureNonNil keeps a nil (zero-length) destination on the in-place
+// path of the decode helpers, which treat nil as "allocate".
+func ensureNonNil(dst []float64) []float64 {
+	if dst == nil {
+		return []float64{}
+	}
+	return dst
+}
+
 // Ratio returns the compression ratio original/compressed in bytes.
 func Ratio(n int, compressed []byte) float64 {
 	if len(compressed) == 0 {
@@ -260,12 +299,38 @@ func decodeConstant(p []byte) ([]float64, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("sz: negative length")
 	}
-	c := math.Float64frombits(binary.LittleEndian.Uint64(p[8:]))
+	// A constant stream legitimately encodes any vector in 16 bytes,
+	// so n cannot be bounded by the payload; cap it at a count far
+	// beyond any real vector (2^48 elements = 2 PB) so a corrupt
+	// header errors instead of panicking in makeslice.
+	if n > 1<<48 {
+		return nil, fmt.Errorf("sz: constant stream claims %d values", n)
+	}
 	out := make([]float64, n)
-	for i := range out {
-		out[i] = c
+	if err := decodeConstantInto(p, out); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// decodeConstantInto fills dst with the stored constant; dst's length
+// must match the stored element count.
+func decodeConstantInto(p []byte, dst []float64) error {
+	if len(p) != 16 {
+		return fmt.Errorf("sz: constant payload must be 16 bytes, got %d", len(p))
+	}
+	n := int(binary.LittleEndian.Uint64(p))
+	if n < 0 {
+		return fmt.Errorf("sz: negative length")
+	}
+	if len(dst) != n {
+		return fmt.Errorf("sz: constant stream holds %d values, dst has %d", n, len(dst))
+	}
+	c := math.Float64frombits(binary.LittleEndian.Uint64(p[8:]))
+	for i := range dst {
+		dst[i] = c
+	}
+	return nil
 }
 
 // predict applies the chosen predictor to the reconstructed prefix.

@@ -117,24 +117,72 @@ func Compress(x []float64, eb float64) ([]byte, error) {
 
 // Decompress reverses Compress.
 func Decompress(data []byte) ([]float64, error) {
+	n, err := decodedLen(data)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	if err := decompressInto(data, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecompressInto reverses Compress into a caller-provided slice: dst
+// must have exactly the stream's element count, and no output
+// allocation is performed. dst is zeroed before the inverse transform
+// accumulates into it, so it may hold stale values on entry; the
+// reconstruction is bitwise identical to Decompress.
+func DecompressInto(dst []float64, data []byte) error {
+	n, err := decodedLen(data)
+	if err != nil {
+		return err
+	}
+	if n != len(dst) {
+		return fmt.Errorf("zfp: stream holds %d values, dst has %d", n, len(dst))
+	}
+	return decompressInto(data, dst)
+}
+
+// decodedLen validates the stream header and returns its element count.
+func decodedLen(data []byte) (int, error) {
 	if len(data) < 20 || string(data[:4]) != magic {
-		return nil, fmt.Errorf("zfp: bad magic")
+		return 0, fmt.Errorf("zfp: bad magic")
 	}
 	n := int(binary.LittleEndian.Uint64(data[4:]))
 	if n < 0 {
-		return nil, fmt.Errorf("zfp: negative length")
+		return 0, fmt.Errorf("zfp: negative length")
 	}
+	// Every coefficient costs at least one varint byte before the
+	// DEFLATE stage, and DEFLATE expands at most ~1032× (one byte per
+	// stored bit plus framing), so a genuine stream can never claim
+	// more values than that bound; checking before the caller
+	// allocates keeps crafted headers from demanding terabytes.
+	const maxDeflateExpansion = 1032
+	if n > maxDeflateExpansion*(len(data)-20) {
+		return 0, fmt.Errorf("zfp: %d values exceed %d payload bytes", n, len(data)-20)
+	}
+	return n, nil
+}
+
+// decompressInto reconstructs the stream into out (len(out) == n).
+func decompressInto(data []byte, out []float64) error {
+	n := len(out)
 	eb := math.Float64frombits(binary.LittleEndian.Uint64(data[12:]))
 	if eb <= 0 {
-		return nil, fmt.Errorf("zfp: corrupt error bound %v", eb)
+		return fmt.Errorf("zfp: corrupt error bound %v", eb)
 	}
 	r := flate.NewReader(bytes.NewReader(data[20:]))
 	raw, err := io.ReadAll(r)
 	if err != nil {
-		return nil, fmt.Errorf("zfp: inflate: %w", err)
+		return fmt.Errorf("zfp: inflate: %w", err)
 	}
 
-	out := make([]float64, n)
+	// The inverse transform accumulates; stale destination contents
+	// must not leak into the reconstruction.
+	for i := range out {
+		out[i] = 0
+	}
 	off := 0
 	for blockOff := 0; blockOff < n; blockOff += BlockSize {
 		bl := BlockSize
@@ -146,7 +194,7 @@ func Decompress(data []byte) ([]float64, error) {
 		for k := 0; k < bl; k++ {
 			z, m := binary.Uvarint(raw[off:])
 			if m <= 0 {
-				return nil, fmt.Errorf("zfp: truncated coefficient stream")
+				return fmt.Errorf("zfp: truncated coefficient stream")
 			}
 			off += m
 			c := float64(unzigzag(z)) * q
@@ -159,7 +207,7 @@ func Decompress(data []byte) ([]float64, error) {
 			}
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // Ratio returns the compression ratio original/compressed in bytes.

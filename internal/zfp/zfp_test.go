@@ -1,6 +1,7 @@
 package zfp
 
 import (
+	"encoding/binary"
 	"math"
 	"math/rand"
 	"testing"
@@ -144,5 +145,65 @@ func TestBoundProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestDecompressIntoMatchesDecompress: the in-place decode must be
+// bitwise identical to the allocating one even when dst holds stale
+// values (the inverse transform accumulates, so DecompressInto zeroes
+// dst first).
+func TestDecompressIntoMatchesDecompress(t *testing.T) {
+	x := sparse.SmoothField(10_000, 11)
+	comp, err := Compress(x, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Decompress(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, len(x))
+	for i := range got {
+		got[i] = 1e300 // stale contents must not leak into the sum
+	}
+	if err := DecompressInto(got, comp); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+			t.Fatalf("index %d: into %g != alloc %g", i, got[i], want[i])
+		}
+	}
+}
+
+// TestDecompressIntoLengthMismatch: a wrong-size destination is an
+// error, never a partial decode.
+func TestDecompressIntoLengthMismatch(t *testing.T) {
+	x := sparse.SmoothField(1000, 12)
+	comp, err := Compress(x, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := DecompressInto(make([]float64, len(x)-1), comp); err == nil {
+		t.Fatal("short dst accepted")
+	}
+	if err := DecompressInto(make([]float64, len(x)+1), comp); err == nil {
+		t.Fatal("long dst accepted")
+	}
+	if err := DecompressInto(make([]float64, len(x)), []byte("junk")); err == nil {
+		t.Fatal("junk stream accepted")
+	}
+}
+
+// TestDecompressRejectsCraftedLength: a header claiming more values
+// than any DEFLATE payload of that size could encode must error
+// before the output allocation.
+func TestDecompressRejectsCraftedLength(t *testing.T) {
+	crafted := make([]byte, 40)
+	copy(crafted, "ZFG1")
+	binary.LittleEndian.PutUint64(crafted[4:], 1<<45)
+	binary.LittleEndian.PutUint64(crafted[12:], math.Float64bits(1e-4))
+	if _, err := Decompress(crafted); err == nil {
+		t.Fatal("crafted zfp length accepted")
 	}
 }

@@ -93,6 +93,23 @@
 // (cluster.Model.ShardedCheckpointSeconds, keyed off
 // CheckpointInfo.Shards).
 //
+// The restore path streams symmetrically: a sharded checkpoint is
+// decoded without reassembling its payload — each worker reads its
+// shard, verifies its CRC32C, and block-decodes the SZG2 compression
+// blocks it holds straight into the destination vectors, overlapping
+// read, checksum, and decode across shards. Recover decodes directly
+// into the registered (protected) variables when lengths match, so a
+// restart performs no whole-payload buffer allocation and no
+// decode-then-copy; the redundant whole-payload CRC is skipped for
+// sharded groups (per-shard CRC32C already covered every byte) and
+// kept for monolithic ones. Encoders expose the in-place decode via
+// the DecoderInto extension (DecompressSZInto, zfp.DecompressInto,
+// the lossless codecs' DecompressInto), with a decode-plus-copy
+// fallback for encoders that lack it. The cluster model prices
+// restarts the same way (cluster.Model.ShardedRecoverySeconds:
+// per-stripe read bandwidth × min(shards, stripes), saturating at the
+// read aggregate, overlapped with decompress-per-core).
+//
 // Knobs: GOMAXPROCS sizes the pool; SetParallelWorkers overrides it
 // (SetParallelWorkers(1) forces serial execution, useful for
 // reproducing single-core baselines); SZParams.BlockSize trades
@@ -241,6 +258,24 @@ var CompressSZ = sz.Compress
 // DecompressSZ reverses CompressSZ.
 var DecompressSZ = sz.Decompress
 
+// DecompressSZInto reverses CompressSZ into a caller-provided slice
+// whose length must equal the stream's element count — the zero-copy
+// decode the streaming restore path is built on.
+var DecompressSZInto = sz.DecompressInto
+
+// SZBlockLayout describes the block structure of an SZG2 stream for
+// streaming decode: element count, elements per block, and the byte
+// span of every independently decodable block.
+type SZBlockLayout = sz.BlockLayout
+
+// ParseSZBlockLayout parses an SZG2 container header (header bytes
+// plus the full stream length) into its block layout.
+var ParseSZBlockLayout = sz.ParseBlockLayout
+
+// DecodeSZBlockInto decodes one SZG2 block payload into a slice
+// holding exactly that block's elements.
+var DecodeSZBlockInto = sz.DecodeBlockInto
+
 // SZRange is a byte span within an encoded SZ stream.
 type SZRange = sz.Range
 
@@ -311,6 +346,16 @@ type RawEncoder = fti.Raw
 
 // SZEncoder stores vectors through the lossy compressor.
 type SZEncoder = fti.SZ
+
+// DecoderInto is the optional streaming extension of a checkpoint
+// encoder: decode directly into a caller-provided slice (the restore
+// path then reconstructs vectors in place). Encoders without it fall
+// back to decode-plus-copy via EncoderDecodeInto.
+type DecoderInto = fti.DecoderInto
+
+// EncoderDecodeInto decodes with an encoder's DecoderInto fast path
+// when implemented, falling back to Decode plus a copy.
+var EncoderDecodeInto = fti.DecodeInto
 
 // ---- The paper's scheme --------------------------------------------------------
 
