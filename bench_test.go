@@ -669,3 +669,37 @@ func intervalOverheadPct(mult float64) (float64, error) {
 	}
 	return 100 * (out - 3000) / 3000, nil
 }
+
+// BenchmarkAdaptiveInterval runs the deterministic fixed-vs-adaptive
+// sweep (the `adapt` experiment: shared failure traces, steady and
+// ratio-drift cost regimes) and reports the simulated wall-clocks as
+// metrics — the CI artifact tracking the controller's quality. The
+// acceptance bands are asserted in-bench: adaptive within 10% of the
+// best fixed interval under steady costs (the sim package's 12-seed
+// test enforces the strict 5%), and strictly better than the stale
+// probe-derived Young interval once the compression ratio drifts.
+func BenchmarkAdaptiveInterval(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := lossyckpt.RunExperiment("adapt", lossyckpt.ExperimentConfig{Quick: true, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := res.(*experiments.AdaptResult)
+		steady, drift := r.Scenario("steady"), r.Scenario("ratio-drift")
+		if steady == nil || drift == nil {
+			b.Fatal("sweep scenarios missing")
+		}
+		b.ReportMetric(steady.AdaptiveSecs, "steady-adaptive-sim-s")
+		b.ReportMetric(steady.BestSeconds, "steady-best-fixed-sim-s")
+		b.ReportMetric(drift.AdaptiveSecs, "drift-adaptive-sim-s")
+		b.ReportMetric(drift.ProbeSeconds, "drift-probe-fixed-sim-s")
+		if steady.AdaptiveSecs > 1.10*steady.BestSeconds {
+			b.Fatalf("adaptive %.1f s exceeds 1.10× best fixed %.1f s (steady)",
+				steady.AdaptiveSecs, steady.BestSeconds)
+		}
+		if drift.AdaptiveSecs >= drift.ProbeSeconds {
+			b.Fatalf("adaptive %.1f s does not beat the stale probe interval's %.1f s (drift)",
+				drift.AdaptiveSecs, drift.ProbeSeconds)
+		}
+	}
+}

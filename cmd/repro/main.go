@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment ID (fig1..fig10, table3) or 'all'")
+	exp := flag.String("exp", "all", "experiment ID (fig1..fig10, table3, adapt) or 'all'")
 	quick := flag.Bool("quick", false, "reduced problem sizes and trial counts")
 	seed := flag.Int64("seed", 1, "random seed for stochastic experiments")
 	trials := flag.Int("trials", 0, "override per-experiment trial count (0 = default)")

@@ -9,6 +9,16 @@
 //	solve -method jacobi -grid 12 -scheme traditional -ckptdir /tmp/ck
 //	solve -method cg -grid 16 -scheme lossy -mtti 300 -async
 //	solve -method cg -grid 16 -scheme lossy -mtti 300 -async -shards 8 -storage-workers 4
+//	solve -method jacobi -grid 12 -scheme lossy -mtti 300 -adaptive -prior-mtti 3600
+//
+// -adaptive replaces the fixed (or Young-probed) checkpoint interval
+// with the online controller: per-checkpoint costs and the failure
+// rate are estimated from the run itself (the controller is never told
+// C, R, or λ — only -prior-mtti seeds its failure-rate prior), and the
+// interval is re-planned from the Young/Daly fixed point after every
+// observation. The interval trajectory is printed at the end of the
+// run alongside a per-phase cost table (capture/encode/write/restart,
+// modeled at cluster scale vs measured in-process).
 //
 // -shards N splits every checkpoint into N shard objects plus a
 // manifest, written concurrently by up to -storage-workers goroutines
@@ -26,9 +36,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/failure"
@@ -56,6 +68,8 @@ func main() {
 	async := flag.Bool("async", false, "asynchronous checkpointing: charge only the capture stall; encode+write overlap iterations")
 	shards := flag.Int("shards", 1, "shard objects per checkpoint (>1 writes shards + a manifest; passing the flag at all prices writes with the single-writer striped-PFS model)")
 	storageWorkers := flag.Int("storage-workers", 0, "worker pool bound for shard writes/reads (0 = GOMAXPROCS)")
+	adaptive := flag.Bool("adaptive", false, "adaptive checkpoint interval: estimate costs and failure rate online, re-plan the Young/Daly fixed point each epoch")
+	priorMTTI := flag.Float64("prior-mtti", 3600, "adaptive controller's prior mean time to interruption in seconds (its only a-priori knowledge)")
 	flag.Parse()
 	// The striped single-writer cost model engages when -shards is
 	// given explicitly — including -shards 1, so monolithic and sharded
@@ -67,13 +81,16 @@ func main() {
 		}
 	})
 
-	if err := run(*method, *grid, *rtol, *schemeName, *eb, *interval, *mtti, *tit, *seed, *ckptDir, *maxIter, *async, *shards, *storageWorkers, striped); err != nil {
+	if err := run(*method, *grid, *rtol, *schemeName, *eb, *interval, *mtti, *tit, *seed, *ckptDir, *maxIter, *async, *shards, *storageWorkers, striped, *adaptive, *priorMTTI); err != nil {
 		fmt.Fprintln(os.Stderr, "solve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(method string, grid int, rtol float64, schemeName string, eb, interval, mtti, tit float64, seed int64, ckptDir string, maxIter int, async bool, shards, storageWorkers int, striped bool) error {
+func run(method string, grid int, rtol float64, schemeName string, eb, interval, mtti, tit float64, seed int64, ckptDir string, maxIter int, async bool, shards, storageWorkers int, striped, adaptive bool, priorMTTI float64) error {
+	if adaptive && interval > 0 {
+		return fmt.Errorf("-adaptive and -interval are mutually exclusive (the controller owns the cadence)")
+	}
 	a := sparse.Poisson3D(grid)
 	b := sparse.OnesRHS(a.Rows)
 	fmt.Printf("system: 3D Poisson %d³ = %d unknowns, %d nonzeros\n", grid, a.Rows, a.NNZ())
@@ -196,7 +213,19 @@ func run(method string, grid int, rtol float64, schemeName string, eb, interval,
 	capSec := func(info fti.Info) float64 {
 		return mdl.CaptureSeconds(2048, float64(info.RawBytes))
 	}
-	if interval == 0 {
+	var ctrl *adapt.Controller
+	if adaptive {
+		// The controller learns C, R, and λ from the run itself; the
+		// prior MTTI is its only seed. It plans the async fixed point
+		// (AsyncEffectiveStall) when the pipeline is overlapped.
+		var err error
+		ctrl, err = adapt.New(adapt.Config{PriorMTTI: priorMTTI, Async: async})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("adaptive interval: prior MTTI %.0f s, bootstrap interval %.0f s\n",
+			priorMTTI, ctrl.Interval(0))
+	} else if interval == 0 {
 		probe, err := mgr.Checkpoint()
 		if err != nil {
 			return err
@@ -227,6 +256,7 @@ func run(method string, grid int, rtol float64, schemeName string, eb, interval,
 		X0:                make([]float64, a.Rows),
 		TitSeconds:        tit,
 		IntervalSeconds:   interval,
+		Controller:        ctrl,
 		CheckpointSeconds: ckptSec,
 		RecoverySeconds:   recSec,
 		AsyncCheckpoint:   async,
@@ -245,6 +275,21 @@ func run(method string, grid int, rtol float64, schemeName string, eb, interval,
 		fmt.Printf("async: aborted-in-flight=%d backpressure=%.1fs (stall is capture-only when 0)\n",
 			out.AbortedCheckpoints, out.BackpressureTime)
 	}
+	if adaptive && len(out.IntervalPlans) > 0 {
+		plans := out.IntervalPlans
+		last := plans[len(plans)-1]
+		fmt.Printf("adaptive: %d re-plans; final interval %.0f s (estimated MTTI %.0f s, per-checkpoint cost %.2f s)\n",
+			len(plans), last.Interval, 1/last.Lambda, last.Cost)
+		fmt.Printf("interval trajectory (sim-time  interval  est-MTTI  est-cost  est-ratio):\n")
+		step := (len(plans) + 11) / 12 // at most ~12 rows plus the final one
+		for i := 0; i < len(plans); i += step {
+			p := plans[i]
+			fmt.Printf("  %8.0fs %8.0fs %8.0fs %8.2fs %8.1fx\n", p.When, p.Interval, 1/p.Lambda, p.Cost, p.Ratio)
+		}
+		if (len(plans)-1)%step != 0 {
+			fmt.Printf("  %8.0fs %8.0fs %8.0fs %8.2fs %8.1fx\n", last.When, last.Interval, 1/last.Lambda, last.Cost, last.Ratio)
+		}
+	}
 	if info := mgr.LastInfo(); info.Bytes > 0 {
 		fmt.Printf("last checkpoint: %d bytes (ratio %.1fx, encoder %s)\n",
 			info.Bytes, info.CompressionRatio, info.EncoderName)
@@ -256,6 +301,7 @@ func run(method string, grid int, rtol float64, schemeName string, eb, interval,
 	// On failure-injected runs, measure one real restart so the
 	// in-process R (streaming shard-parallel restore) can be compared
 	// against the modeled ShardedRecoverySeconds at cluster scale.
+	measuredRestart := math.NaN()
 	if mtti > 0 && mgr.HasCheckpoint() {
 		info := mgr.LastInfo()
 		start := time.Now()
@@ -264,6 +310,7 @@ func run(method string, grid int, rtol float64, schemeName string, eb, interval,
 			return fmt.Errorf("restart measurement: %w", err)
 		}
 		wall := time.Since(start).Seconds()
+		measuredRestart = wall
 		bps := 0.0
 		if wall > 0 {
 			bps = float64(info.Bytes) / wall
@@ -273,5 +320,47 @@ func run(method string, grid int, rtol float64, schemeName string, eb, interval,
 		fmt.Printf("restart: modeled R=%.2fs at 2048 ranks (%d shard objects)\n",
 			recSec(info), max(info.Shards, 1))
 	}
+	printCostBreakdown(mdl, scheme, mgr.LastInfo(), raw, striped, recSec, measuredRestart)
 	return nil
+}
+
+// printCostBreakdown renders the per-phase checkpoint/restart cost
+// table: the cluster model's 2,048-rank prediction next to what the
+// in-process run actually measured (fti.Info stage timings and the
+// measured restart). The two columns are different machines by design
+// — the point is seeing each phase's model beside a real measurement
+// of the same code path.
+func printCostBreakdown(mdl *cluster.Model, scheme core.Scheme, info fti.Info, raw float64,
+	striped bool, recSec func(fti.Info) float64, measuredRestart float64) {
+	if info.Bytes == 0 {
+		return // no checkpoint was ever committed; nothing to break down
+	}
+	sch := cluster.Uncompressed
+	switch scheme {
+	case core.Lossless:
+		sch = cluster.LosslessCompressed
+	case core.Lossy:
+		sch = cluster.LossyCompressed
+	}
+	modCapture := mdl.CaptureSeconds(2048, raw)
+	// The stage helpers share the fused cost model's terms, so the
+	// per-phase rows always sum to the ckptSec the run was priced with.
+	modEncode := mdl.CompressStageSeconds(2048, raw, sch)
+	modWrite := mdl.WriteStageSeconds(2048, float64(info.Bytes), max(info.Shards, 1), striped)
+	ms := func(s float64) string {
+		if math.IsNaN(s) {
+			return "      -"
+		}
+		return fmt.Sprintf("%10.4g", 1e3*s)
+	}
+	measCapture := math.NaN()
+	if info.CaptureSeconds > 0 {
+		measCapture = info.CaptureSeconds
+	}
+	fmt.Printf("per-checkpoint phase costs — modeled at 2048 ranks vs measured in-process (ms):\n")
+	fmt.Printf("  %-8s %12s %12s\n", "phase", "modeled", "measured")
+	fmt.Printf("  %-8s %12s %12s   (in-process sync capture happens inside the save)\n", "capture", ms(modCapture), ms(measCapture))
+	fmt.Printf("  %-8s %12s %12s\n", "encode", ms(modEncode), ms(info.EncodeSeconds))
+	fmt.Printf("  %-8s %12s %12s\n", "write", ms(modWrite), ms(info.WriteSeconds))
+	fmt.Printf("  %-8s %12s %12s   (measured only on failure runs)\n", "restart", ms(recSec(info)), ms(measuredRestart))
 }

@@ -122,6 +122,39 @@ func (m *Model) compressSeconds(procs int, rawBytes float64, scheme Scheme) floa
 	return 0
 }
 
+// CompressStageSeconds is the compression term of one checkpoint —
+// compressSeconds exported for per-phase cost breakdowns (cmd/solve's
+// modeled-vs-measured table), so a calibration change cannot diverge
+// from the fused CheckpointSeconds/ShardedCheckpointSeconds totals.
+func (m *Model) CompressStageSeconds(procs int, rawBytes float64, scheme Scheme) float64 {
+	if procs <= 0 {
+		panic(fmt.Sprintf("cluster: procs must be positive, got %d", procs))
+	}
+	return m.compressSeconds(procs, rawBytes, scheme)
+}
+
+// WriteStageSeconds is the PFS-write term of one checkpoint: the
+// per-rank metadata overhead plus the transfer. striped prices the
+// single-writer striped-object model (per-shard metadata for the
+// shards plus the manifest, min(shards, stripes) concurrent stripes);
+// otherwise the collective aggregate-bandwidth write. By construction
+// CompressStageSeconds + WriteStageSeconds equals CheckpointSeconds
+// (collective) or ShardedCheckpointSeconds (striped).
+func (m *Model) WriteStageSeconds(procs int, encodedBytes float64, shards int, striped bool) float64 {
+	if procs <= 0 {
+		panic(fmt.Sprintf("cluster: procs must be positive, got %d", procs))
+	}
+	if !striped {
+		return m.PerRankSeconds*float64(procs) + encodedBytes/m.PFSBandwidth
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	return m.PerRankSeconds*float64(procs) +
+		m.PerShardSeconds*float64(shards+1) +
+		encodedBytes/m.StripedWriteBandwidth(shards)
+}
+
 // CheckpointSeconds returns the wall time of one checkpoint: optional
 // compression of rawBytes across procs cores, then writing
 // encodedBytes through the shared PFS.

@@ -255,3 +255,32 @@ func TestShardedRecoverySeconds(t *testing.T) {
 		t.Fatalf("full-stripe recovery %.6f, want %.6f", full, wantFull)
 	}
 }
+
+// TestStageHelpersSumToFusedCosts: the exported per-phase helpers
+// (cmd/solve's modeled cost table) must decompose the fused checkpoint
+// costs exactly, for every scheme, shard count, and write model — a
+// calibration change cannot skew the breakdown against the totals.
+func TestStageHelpersSumToFusedCosts(t *testing.T) {
+	m := Bebop()
+	const procs, encoded, raw = 2048, 3.2e9, 78.8e9
+	for _, sch := range []Scheme{Uncompressed, LosslessCompressed, LossyCompressed} {
+		sum := m.CompressStageSeconds(procs, raw, sch) + m.WriteStageSeconds(procs, encoded, 1, false)
+		if got := m.CheckpointSeconds(procs, encoded, raw, sch); !approxEq(sum, got) {
+			t.Errorf("scheme %v: stages sum to %g, CheckpointSeconds %g", sch, sum, got)
+		}
+		for _, shards := range []int{1, 8, 48, 96} {
+			sum := m.CompressStageSeconds(procs, raw, sch) + m.WriteStageSeconds(procs, encoded, shards, true)
+			if got := m.ShardedCheckpointSeconds(procs, encoded, raw, sch, shards); !approxEq(sum, got) {
+				t.Errorf("scheme %v shards %d: stages sum to %g, ShardedCheckpointSeconds %g", sch, shards, sum, got)
+			}
+		}
+	}
+}
+
+func approxEq(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-12*(1+b)
+}

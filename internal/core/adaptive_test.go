@@ -1,0 +1,183 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/adapt"
+	"repro/internal/fti"
+	"repro/internal/solver"
+)
+
+// fakeClock is a manually advanced clock for deterministic adaptive
+// Manager tests.
+type fakeClock struct{ now float64 }
+
+func (c *fakeClock) read() float64 { return c.now }
+
+func pinnedController(t *testing.T, tau float64, async bool) *adapt.Controller {
+	t.Helper()
+	ctrl, err := adapt.New(adapt.Config{
+		PriorMTTI: 1000, Async: async,
+		MinInterval: tau, MaxInterval: tau, InitialInterval: tau,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctrl
+}
+
+// TestAdaptiveConfigExclusivity: Interval and AdaptiveInterval cannot
+// both drive the cadence, and the controller's cost model must match
+// the Manager's checkpoint mode.
+func TestAdaptiveConfigExclusivity(t *testing.T) {
+	a, b, _ := cgSystem(t)
+	ctrl := pinnedController(t, 10, false)
+	_, err := NewManager(Config{Scheme: Traditional, Interval: 5, AdaptiveInterval: ctrl},
+		fti.NewMemStorage(), newCG(t, a, b))
+	if err == nil {
+		t.Fatal("Interval + AdaptiveInterval accepted")
+	}
+	asyncCtrl := pinnedController(t, 10, true)
+	_, err = NewManager(Config{Scheme: Traditional, AdaptiveInterval: asyncCtrl},
+		fti.NewMemStorage(), newCG(t, a, b))
+	if err == nil {
+		t.Fatal("async controller accepted for a sync Manager")
+	}
+}
+
+// TestAdaptiveDueFollowsClock: Due fires exactly when the controller's
+// interval has elapsed on the configured clock, and the window resets
+// at each checkpoint.
+func TestAdaptiveDueFollowsClock(t *testing.T) {
+	a, b, _ := cgSystem(t)
+	s := newCG(t, a, b)
+	clk := &fakeClock{}
+	m, err := NewManager(Config{
+		Scheme:           Traditional,
+		AdaptiveInterval: pinnedController(t, 10, false),
+		Clock:            clk.read,
+	}, fti.NewMemStorage(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Due() {
+		t.Fatal("due at iteration 0")
+	}
+	s.Step()
+	clk.now = 9.9
+	if m.Due() {
+		t.Fatal("due before the interval elapsed")
+	}
+	clk.now = 10
+	if !m.Due() {
+		t.Fatal("not due after the interval elapsed")
+	}
+	if _, err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Same iteration: never due twice, even after more clock time.
+	clk.now = 19
+	if m.Due() {
+		t.Fatal("due twice at one iteration")
+	}
+	s.Step()
+	clk.now = 19.5 // 9.5 s into the window that opened at the t=10 save
+	if m.Due() {
+		t.Fatal("due before a full window since the last checkpoint")
+	}
+	clk.now = 20
+	if !m.Due() {
+		t.Fatal("not due a window after the last checkpoint")
+	}
+}
+
+// TestAdaptiveManagerFeedsObservations: checkpoints and recoveries
+// populate the controller's estimators with the measured stage
+// timings, and a full checkpoint/recover cycle works under the
+// adaptive cadence.
+func TestAdaptiveManagerFeedsObservations(t *testing.T) {
+	a, b, _ := cgSystem(t)
+	s := newCG(t, a, b)
+	clk := &fakeClock{}
+	ctrl := pinnedController(t, 5, false)
+	m, err := NewManager(Config{
+		Scheme:           Lossy,
+		AdaptiveInterval: ctrl,
+		Clock:            clk.read,
+	}, fti.NewMemStorage(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered := false
+	res, err := solver.RunToConvergence(s, solver.Options{MaxIter: 2000}, func(it int, rnorm float64) error {
+		clk.now += 1 // one virtual second per iteration
+		if it == 12 && !recovered {
+			recovered = true
+			if _, err := m.Recover(); err != nil {
+				return err
+			}
+		}
+		_, err := m.MaybeCheckpoint()
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge under adaptive checkpointing")
+	}
+	est := ctrl.Estimates(clk.now)
+	if est.SyncCost <= 0 {
+		t.Errorf("no sync-cost observations reached the controller: %+v", est)
+	}
+	if est.Recovery <= 0 {
+		t.Errorf("no recovery observation reached the controller: %+v", est)
+	}
+	if est.Ratio <= 1 {
+		t.Errorf("compression-ratio estimate %g, want > 1 for the lossy scheme", est.Ratio)
+	}
+	if len(ctrl.Trajectory()) == 0 {
+		t.Error("controller never re-planned")
+	}
+}
+
+// TestAdaptiveAsyncManagerFeedsStageTimings: in async mode the
+// capture/background split reaches the controller once saves commit.
+func TestAdaptiveAsyncManagerFeedsStageTimings(t *testing.T) {
+	a, b, _ := cgSystem(t)
+	s := newCG(t, a, b)
+	clk := &fakeClock{}
+	ctrl := pinnedController(t, 5, true)
+	m, err := NewManager(Config{
+		Scheme:           Lossy,
+		Async:            true,
+		AdaptiveInterval: ctrl,
+		Clock:            clk.read,
+	}, fti.NewMemStorage(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := solver.RunToConvergence(s, solver.Options{MaxIter: 2000}, func(it int, rnorm float64) error {
+		clk.now += 1
+		_, err := m.MaybeCheckpoint()
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	if _, err := m.WaitCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Promote the drained save so its observation lands.
+	m.promote()
+	est := ctrl.Estimates(clk.now)
+	if est.Capture <= 0 && est.Background <= 0 {
+		t.Errorf("no async stage observations reached the controller: %+v", est)
+	}
+	if est.SyncCost != 0 {
+		t.Errorf("async Manager fed sync-cost observations: %+v", est)
+	}
+}

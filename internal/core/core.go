@@ -22,7 +22,9 @@ package core
 
 import (
 	"fmt"
+	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/fti"
 	"repro/internal/lossless"
 	"repro/internal/model"
@@ -101,6 +103,25 @@ type Config struct {
 	// StorageWorkers bounds the worker pool writing/reading shard
 	// objects (0 = GOMAXPROCS-sized; capped at Shards).
 	StorageWorkers int
+	// AdaptiveInterval plugs the online checkpoint-interval controller
+	// into the periodic-checkpoint decision: Due consults the
+	// controller's currently planned interval (in seconds of Clock
+	// time since the last checkpoint) instead of the fixed
+	// iteration-count Interval, and the Manager feeds the controller
+	// its measured per-checkpoint stage timings (fti.Info's capture/
+	// encode/write seconds and byte counts) and measured recovery
+	// durations. Failures are outside the Manager's sight — the
+	// embedding application reports them via the controller's
+	// ObserveFailure. Mutually exclusive with Interval; the
+	// controller's Async flag must match Async. Virtual-time runs
+	// drive the controller through sim.Config.Controller instead.
+	AdaptiveInterval *adapt.Controller
+	// Clock supplies "now" in seconds for AdaptiveInterval. Nil
+	// defaults to wall-clock seconds since the Manager was built.
+	// The per-checkpoint cost observations are measured internally by
+	// the checkpoint path regardless of this clock, so a coarse Clock
+	// only coarsens when checkpoints trigger, not what they cost.
+	Clock func() float64
 }
 
 // Manager connects a solver to a checkpointer under one of the three
@@ -134,6 +155,13 @@ type Manager struct {
 	// owned here — repeated recoveries (thousands per simulated run)
 	// stop allocating fresh payload-sized vectors.
 	recoverBuf map[string][]float64
+
+	// Adaptive-interval state: the controller (nil when disabled), the
+	// clock it is consulted on, and the clock time of the last
+	// checkpoint capture (the start of the current interval window).
+	ctrl          *adapt.Controller
+	clock         func() float64
+	lastCkptClock float64
 }
 
 // NewManager wires solver s to storage through the scheme in cfg. The
@@ -158,7 +186,22 @@ func NewManager(cfg Config, storage fti.Storage, s solver.Checkpointable) (*Mana
 	if cfg.Codec == nil {
 		cfg.Codec = lossless.Flate{}
 	}
+	if cfg.AdaptiveInterval != nil {
+		if cfg.Interval > 0 {
+			return nil, fmt.Errorf("core: Interval and AdaptiveInterval are mutually exclusive")
+		}
+		if cfg.AdaptiveInterval.Async() != cfg.Async {
+			return nil, fmt.Errorf("core: controller async=%v does not match Config.Async=%v",
+				cfg.AdaptiveInterval.Async(), cfg.Async)
+		}
+	}
 	m := &Manager{cfg: cfg, slv: s}
+	m.ctrl = cfg.AdaptiveInterval
+	m.clock = cfg.Clock
+	if m.ctrl != nil && m.clock == nil {
+		start := time.Now()
+		m.clock = func() float64 { return time.Since(start).Seconds() }
+	}
 	m.rst, _ = s.(solver.Restartable)
 	m.gmres, _ = s.(*solver.GMRES)
 	m.ckpt = fti.New(storage, m.encoder())
@@ -207,9 +250,27 @@ func (m *Manager) AsyncCheckpointer() *fti.AsyncCheckpointer { return m.async }
 // Due reports whether the periodic checkpoint condition of Algorithm 1
 // line 3 holds at the solver's current iteration. An async checkpoint
 // captured at this iteration — committed or still in flight — counts
-// as taken.
+// as taken. With AdaptiveInterval, the condition is instead that the
+// controller's currently planned interval has elapsed on the
+// configured clock since the last checkpoint capture.
 func (m *Manager) Due() bool {
 	it := m.slv.Iteration()
+	if m.ctrl != nil {
+		if it == 0 {
+			return false
+		}
+		if m.async != nil {
+			m.promote()
+			if m.inflightLive && it == m.inflightIter {
+				return false
+			}
+		}
+		if it == m.lastCkptIter {
+			return false
+		}
+		now := m.clock()
+		return now-m.lastCkptClock >= m.ctrl.Interval(now)
+	}
 	if m.cfg.Interval <= 0 || it == 0 || it%m.cfg.Interval != 0 {
 		return false
 	}
@@ -255,6 +316,18 @@ func (m *Manager) Checkpoint() (fti.Info, error) {
 	m.lastCkptIter = m.slv.Iteration()
 	m.lastInfo = info
 	m.haveCkpt = true
+	if m.ctrl != nil {
+		now := m.clock()
+		m.lastCkptClock = now
+		// The stage timings are measured inside the save, so a coarse or
+		// virtual Clock cannot zero the cost observation.
+		m.ctrl.ObserveCheckpoint(adapt.CheckpointObs{
+			When:        now,
+			SyncSeconds: info.EncodeSeconds + info.WriteSeconds,
+			RawBytes:    info.RawBytes,
+			Bytes:       info.Bytes,
+		})
+	}
 	return info, nil
 }
 
@@ -278,6 +351,12 @@ func (m *Manager) checkpointAsync() (fti.Info, error) {
 	}
 	m.inflight, m.inflightLive = t, true
 	m.inflightIter = m.slv.Iteration()
+	if m.ctrl != nil {
+		// The interval window restarts at capture completion; the cost
+		// observation follows at promote time, when the background
+		// encode+write durations are known.
+		m.lastCkptClock = m.clock()
+	}
 	info := fti.Info{Seq: t.Seq, EncoderName: m.ckpt.Encoder().Name()}
 	for _, v := range snap.Vectors {
 		info.RawBytes += 8 * len(v)
@@ -311,6 +390,15 @@ func (m *Manager) promote() {
 	m.lastCkptIter = m.inflightIter
 	m.lastInfo = info
 	m.haveCkpt = true
+	if m.ctrl != nil {
+		m.ctrl.ObserveCheckpoint(adapt.CheckpointObs{
+			When:              m.clock(),
+			CaptureSeconds:    info.CaptureSeconds,
+			BackgroundSeconds: info.EncodeSeconds + info.WriteSeconds,
+			RawBytes:          info.RawBytes,
+			Bytes:             info.Bytes,
+		})
+	}
 }
 
 // WaitCheckpoint blocks until no checkpoint is in flight and returns
@@ -465,9 +553,17 @@ func (m *Manager) Recover() (int, error) {
 	if m.recoverBuf == nil {
 		m.recoverBuf = map[string][]float64{}
 	}
+	restoreStart := time.Now()
 	snap, err := m.ckpt.RestoreInto(m.recoverBuf)
 	if err != nil {
 		return 0, err
+	}
+	if m.ctrl != nil {
+		// The restart duration feeds the recovery-cost estimator, and
+		// the interval window restarts: the state just went to storage's
+		// version of itself, so nothing is at risk yet.
+		m.ctrl.ObserveRecovery(time.Since(restoreStart).Seconds())
+		m.lastCkptClock = m.clock()
 	}
 	// Adopt the restored vectors as next recovery's decode targets:
 	// same lengths next time means the decode lands in place again.

@@ -29,7 +29,7 @@ func runExperiment(t *testing.T, id string) (Result, string) {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"fig1", "fig10", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table3"}
+	want := []string{"adapt", "fig1", "fig10", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table3"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %v, want %v", got, want)
@@ -281,6 +281,34 @@ func TestFig10HeadlineReductions(t *testing.T) {
 		}
 	}
 	if !strings.Contains(text, "Figure 10") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestAdaptSweep(t *testing.T) {
+	res, text := runExperiment(t, "adapt")
+	r := res.(*AdaptResult)
+	if len(r.Scenarios) != 2 {
+		t.Fatalf("want 2 scenarios, got %d", len(r.Scenarios))
+	}
+	steady := r.Scenario("steady")
+	if steady == nil {
+		t.Fatal("steady scenario missing")
+	}
+	// Quick mode runs 3 seeds on a smaller grid; allow a wider band
+	// than the sim package's strict 5% acceptance test (12 seeds).
+	if steady.AdaptiveSecs > 1.10*steady.BestSeconds {
+		t.Fatalf("steady: adaptive %.1f s far off best fixed %.1f s", steady.AdaptiveSecs, steady.BestSeconds)
+	}
+	drift := r.Scenario("ratio-drift")
+	if drift == nil {
+		t.Fatal("ratio-drift scenario missing")
+	}
+	if drift.AdaptiveSecs >= drift.ProbeSeconds {
+		t.Fatalf("drift: adaptive %.1f s does not beat the stale probe interval %.1f s",
+			drift.AdaptiveSecs, drift.ProbeSeconds)
+	}
+	if !strings.Contains(text, "Adaptive checkpoint interval") {
 		t.Fatal("render missing title")
 	}
 }

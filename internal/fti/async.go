@@ -61,20 +61,27 @@ type AsyncCheckpointer struct {
 
 // AsyncStats accounts where the pipeline's time went, in seconds of
 // real time. CaptureSeconds + BackpressureSeconds is the total
-// solver-visible stall; EncodeWriteSeconds ran in the background.
+// solver-visible stall; EncodeWriteSeconds ran in the background and
+// splits into EncodeSeconds (the Encoder pass) and WriteSeconds (the
+// storage commit) plus scheduling slack. Per-save stage timings are on
+// each save's Info (Ticket.Wait, LastInfo) — these are the cumulative
+// sums.
 type AsyncStats struct {
 	Saves               int
 	CaptureSeconds      float64
 	BackpressureSeconds float64
 	EncodeWriteSeconds  float64
+	EncodeSeconds       float64
+	WriteSeconds        float64
 }
 
 type asyncJob struct {
-	snap *Snapshot
-	slot int
-	done chan struct{} // closed when the job's results are published
-	info Info
-	err  error
+	snap   *Snapshot
+	slot   int
+	capSec float64       // capture-stage duration, folded into the Info
+	done   chan struct{} // closed when the job's results are published
+	info   Info
+	err    error
 }
 
 // Ticket identifies one asynchronous save.
@@ -154,9 +161,10 @@ func (a *AsyncCheckpointer) SaveAsync(s *Snapshot) (Ticket, error) {
 	a.slot ^= 1
 	a.caps[slot] = copySnapshotInto(a.caps[slot], s)
 	job := &asyncJob{snap: a.caps[slot], slot: slot, done: make(chan struct{})}
+	job.capSec = time.Since(start).Seconds()
 	a.inflight = job
 	a.stats.Saves++
-	a.stats.CaptureSeconds += time.Since(start).Seconds()
+	a.stats.CaptureSeconds += job.capSec
 	seq := a.c.seq + 1
 	a.mu.Unlock()
 	go a.run(job)
@@ -170,6 +178,9 @@ func (a *AsyncCheckpointer) run(job *asyncJob) {
 	buf := a.encBufs[job.slot]
 	a.mu.Unlock()
 	payload, info, err := a.c.save(job.snap, buf)
+	// Surface the capture stall on the save's own Info, so a Ticket
+	// holder (or LastInfo) sees all three stage timings together.
+	info.CaptureSeconds = job.capSec
 	a.mu.Lock()
 	if payload != nil {
 		a.encBufs[job.slot] = payload
@@ -177,6 +188,8 @@ func (a *AsyncCheckpointer) run(job *asyncJob) {
 	if err == nil {
 		a.lastInfo = info
 		a.commit = info.Seq
+		a.stats.EncodeSeconds += info.EncodeSeconds
+		a.stats.WriteSeconds += info.WriteSeconds
 	} else {
 		a.sticky, a.stickyJb = err, job
 	}

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/fti/shard"
 	"repro/internal/sz"
@@ -59,6 +60,21 @@ type Info struct {
 	// as (1 = a single monolithic object). Striped-PFS cost models key
 	// off it: a sharded write engages min(Shards, stripes) stripes.
 	Shards int
+
+	// Per-stage wall-clock timings of the save that produced this Info,
+	// in seconds. CaptureSeconds is the solver-visible deep copy of the
+	// asynchronous pipeline (zero for synchronous saves, whose capture
+	// happens in the caller); EncodeSeconds covers the Encoder pass over
+	// every vector; WriteSeconds covers the storage commit (all shard
+	// objects plus the manifest for sharded layouts). Together with
+	// RawBytes (bytes in) and Bytes (bytes out) they are the measured
+	// observations the adaptive interval controller (package adapt)
+	// estimates per-checkpoint costs from — previously this accounting
+	// was internal to the async pipeline and only a benchmark could see
+	// the stall.
+	CaptureSeconds float64
+	EncodeSeconds  float64
+	WriteSeconds   float64
 }
 
 // Checkpointer coordinates Protect/Checkpoint/Recover for one rank (or
@@ -328,11 +344,13 @@ func (c *Checkpointer) Save(s *Snapshot) (Info, error) {
 func (c *Checkpointer) save(s *Snapshot, buf []byte) ([]byte, Info, error) {
 	c.seq++
 	info := Info{Seq: c.seq, EncoderName: c.enc.Name(), StaticBytes: c.staticSize, Shards: 1}
+	encStart := time.Now()
 	payload, rawBytes, vecBytes, bounds, err := encodeSnapshot(s, c.enc, buf, c.shards > 1)
 	if err != nil {
 		c.seq--
 		return buf, Info{}, err
 	}
+	info.EncodeSeconds = time.Since(encStart).Seconds()
 	info.RawBytes = rawBytes
 	info.VectorBytes = vecBytes
 	info.Bytes = len(payload)
@@ -340,6 +358,7 @@ func (c *Checkpointer) save(s *Snapshot, buf []byte) ([]byte, Info, error) {
 		info.CompressionRatio = float64(rawBytes) / float64(info.Bytes)
 	}
 	name := ckptName(c.seq)
+	writeStart := time.Now()
 	// groupShards is the number of shard *objects* the just-written
 	// checkpoint owns: 0 for a monolithic write (its base name holds
 	// the payload itself, so any shard object under that base is stale
@@ -358,6 +377,7 @@ func (c *Checkpointer) save(s *Snapshot, buf []byte) ([]byte, Info, error) {
 		c.seq--
 		return payload, Info{}, err
 	}
+	info.WriteSeconds = time.Since(writeStart).Seconds()
 	c.gc(groupShards)
 	return payload, info, nil
 }

@@ -1,0 +1,94 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+// TestDalyAgreesWithYoungSmallCost: in the δ ≪ M regime Daly's
+// higher-order formula reduces to Young's first-order one — the
+// correction terms are O(√(δ/M)).
+func TestDalyAgreesWithYoungSmallCost(t *testing.T) {
+	cases := []struct{ tf, tckp float64 }{
+		{3600, 1},    // 1 s checkpoint, 1 h MTTI
+		{3600, 10},   // the paper's lossy regime
+		{86400, 60},  // 1 min checkpoint, 1 day MTTI
+		{1e6, 0.5},   // near-free checkpoints
+		{36000, 120}, // the paper's traditional 120 s write, long MTTI
+	}
+	for _, c := range cases {
+		young := YoungInterval(c.tf, c.tckp)
+		daly := DalyInterval(c.tf, c.tckp)
+		relDiff := math.Abs(young-daly) / young
+		// The leading correction is −(2/3)·δ/√(2δM) = −(2/3)·√(δ/2M).
+		bound := math.Sqrt(c.tckp / (2 * c.tf)) // one full unit of x
+		if relDiff > bound {
+			t.Errorf("tf=%g tckp=%g: young=%.4f daly=%.4f relDiff=%.4f > %.4f",
+				c.tf, c.tckp, young, daly, relDiff, bound)
+		}
+		if relDiff > 0.05 {
+			t.Errorf("tf=%g tckp=%g: small-cost regime should agree within 5%%, got %.2f%%",
+				c.tf, c.tckp, 100*relDiff)
+		}
+		// Daly is always below Young on δ < 2M: failures during the
+		// checkpoint shorten the profitable interval.
+		if daly >= young {
+			t.Errorf("tf=%g tckp=%g: daly %.4f not below young %.4f", c.tf, c.tckp, daly, young)
+		}
+	}
+}
+
+// TestDalyDivergesFromYoungLargeCost: once the checkpoint cost is
+// comparable to the MTTI, Young's formula (which ignores failures
+// during the checkpoint itself) overestimates the interval badly while
+// Daly saturates at the MTTI.
+func TestDalyDivergesFromYoungLargeCost(t *testing.T) {
+	// δ = M: Young says √2·M, Daly's polynomial stays well below it.
+	tf, tckp := 100.0, 100.0
+	young := YoungInterval(tf, tckp)
+	daly := DalyInterval(tf, tckp)
+	if young <= tf {
+		t.Fatalf("young %.2f should exceed the MTTI %.2f at δ = M", young, tf)
+	}
+	if rel := (young - daly) / young; rel < 0.25 {
+		t.Fatalf("δ = M: expected ≥25%% divergence, young=%.2f daly=%.2f (%.1f%%)",
+			young, daly, 100*rel)
+	}
+	// δ ≥ 2M: Daly clamps to the MTTI; Young keeps growing with √δ.
+	for _, tckp := range []float64{200, 500, 1e4} {
+		if got := DalyInterval(tf, tckp); got != tf {
+			t.Errorf("δ=%g ≥ 2M: daly=%g, want the MTTI %g", tckp, got, tf)
+		}
+		if y := YoungInterval(tf, tckp); y < 2*tf {
+			t.Errorf("δ=%g: young=%g unexpectedly small", tckp, y)
+		}
+	}
+}
+
+// TestDalyMonotoneInCost: a costlier checkpoint never shortens the
+// divergence ordering and the interval stays positive and finite on
+// the valid domain.
+func TestDalyMonotoneInCost(t *testing.T) {
+	tf := 3600.0
+	prev := 0.0
+	for _, tckp := range []float64{0.1, 1, 10, 100, 1000} {
+		d := DalyInterval(tf, tckp)
+		if d <= 0 || math.IsInf(d, 0) || math.IsNaN(d) {
+			t.Fatalf("tckp=%g: invalid interval %g", tckp, d)
+		}
+		if d < prev {
+			t.Fatalf("tckp=%g: interval %g decreased below %g", tckp, d, prev)
+		}
+		prev = d
+	}
+}
+
+// TestDalyDegenerateInputs matches YoungInterval's contract: zero on
+// nonpositive inputs.
+func TestDalyDegenerateInputs(t *testing.T) {
+	for _, c := range []struct{ tf, tckp float64 }{{0, 1}, {1, 0}, {-1, 1}, {1, -1}, {0, 0}} {
+		if got := DalyInterval(c.tf, c.tckp); got != 0 {
+			t.Errorf("DalyInterval(%g, %g) = %g, want 0", c.tf, c.tckp, got)
+		}
+	}
+}

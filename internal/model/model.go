@@ -25,6 +25,33 @@ func YoungInterval(tf, tckp float64) float64 {
 	return math.Sqrt(2 * tf * tckp)
 }
 
+// DalyInterval returns Daly's higher-order estimate of the optimum
+// checkpoint interval ("A higher order estimate of the optimum
+// checkpoint interval for restart dumps", FGCS 2006), in seconds, for
+// mean time to interruption tf (Daly's M) and per-checkpoint cost tckp
+// (Daly's δ):
+//
+//	τ = √(2·δ·M)·[1 + ⅓·√(δ/(2M)) + (1/9)·(δ/(2M))] − δ   for δ < 2M
+//	τ = M                                                  for δ ≥ 2M
+//
+// In the small-δ/M regime the correction terms vanish and τ agrees
+// with Young's √(2·δ·M) (Eq. 1); as δ approaches M, Young's first-order
+// formula overestimates the interval (it ignores failures during the
+// checkpoint itself) while Daly's saturates at the MTTI. The adaptive
+// interval controller (package adapt) can plan with either.
+func DalyInterval(tf, tckp float64) float64 {
+	if tf <= 0 || tckp <= 0 {
+		return 0
+	}
+	if tckp >= 2*tf {
+		return tf
+	}
+	// With x = √(δ/2M), the bracket minus the trailing δ factors as
+	// √(2δM)·(1 − x/3)²: strictly positive everywhere on δ < 2M.
+	x := math.Sqrt(tckp / (2 * tf))
+	return math.Sqrt(2*tckp*tf)*(1+x/3+x*x/9) - tckp
+}
+
 // OverheadFactor is f(t, λ) = √(2λt) + λt, the per-unit-time overhead
 // factor of Theorem 1.
 func OverheadFactor(tckp, lambda float64) float64 {

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/adapt"
 	"repro/internal/core"
 	"repro/internal/failure"
 	"repro/internal/fti"
@@ -37,8 +38,19 @@ type Config struct {
 	TitSeconds float64
 	// IntervalSeconds is the checkpoint interval in simulated seconds
 	// (Young's optimum in the experiments). Zero disables periodic
-	// checkpointing.
+	// checkpointing. Mutually exclusive with Controller.
 	IntervalSeconds float64
+	// Controller, when non-nil, replaces the fixed IntervalSeconds with
+	// the adaptive interval controller: every checkpoint decision asks
+	// the controller for the current planned interval, and the
+	// simulator feeds it the modeled costs (sync checkpoint seconds, or
+	// capture stall + background write in AsyncCheckpoint mode), the
+	// checkpoint byte counts, every injected failure, and every
+	// completed recovery — all in virtual time, so a given seed
+	// reproduces the identical interval trajectory. The controller's
+	// Async flag must match AsyncCheckpoint. The controller is driven,
+	// not copied: pass a fresh one per run.
+	Controller *adapt.Controller
 	// CheckpointSeconds maps a written checkpoint to its simulated
 	// duration (cluster model + measured compression ratio). In async
 	// mode this is the background encode+write time, overlapped with
@@ -125,6 +137,10 @@ type Outcome struct {
 	FailureEvents    []Event
 	Residuals        []float64 // per executed iteration (optional)
 	FinalResidual    float64
+	// IntervalPlans is the adaptive controller's re-planning trajectory
+	// (adaptive runs only): every interval decision with the estimates
+	// it was made from, in virtual-time order.
+	IntervalPlans []adapt.Plan
 }
 
 // Run executes the simulation to convergence or the iteration cap.
@@ -142,6 +158,15 @@ func Run(cfg Config) (*Outcome, error) {
 	}
 	if cfg.TitSeconds <= 0 {
 		return nil, fmt.Errorf("sim: TitSeconds must be positive")
+	}
+	if cfg.Controller != nil {
+		if cfg.IntervalSeconds > 0 {
+			return nil, fmt.Errorf("sim: IntervalSeconds and Controller are mutually exclusive")
+		}
+		if cfg.Controller.Async() != cfg.AsyncCheckpoint {
+			return nil, fmt.Errorf("sim: controller async=%v does not match AsyncCheckpoint=%v (the controller would plan against the wrong cost model)",
+				cfg.Controller.Async(), cfg.AsyncCheckpoint)
+		}
 	}
 	if cfg.MaxIterations == 0 {
 		cfg.MaxIterations = 1_000_000
@@ -182,6 +207,17 @@ func Run(cfg Config) (*Outcome, error) {
 	}
 	nextFail := drawFail(0)
 
+	// interval returns the checkpoint cadence in force at virtual time
+	// t: the fixed IntervalSeconds, or the controller's current plan
+	// (re-planned on its epoch cadence as observations arrive).
+	ctrl := cfg.Controller
+	interval := func() float64 {
+		if ctrl != nil {
+			return ctrl.Interval(t)
+		}
+		return cfg.IntervalSeconds
+	}
+
 	// Async mode: the background encode+write of the latest checkpoint
 	// occupies virtual time [capture end, pendingCommitAt) concurrently
 	// with iterations. Until it commits, that checkpoint is not a
@@ -217,12 +253,18 @@ func Run(cfg Config) (*Outcome, error) {
 	handleFailure := func() error {
 		out.Failures++
 		out.FailureEvents = append(out.FailureEvents, Event{SimSeconds: t, Iteration: out.IterationsExecuted})
+		if ctrl != nil {
+			ctrl.ObserveFailure(t)
+		}
 		for {
 			rec := cfg.RecoverySeconds(m.LastInfo())
 			nextFail = drawFail(t)
 			if t+rec <= nextFail {
 				t += rec
 				out.RecoveryTime += rec
+				if ctrl != nil {
+					ctrl.ObserveRecovery(rec)
+				}
 				break
 			}
 			// Failure during recovery: the recovery restarts.
@@ -231,6 +273,9 @@ func Run(cfg Config) (*Outcome, error) {
 			out.RecoveryTime += wasted
 			out.Failures++
 			out.FailureEvents = append(out.FailureEvents, Event{SimSeconds: t, Iteration: out.IterationsExecuted})
+			if ctrl != nil {
+				ctrl.ObserveFailure(t)
+			}
 		}
 		if m.HasCheckpoint() {
 			if _, err := m.Recover(); err != nil {
@@ -269,8 +314,9 @@ func Run(cfg Config) (*Outcome, error) {
 		}
 
 		// Periodic checkpoint (Algorithm 1/2 line 3), expressed in
-		// simulated time as in the paper's optimal-interval runs.
-		if cfg.IntervalSeconds > 0 && t-lastCkptAt >= cfg.IntervalSeconds {
+		// simulated time as in the paper's optimal-interval runs (fixed
+		// cadence) or re-planned online by the adaptive controller.
+		if iv := interval(); iv > 0 && t-lastCkptAt >= iv {
 			if cfg.AsyncCheckpoint {
 				// Backpressure: SaveAsync drains the previous
 				// background encode+write before capturing.
@@ -312,9 +358,19 @@ func Run(cfg Config) (*Outcome, error) {
 				}
 				t += capSec
 				out.CheckpointTime += capSec
+				bg := cfg.CheckpointSeconds(info)
 				pendingLive = true
-				pendingCommitAt = t + cfg.CheckpointSeconds(info)
+				pendingCommitAt = t + bg
 				lastCkptAt = t
+				if ctrl != nil {
+					ctrl.ObserveCheckpoint(adapt.CheckpointObs{
+						When:              t,
+						CaptureSeconds:    capSec,
+						BackgroundSeconds: bg,
+						RawBytes:          info.RawBytes,
+						Bytes:             info.Bytes,
+					})
+				}
 			} else {
 				info, err := m.Checkpoint()
 				if err != nil {
@@ -333,6 +389,14 @@ func Run(cfg Config) (*Outcome, error) {
 				out.CheckpointTime += d
 				out.Checkpoints++
 				lastCkptAt = t
+				if ctrl != nil {
+					ctrl.ObserveCheckpoint(adapt.CheckpointObs{
+						When:        t,
+						SyncSeconds: d,
+						RawBytes:    info.RawBytes,
+						Bytes:       info.Bytes,
+					})
+				}
 			}
 		}
 
@@ -368,6 +432,9 @@ func Run(cfg Config) (*Outcome, error) {
 	out.SimSeconds = t
 	out.ConvergenceIterations = logical
 	out.FinalResidual = rnorm
+	if ctrl != nil {
+		out.IntervalPlans = append([]adapt.Plan(nil), ctrl.Trajectory()...)
+	}
 	return out, nil
 }
 

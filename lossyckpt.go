@@ -110,6 +110,21 @@
 // per-stripe read bandwidth × min(shards, stripes), saturating at the
 // read aggregate, overlapped with decompress-per-core).
 //
+// The checkpoint cadence itself can close the loop on the model:
+// ManagerConfig.AdaptiveInterval (or sim.Config.Controller in the
+// virtual-time simulator) plugs in the online interval controller —
+// EWMA estimators over the measured per-checkpoint stage timings
+// (capture/encode/write seconds and bytes in/out now surfaced on every
+// CheckpointInfo), a censored-exponential posterior over observed
+// failures (NewFailureRateEstimator), and a re-plan of the optimal
+// interval each planning epoch via Young's √(2·C·M) or Daly's
+// higher-order formula (DalyInterval). Asynchronous runs solve the
+// fixed point τ = policy(M̂, AsyncEffectiveStall(t̂cap, t̂bg, τ)), so the
+// planned interval reflects the overlapped stall rather than the raw
+// checkpoint cost. The controller is a pure state machine driven on
+// the caller's clock: simulated runs are bitwise reproducible —
+// same seed and failure trace, same interval trajectory.
+//
 // Knobs: GOMAXPROCS sizes the pool; SetParallelWorkers overrides it
 // (SetParallelWorkers(1) forces serial execution, useful for
 // reproducing single-core baselines); SZParams.BlockSize trades
@@ -134,8 +149,10 @@
 package lossyckpt
 
 import (
+	"repro/internal/adapt"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/failure"
 	"repro/internal/fti"
 	"repro/internal/fti/shard"
 	"repro/internal/model"
@@ -381,10 +398,60 @@ var NewManager = core.NewManager
 // RegisterStatics checkpoints A and b once (static variables).
 var RegisterStatics = core.RegisterStatics
 
+// ---- Adaptive checkpoint interval ------------------------------------------------
+
+// IntervalController is the online checkpoint-interval controller:
+// EWMA cost estimators + censored failure-rate posterior + Young/Daly
+// re-planning (the AsyncEffectiveStall fixed point in async mode).
+// Plug into ManagerConfig.AdaptiveInterval or sim.Config.Controller.
+type IntervalController = adapt.Controller
+
+// IntervalControllerConfig assembles an IntervalController.
+type IntervalControllerConfig = adapt.Config
+
+// NewIntervalController builds an IntervalController.
+var NewIntervalController = adapt.New
+
+// IntervalPolicy selects the optimal-interval formula a re-plan solves.
+type IntervalPolicy = adapt.Policy
+
+// Interval policies.
+const (
+	IntervalPolicyDaly  = adapt.PolicyDaly
+	IntervalPolicyYoung = adapt.PolicyYoung
+)
+
+// CheckpointObservation is one completed checkpoint's measured cost,
+// fed to the controller's ObserveCheckpoint.
+type CheckpointObservation = adapt.CheckpointObs
+
+// IntervalPlan is one re-planning decision (time, interval, and the
+// estimates it was made from).
+type IntervalPlan = adapt.Plan
+
+// IntervalEstimates snapshots the controller's current beliefs.
+type IntervalEstimates = adapt.Estimates
+
+// EstimateFailureRate is the censored-exponential MLE of a failure
+// rate from observed inter-failure gaps plus failure-free tail time.
+var EstimateFailureRate = failure.EstimateRate
+
+// FailureRateEstimator is the incremental, prior-backed posterior the
+// controller estimates λ with.
+type FailureRateEstimator = failure.RateEstimator
+
+// NewFailureRateEstimator builds a FailureRateEstimator from a prior
+// MTTI worth `weight` pseudo-failures of evidence.
+var NewFailureRateEstimator = failure.NewRateEstimator
+
 // ---- Performance model ----------------------------------------------------------
 
 // YoungInterval is Eq. (1): the optimal checkpoint interval.
 var YoungInterval = model.YoungInterval
+
+// DalyInterval is Daly's higher-order optimal checkpoint interval,
+// accurate even when the checkpoint cost approaches the MTTI.
+var DalyInterval = model.DalyInterval
 
 // ExpectedOverheadRatio is Eq. (5).
 var ExpectedOverheadRatio = model.ExpectedOverheadRatio

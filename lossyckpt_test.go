@@ -150,8 +150,8 @@ func TestFacadeCompression(t *testing.T) {
 // TestExperimentRegistryViaFacade lists and runs one experiment.
 func TestExperimentRegistryViaFacade(t *testing.T) {
 	ids := lossyckpt.ExperimentIDs()
-	if len(ids) != 11 {
-		t.Fatalf("expected 11 artifacts, got %v", ids)
+	if len(ids) != 12 {
+		t.Fatalf("expected 12 artifacts, got %v", ids)
 	}
 	res, err := lossyckpt.RunExperiment("fig1", lossyckpt.ExperimentConfig{Quick: true})
 	if err != nil {
