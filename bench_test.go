@@ -9,15 +9,19 @@ import (
 	"io"
 	"math"
 	"runtime"
+	"strings"
 	"testing"
 
 	lossyckpt "repro"
+	"repro/internal/abft"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/failure"
 	"repro/internal/fti"
 	"repro/internal/lossless"
 	"repro/internal/model"
 	"repro/internal/parallel"
+	"repro/internal/precond"
 	"repro/internal/solver"
 	"repro/internal/sparse"
 	"repro/internal/sz"
@@ -702,4 +706,200 @@ func BenchmarkAdaptiveInterval(b *testing.B) {
 				drift.AdaptiveSecs, drift.ProbeSeconds)
 		}
 	}
+}
+
+// abftRig is one guarded lossy-checkpointed CG over the 1M-unknown
+// Poisson operator, advanced a few retained iterations with committed
+// checkpoints — the state every BenchmarkABFTRecovery sub-benchmark
+// injects failures into.
+type abftRig struct {
+	st *fti.MemStorage
+	cg *solver.CG
+	g  *abft.Guard
+	m  *core.Manager
+	x0 []float64
+}
+
+func newABFTRig(b *testing.B, a *sparse.CSR, rhs []float64) *abftRig {
+	b.Helper()
+	cg := solver.NewCG(a, precond.NewJacobiFromMatrix(a), rhs, nil, solver.SeqSpace{},
+		solver.Options{RTol: 1e-8})
+	g, err := abft.NewGuard(a, rhs, cg, abft.Config{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := fti.NewMemStorage()
+	m, err := core.NewManager(core.Config{
+		Scheme:   core.Lossy,
+		SZParams: sz.Params{Mode: sz.PWRel, ErrorBound: 1e-4},
+		ABFT:     g,
+	}, st, cg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := &abftRig{st: st, cg: cg, g: g, m: m, x0: make([]float64, a.Rows)}
+	// Two committed checkpoints (keep=2) with retained redundancy at the
+	// head: every tier of the chain has something to offer.
+	for i := 0; i < 4; i++ {
+		cg.Step()
+		g.Observe()
+	}
+	if _, err := m.Checkpoint(); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		cg.Step()
+		g.Observe()
+	}
+	if _, err := m.Checkpoint(); err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// corruptStoredCheckpoints flips a byte in every stored checkpoint
+// object so the whole checkpoint chain fails its CRCs.
+func (r *abftRig) corruptStoredCheckpoints(b *testing.B) {
+	b.Helper()
+	names, err := r.st.List()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, name := range names {
+		if !strings.HasPrefix(name, "ckpt-") {
+			continue
+		}
+		data, err := r.st.Read(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mut := append([]byte(nil), data...)
+		mut[len(mut)/2] ^= 0xFF
+		if err := r.st.Write(name, mut); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkABFTRecovery times one full RecoverTiered chain on the
+// 1M-element PWRel workload (Poisson 100³, Jacobi-preconditioned CG),
+// one sub-benchmark per recovery tier. Each iteration re-arms the
+// failure outside the timer — seeded rank loss for the ABFT tier, plus
+// retained-state corruption to force the checkpoint tiers, a corrupted
+// latest manifest for the previous-checkpoint tier, and a fully
+// corrupted store for restart-zero — then times the chain end to end.
+// The acceptance bands are asserted in-bench: every sub-benchmark must
+// recover via exactly its expected tier, the ABFT tier must read zero
+// bytes from the PFS (its cost is local-solve iterations, reported as
+// the local-iters metric), the checkpoint tiers must pay PFS reads,
+// and the recovered solver's residual stays finite throughout.
+func BenchmarkABFTRecovery(b *testing.B) {
+	a := sparse.Poisson3D(100)
+	rhs := sparse.OnesRHS(a.Rows)
+
+	checkResidual := func(b *testing.B, r *abftRig) {
+		if rn := r.cg.ResidualNorm(); math.IsNaN(rn) || math.IsInf(rn, 0) {
+			b.Fatalf("post-recovery residual %v", rn)
+		}
+	}
+
+	b.Run("abft", func(b *testing.B) {
+		r := newABFTRig(b, a, rhs)
+		var localIters float64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			r.g.FailNextRank()
+			b.StartTimer()
+			rep, err := r.m.RecoverTiered(r.x0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Used != core.TierABFT || len(rep.Attempts) != 1 {
+				b.Fatalf("used %v with %d attempts, want the abft tier alone", rep.Used, len(rep.Attempts))
+			}
+			if rep.ReadBytes() != 0 {
+				b.Fatalf("abft recovery read %d bytes from the PFS, want 0", rep.ReadBytes())
+			}
+			if rep.Attempts[0].Iterations <= 0 {
+				b.Fatal("exact-state reconstruction reported no local-solve iterations")
+			}
+			localIters += float64(rep.Attempts[0].Iterations)
+			checkResidual(b, r)
+		}
+		b.ReportMetric(localIters/float64(b.N), "local-iters")
+	})
+
+	b.Run("checkpoint", func(b *testing.B) {
+		r := newABFTRig(b, a, rhs)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			r.g.CorruptRetained()
+			r.g.FailNextRank()
+			b.StartTimer()
+			rep, err := r.m.RecoverTiered(r.x0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Used != core.TierCheckpoint {
+				b.Fatalf("used %v, want the latest-checkpoint tier; attempts %+v", rep.Used, rep.Attempts)
+			}
+			if a0 := rep.Attempts[0]; a0.Tier != core.TierABFT || a0.Accepted {
+				b.Fatalf("first attempt %+v, want a rejected abft try", a0)
+			}
+			if rep.ReadBytes() == 0 {
+				b.Fatal("checkpoint recovery paid no PFS reads")
+			}
+			checkResidual(b, r)
+		}
+	})
+
+	b.Run("previous-checkpoint", func(b *testing.B) {
+		r := newABFTRig(b, a, rhs)
+		if _, err := failure.CorruptLatestManifest(r.st); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			r.g.CorruptRetained()
+			r.g.FailNextRank()
+			b.StartTimer()
+			rep, err := r.m.RecoverTiered(r.x0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Used != core.TierPreviousCheckpoint {
+				b.Fatalf("used %v, want the previous-checkpoint tier; attempts %+v", rep.Used, rep.Attempts)
+			}
+			if rep.ReadBytes() == 0 {
+				b.Fatal("previous-checkpoint recovery paid no PFS reads")
+			}
+			checkResidual(b, r)
+		}
+	})
+
+	b.Run("restart-zero", func(b *testing.B) {
+		r := newABFTRig(b, a, rhs)
+		r.corruptStoredCheckpoints(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			r.g.CorruptRetained()
+			r.g.FailNextRank()
+			b.StartTimer()
+			rep, err := r.m.RecoverTiered(r.x0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Used != core.TierRestartZero {
+				b.Fatalf("used %v, want restart-zero; attempts %+v", rep.Used, rep.Attempts)
+			}
+			if rep.Iteration != 0 {
+				b.Fatalf("restart-zero left the solver at iteration %d", rep.Iteration)
+			}
+			checkResidual(b, r)
+		}
+	})
 }

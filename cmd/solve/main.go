@@ -20,6 +20,29 @@
 // run alongside a per-phase cost table (capture/encode/write/restart,
 // modeled at cluster scale vs measured in-process).
 //
+// -recovery-tiers arms the tiered recovery chain: an ABFT guard
+// retains per-iteration redundancy (exact-state for CG, periodic
+// retained solutions for the stationary methods) and every failure
+// tries checkpoint-free algorithmic reconstruction first, falling back
+// to the latest checkpoint, an older checkpoint, and finally
+// restart-from-zero. With -mtti the simulated run prices ABFT
+// recoveries in local-solve iterations (no PFS reads) and reports
+// per-tier counts and read traffic.
+//
+// -inject runs the REAL solve (no virtual clock) under a seeded
+// deterministic fault plan and prints a per-failure table of the tier
+// each recovery used. The spec grammar is
+//
+//	spec  := event ("," event)*
+//	event := kind ("+" kind)* "@" iteration
+//	kind  := proc | abft | shard | manifest | midckpt
+//
+// e.g. -inject 'proc@50,abft+proc@120,manifest+proc@200'. Corruption
+// kinds without proc/midckpt are latent and surface at the next
+// recovery. -inject requires -recovery-tiers and excludes -mtti; in
+// this mode -interval is a checkpoint cadence in iterations
+// (default 25).
+//
 // -shards N splits every checkpoint into N shard objects plus a
 // manifest, written concurrently by up to -storage-workers goroutines
 // (0 = GOMAXPROCS). Passing -shards (any value, 1 included) also
@@ -38,8 +61,10 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strings"
 	"time"
 
+	"repro/internal/abft"
 	"repro/internal/adapt"
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -70,6 +95,8 @@ func main() {
 	storageWorkers := flag.Int("storage-workers", 0, "worker pool bound for shard writes/reads (0 = GOMAXPROCS)")
 	adaptive := flag.Bool("adaptive", false, "adaptive checkpoint interval: estimate costs and failure rate online, re-plan the Young/Daly fixed point each epoch")
 	priorMTTI := flag.Float64("prior-mtti", 3600, "adaptive controller's prior mean time to interruption in seconds (its only a-priori knowledge)")
+	recoveryTiers := flag.Bool("recovery-tiers", false, "tiered recovery: ABFT reconstruction, then latest checkpoint, then older checkpoints, then restart-from-zero")
+	injectSpec := flag.String("inject", "", "seeded fault plan 'kind(+kind)*@iter,...' (kinds proc|abft|shard|manifest|midckpt) driving the real solve; requires -recovery-tiers, excludes -mtti")
 	flag.Parse()
 	// The striped single-writer cost model engages when -shards is
 	// given explicitly — including -shards 1, so monolithic and sharded
@@ -81,15 +108,24 @@ func main() {
 		}
 	})
 
-	if err := run(*method, *grid, *rtol, *schemeName, *eb, *interval, *mtti, *tit, *seed, *ckptDir, *maxIter, *async, *shards, *storageWorkers, striped, *adaptive, *priorMTTI); err != nil {
+	if err := run(*method, *grid, *rtol, *schemeName, *eb, *interval, *mtti, *tit, *seed, *ckptDir, *maxIter, *async, *shards, *storageWorkers, striped, *adaptive, *priorMTTI, *recoveryTiers, *injectSpec); err != nil {
 		fmt.Fprintln(os.Stderr, "solve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(method string, grid int, rtol float64, schemeName string, eb, interval, mtti, tit float64, seed int64, ckptDir string, maxIter int, async bool, shards, storageWorkers int, striped, adaptive bool, priorMTTI float64) error {
+func run(method string, grid int, rtol float64, schemeName string, eb, interval, mtti, tit float64, seed int64, ckptDir string, maxIter int, async bool, shards, storageWorkers int, striped, adaptive bool, priorMTTI float64, recoveryTiers bool, injectSpec string) error {
 	if adaptive && interval > 0 {
 		return fmt.Errorf("-adaptive and -interval are mutually exclusive (the controller owns the cadence)")
+	}
+	if injectSpec != "" && !recoveryTiers {
+		return fmt.Errorf("-inject requires -recovery-tiers (the fault plan exercises the tier chain)")
+	}
+	if injectSpec != "" && mtti > 0 {
+		return fmt.Errorf("-inject and -mtti are mutually exclusive (seeded plan vs random virtual-time failures)")
+	}
+	if recoveryTiers && schemeName == "none" {
+		return fmt.Errorf("-recovery-tiers needs a checkpoint scheme (the chain's middle tiers read checkpoints)")
 	}
 	a := sparse.Poisson3D(grid)
 	b := sparse.OnesRHS(a.Rows)
@@ -97,6 +133,7 @@ func run(method string, grid int, rtol float64, schemeName string, eb, interval,
 
 	var s solver.Checkpointable
 	var err error
+	var co *abft.ChecksumOperator
 	opts := solver.Options{RTol: rtol}
 	switch method {
 	case "jacobi":
@@ -113,7 +150,16 @@ func run(method string, grid int, rtol float64, schemeName string, eb, interval,
 		if err != nil {
 			return err
 		}
-		s = solver.NewCG(a, m, b, nil, solver.SeqSpace{}, opts)
+		op := solver.Operator(a)
+		if recoveryTiers {
+			// Huang–Abraham checksum augmentation: every operator
+			// application is verified against precomputed column sums, so
+			// silent corruption surfaces before it contaminates the
+			// retained ABFT redundancy.
+			co = abft.NewChecksumOperator(a)
+			op = co
+		}
+		s = solver.NewCG(op, m, b, nil, solver.SeqSpace{}, opts)
 	case "gmres":
 		s = solver.NewGMRES(a, nil, b, nil, 30, solver.SeqSpace{}, opts)
 	default:
@@ -121,6 +167,23 @@ func run(method string, grid int, rtol float64, schemeName string, eb, interval,
 	}
 	if err != nil {
 		return err
+	}
+	var guard *abft.Guard
+	if recoveryTiers {
+		gcfg := abft.Config{Seed: seed}
+		switch method {
+		case "cg":
+			gcfg.Method = abft.ExactState
+		case "jacobi", "gs", "sor", "ssor":
+			gcfg.Method = abft.BackwardForward
+		default:
+			return fmt.Errorf("-recovery-tiers is not supported for method %q (need cg or a stationary method)", method)
+		}
+		guard, err = abft.NewGuard(a, b, s, gcfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("recovery tiers armed: %s ABFT guard, %d logical ranks\n", guard.Method(), guard.Ranks())
 	}
 
 	var scheme core.Scheme
@@ -156,6 +219,7 @@ func run(method string, grid int, rtol float64, schemeName string, eb, interval,
 		SZParams:       sz.Params{Mode: sz.PWRel, ErrorBound: eb},
 		Shards:         shards,
 		StorageWorkers: storageWorkers,
+		ABFT:           guard,
 	}, storage, s)
 	if err != nil {
 		return err
@@ -213,6 +277,17 @@ func run(method string, grid int, rtol float64, schemeName string, eb, interval,
 	capSec := func(info fti.Info) float64 {
 		return mdl.CaptureSeconds(2048, float64(info.RawBytes))
 	}
+	if injectSpec != "" {
+		plan, err := failure.ParsePlan(injectSpec, seed)
+		if err != nil {
+			return err
+		}
+		ckptEvery := int(interval)
+		if ckptEvery <= 0 {
+			ckptEvery = 25
+		}
+		return runInjected(a, s, mgr, guard, co, plan, storage, mdl, recSec, tit, ckptEvery, maxIter)
+	}
 	var ctrl *adapt.Controller
 	if adaptive {
 		// The controller learns C, R, and λ from the run itself; the
@@ -250,6 +325,11 @@ func run(method string, grid int, rtol float64, schemeName string, eb, interval,
 		fmt.Printf("Young-optimal interval: %.0f simulated seconds\n", interval)
 	}
 
+	// The ABFT tier is priced in local-solve iterations over the lost
+	// block, re-gathered over the interconnect — never through the PFS.
+	abftSec := func(att core.TierAttempt) float64 {
+		return mdl.ABFTRecoverySeconds(raw/2048, att.Iterations, tit)
+	}
 	out, err := sim.Run(sim.Config{
 		Stepper:           s,
 		Manager:           mgr,
@@ -261,6 +341,7 @@ func run(method string, grid int, rtol float64, schemeName string, eb, interval,
 		RecoverySeconds:   recSec,
 		AsyncCheckpoint:   async,
 		CaptureSeconds:    capSec,
+		ABFTSeconds:       abftSec,
 		Failures:          failure.NewInjector(mtti, seed),
 		MaxIterations:     maxIter,
 	})
@@ -271,6 +352,10 @@ func run(method string, grid int, rtol float64, schemeName string, eb, interval,
 		out.Converged, out.IterationsExecuted, out.SimSeconds, out.Failures, out.Checkpoints)
 	fmt.Printf("checkpoint-time=%.1fs recovery-time=%.0fs final-residual=%.3e\n",
 		out.CheckpointTime, out.RecoveryTime, out.FinalResidual)
+	if recoveryTiers {
+		fmt.Printf("recovery tiers: abft=%d checkpoint-restart=%d restart-zero=%d pfs-read-bytes=%d\n",
+			out.ABFTRecoveries, out.CheckpointRestarts, out.FreshRestarts, out.RecoveryReadBytes)
+	}
 	if async {
 		fmt.Printf("async: aborted-in-flight=%d backpressure=%.1fs (stall is capture-only when 0)\n",
 			out.AbortedCheckpoints, out.BackpressureTime)
@@ -321,6 +406,127 @@ func run(method string, grid int, rtol float64, schemeName string, eb, interval,
 			recSec(info), max(info.Shards, 1))
 	}
 	printCostBreakdown(mdl, scheme, mgr.LastInfo(), raw, striped, recSec, measuredRestart)
+	return nil
+}
+
+// injectedFailure records one injected event and the tier chain that
+// recovered from it.
+type injectedFailure struct {
+	iter  int
+	kinds []failure.Kind
+	rep   *core.RecoveryReport
+}
+
+// runInjected drives the REAL solve (wall clock, no simulator) under a
+// seeded deterministic fault plan, recovering every failure through
+// the tier chain, and prints the per-failure tier table.
+func runInjected(a *sparse.CSR, s solver.Checkpointable, mgr *core.Manager, guard *abft.Guard,
+	co *abft.ChecksumOperator, plan *failure.Plan, storage fti.Storage, mdl *cluster.Model,
+	recSec func(fti.Info) float64, tit float64, ckptEvery, maxIter int) error {
+	fmt.Printf("injection plan: %d events, checkpoint every %d iterations\n", len(plan.Events()), ckptEvery)
+	x0 := make([]float64, a.Rows)
+	var failures []injectedFailure
+	cb := func(it int, rnorm float64) error {
+		// Retain this iteration's redundancy first: the guard protects
+		// the state the step just produced.
+		guard.Observe()
+		if it%ckptEvery == 0 {
+			if _, err := mgr.Checkpoint(); err != nil {
+				return err
+			}
+		}
+		kinds := plan.Take(it)
+		if len(kinds) == 0 {
+			return nil
+		}
+		// Corruption kinds damage state first (latently, if no failure
+		// accompanies them); proc/midckpt then lose a rank and force the
+		// chain to run against whatever survives.
+		needRecovery := false
+		for _, k := range kinds {
+			switch k {
+			case failure.CorruptABFT:
+				guard.CorruptRetained()
+			case failure.CorruptShard:
+				if _, err := failure.CorruptLatestShard(storage, plan.Rand()); err != nil {
+					return fmt.Errorf("inject shard corruption at %d: %w", it, err)
+				}
+			case failure.CorruptManifest:
+				if _, err := failure.CorruptLatestManifest(storage); err != nil {
+					return fmt.Errorf("inject manifest corruption at %d: %w", it, err)
+				}
+			}
+		}
+		for _, k := range kinds {
+			switch k {
+			case failure.MidCheckpoint:
+				// The failure strikes mid-write: the in-flight checkpoint
+				// never commits and its partial object is discarded.
+				if _, err := mgr.Checkpoint(); err != nil {
+					return err
+				}
+				if err := mgr.AbortLastCheckpoint(); err != nil {
+					return err
+				}
+				needRecovery = true
+			case failure.ProcLoss:
+				needRecovery = true
+			}
+		}
+		if !needRecovery {
+			return nil // latent corruption: surfaces at the next recovery
+		}
+		guard.FailNextRank()
+		rep, err := mgr.RecoverTiered(x0)
+		if err != nil {
+			return err
+		}
+		failures = append(failures, injectedFailure{iter: it, kinds: kinds, rep: rep})
+		return nil
+	}
+	res, err := solver.RunToConvergence(s, solver.Options{MaxIter: maxIter}, cb)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("converged=%v iterations=%d residual=%.3e failures=%d\n",
+		res.Converged, res.Iterations, res.FinalResidual, len(failures))
+	if co != nil {
+		fmt.Printf("checksum operator: %d applications, %d mismatches\n", co.Applications(), co.Mismatches())
+	}
+	st := guard.Stats()
+	fmt.Printf("abft guard: observes=%d reconstructions=%d rejected=%d local-iterations=%d\n",
+		st.Observes, st.Reconstructions, st.Rejected, st.LocalIterations)
+	if len(failures) == 0 {
+		return nil
+	}
+	fmt.Printf("per-failure recovery tiers (modeled costs at 2048 ranks):\n")
+	raw := float64(a.Rows) * 8
+	for _, f := range failures {
+		names := make([]string, len(f.kinds))
+		for i, k := range f.kinds {
+			names[i] = k.String()
+		}
+		fmt.Printf("  @%-6d %-24s recovered via %s\n", f.iter, strings.Join(names, "+"), f.rep.Used)
+		for _, att := range f.rep.Attempts {
+			status := "accepted"
+			if !att.Accepted {
+				status = "rejected: " + att.Err
+			}
+			var cost string
+			switch att.Tier {
+			case core.TierABFT:
+				cost = fmt.Sprintf("%d local its, modeled %.3gs, 0 B read",
+					att.Iterations, mdl.ABFTRecoverySeconds(raw/2048, att.Iterations, tit))
+			case core.TierCheckpoint, core.TierPreviousCheckpoint:
+				cost = fmt.Sprintf("seq %d, %d B read, modeled %.3gs",
+					att.Seq, att.ReadBytes, recSec(mgr.LastInfo()))
+			default:
+				cost = "free (all progress lost)"
+			}
+			fmt.Printf("    %-20s %-10s %.3g ms wall — %s\n",
+				att.Tier, status, 1e3*att.Seconds, cost)
+		}
+	}
 	return nil
 }
 

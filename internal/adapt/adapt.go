@@ -202,9 +202,26 @@ type Estimates struct {
 	SyncCost   float64 // EWMA of synchronous checkpoint seconds
 	Capture    float64 // EWMA of async capture stall seconds
 	Background float64 // EWMA of async background encode+write seconds
-	Recovery   float64 // EWMA of recovery seconds
+	Recovery   float64 // EWMA of checkpoint-restart (I/O) recovery seconds
 	Ratio      float64 // EWMA of achieved compression ratio
 	Failures   int     // real failures observed
+	// ABFTRecovery is the EWMA of checkpoint-free (ABFT) recovery
+	// seconds — priced in iterations, not PFS reads, so it is tracked
+	// apart from the I/O restart cost. IORestarts / ABFTRecoveries
+	// split the observed recoveries by tier; neither count enters the
+	// failure-rate posterior.
+	ABFTRecovery   float64
+	IORestarts     int
+	ABFTRecoveries int
+}
+
+// RecoveryObs is one completed recovery, fed to ObserveRecoveryKind.
+// RestartIO distinguishes a checkpoint restart (PFS reads — the R the
+// lossy-aware policies would consume) from an ABFT algorithmic
+// reconstruction (no restart I/O; it costs iterations instead).
+type RecoveryObs struct {
+	Seconds   float64
+	RestartIO bool
 }
 
 // Controller is the online interval planner. It is not safe for
@@ -216,7 +233,8 @@ type Controller struct {
 	syncCost EWMA
 	capture  EWMA
 	backgrnd EWMA
-	recovery EWMA
+	recovery EWMA // checkpoint-restart (I/O) recoveries only
+	abftRec  EWMA // ABFT (checkpoint-free) recoveries only
 	ratio    EWMA
 
 	interval   float64
@@ -260,6 +278,7 @@ func New(cfg Config) (*Controller, error) {
 		capture:  NewEWMA(cfg.Alpha),
 		backgrnd: NewEWMA(cfg.Alpha),
 		recovery: NewEWMA(cfg.Alpha),
+		abftRec:  NewEWMA(cfg.Alpha),
 		ratio:    NewEWMA(cfg.Alpha),
 	}
 	c.interval = c.clamp(cfg.InitialInterval)
@@ -288,13 +307,31 @@ func (c *Controller) ObserveCheckpoint(o CheckpointObs) {
 }
 
 // ObserveRecovery records the measured duration of one completed
-// recovery. The estimate is informational (Estimates.Recovery) —
-// neither Young's nor Daly's formula consumes R, so recoveries do not
-// trigger a re-plan; a lossy-aware policy folding the restart cost
-// into the plan is a ROADMAP candidate.
+// checkpoint-restart recovery. The estimate is informational
+// (Estimates.Recovery) — neither Young's nor Daly's formula consumes
+// R, so recoveries do not trigger a re-plan; a lossy-aware policy
+// folding the restart cost into the plan is a ROADMAP candidate.
+// Equivalent to ObserveRecoveryKind with RestartIO set.
 func (c *Controller) ObserveRecovery(seconds float64) {
-	if seconds >= 0 {
-		c.recovery.Observe(seconds)
+	c.ObserveRecoveryKind(RecoveryObs{Seconds: seconds, RestartIO: true})
+}
+
+// ObserveRecoveryKind records one completed recovery with its tier
+// flavor. Checkpoint restarts (RestartIO) feed the Recovery estimate;
+// ABFT reconstructions feed the separate ABFTRecovery estimate, so a
+// run where ABFT usually succeeds does not drag the I/O restart-cost
+// estimate toward zero. Either way the failure-rate posterior is
+// untouched — recoveries are consequences of failures already reported
+// via ObserveFailure, never additional evidence about λ.
+func (c *Controller) ObserveRecoveryKind(o RecoveryObs) {
+	if o.Seconds < 0 {
+		return
+	}
+	c.rate.ObserveRecovery(o.RestartIO)
+	if o.RestartIO {
+		c.recovery.Observe(o.Seconds)
+	} else {
+		c.abftRec.Observe(o.Seconds)
 	}
 }
 
@@ -436,14 +473,17 @@ func (c *Controller) clamp(tau float64) float64 {
 func (c *Controller) Estimates(now float64) Estimates {
 	lambda := c.rate.Rate(now)
 	return Estimates{
-		Lambda:     lambda,
-		MTTI:       1 / lambda,
-		SyncCost:   c.syncCost.Value(),
-		Capture:    c.capture.Value(),
-		Background: c.backgrnd.Value(),
-		Recovery:   c.recovery.Value(),
-		Ratio:      c.ratio.Value(),
-		Failures:   c.rate.Failures(),
+		Lambda:         lambda,
+		MTTI:           1 / lambda,
+		SyncCost:       c.syncCost.Value(),
+		Capture:        c.capture.Value(),
+		Background:     c.backgrnd.Value(),
+		Recovery:       c.recovery.Value(),
+		Ratio:          c.ratio.Value(),
+		Failures:       c.rate.Failures(),
+		ABFTRecovery:   c.abftRec.Value(),
+		IORestarts:     c.rate.IORestarts(),
+		ABFTRecoveries: c.rate.ABFTRecoveries(),
 	}
 }
 

@@ -297,3 +297,46 @@ func TestEstimatesSnapshot(t *testing.T) {
 		t.Fatalf("degenerate rate estimates: %+v", est)
 	}
 }
+
+// TestObserveRecoveryKindSeparatesTiers pins the tier separation: ABFT
+// recoveries feed their own EWMA and counter, checkpoint restarts feed
+// the I/O restart-cost estimate the Young/Daly plan consumes, and
+// neither moves the failure-rate posterior.
+func TestObserveRecoveryKindSeparatesTiers(t *testing.T) {
+	c, err := New(Config{PriorMTTI: 1000})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	c.ObserveFailure(100)
+	lambdaBefore := c.Estimates(200).Lambda
+
+	c.ObserveRecoveryKind(RecoveryObs{Seconds: 8, RestartIO: true})
+	c.ObserveRecoveryKind(RecoveryObs{Seconds: 0.25, RestartIO: false})
+	c.ObserveRecoveryKind(RecoveryObs{Seconds: 0.75, RestartIO: false})
+
+	est := c.Estimates(200)
+	if est.Lambda != lambdaBefore {
+		t.Fatalf("recovery observations moved lambda: %.6g → %.6g", lambdaBefore, est.Lambda)
+	}
+	if est.Recovery != 8 {
+		t.Fatalf("I/O restart EWMA %.3g, want 8 (ABFT costs must not dilute it)", est.Recovery)
+	}
+	if est.ABFTRecovery <= 0 || est.ABFTRecovery >= 8 {
+		t.Fatalf("ABFT recovery EWMA %.3g, want within the observed 0.25–0.75 band", est.ABFTRecovery)
+	}
+	if est.IORestarts != 1 || est.ABFTRecoveries != 2 {
+		t.Fatalf("recovery kind counts io=%d abft=%d, want 1/2", est.IORestarts, est.ABFTRecoveries)
+	}
+
+	// The legacy entry point is a checkpoint restart by definition.
+	c.ObserveRecovery(8)
+	if got := c.Estimates(200); got.IORestarts != 2 || got.ABFTRecoveries != 2 {
+		t.Fatalf("legacy ObserveRecovery miscounted: io=%d abft=%d, want 2/2", got.IORestarts, got.ABFTRecoveries)
+	}
+
+	// Negative durations are ignored entirely.
+	c.ObserveRecoveryKind(RecoveryObs{Seconds: -1, RestartIO: false})
+	if got := c.Estimates(200); got.ABFTRecoveries != 2 {
+		t.Fatal("negative-duration recovery observation was counted")
+	}
+}

@@ -62,6 +62,13 @@ type Model struct {
 	// the term that makes over-sharding (S ≫ Stripes) a loss.
 	PerShardSeconds float64
 
+	// InterconnectBandwidth is the point-to-point node interconnect
+	// bandwidth (bytes/s) — the channel an ABFT reconstruction uses to
+	// re-gather the surviving ranks' contributions to the lost block
+	// (checksum/neighbor exchanges), never touching the PFS. Zero falls
+	// back to MemCopyPerCore so pre-ABFT Model literals keep working.
+	InterconnectBandwidth float64
+
 	// ReadStripeBandwidth is the per-stripe bandwidth of the restore
 	// path's shard fan-out reads. PFS read paths typically outpace the
 	// write paths (no commit/sync round trips, no parity update,
@@ -91,6 +98,9 @@ func Bebop() *Model {
 		Stripes:         48,
 		StripeBandwidth: 0.80e9 / 48,
 		PerShardSeconds: 0.0005,
+		// Omni-Path node injection bandwidth (100 Gb/s ≈ 12.5 GB/s) —
+		// the fabric Bebop's ABFT-style exchanges would ride on.
+		InterconnectBandwidth: 12.5e9,
 		// Read path per stripe at 2× the write path — the usual PFS
 		// asymmetry (no commit, no parity) — so a full-stripe shard
 		// fan-out restores at up to 1.6 GB/s against the 0.8 GB/s
@@ -308,6 +318,27 @@ func (m *Model) ShardedRecoverySeconds(procs int, encodedBytes, rawBytes float64
 		read = dec
 	}
 	return m.PerRankSeconds*float64(procs) + read + m.StaticPerRankSeconds*float64(procs)
+}
+
+// ABFTRecoverySeconds returns the wall time of one checkpoint-free
+// algorithmic (ABFT) recovery: re-gathering the lost block's
+// blockBytes over the interconnect from the surviving ranks'
+// redundancy, then localIters iterations of the local reconstruction
+// solve at iterSeconds each, plus the fixed per-rank coordination
+// overhead. No PFS term appears anywhere — that absence is the tier's
+// entire advantage, and why the sim's read-traffic comparison shows
+// ABFT-on runs touching the file system less. A Model without
+// InterconnectBandwidth falls back to MemCopyPerCore (node-local
+// exchange), keeping legacy literals finite.
+func (m *Model) ABFTRecoverySeconds(blockBytes float64, localIters int, iterSeconds float64) float64 {
+	bw := m.InterconnectBandwidth
+	if bw <= 0 {
+		bw = m.MemCopyPerCore
+	}
+	if localIters < 0 {
+		localIters = 0
+	}
+	return m.PerRankSeconds + blockBytes/bw + float64(localIters)*iterSeconds
 }
 
 // MethodBaseline holds the paper's failure-free reference execution

@@ -284,3 +284,31 @@ func approxEq(a, b float64) bool {
 	}
 	return d <= 1e-12*(1+b)
 }
+
+func TestABFTRecoverySeconds(t *testing.T) {
+	m := Bebop()
+	// One 2,048-rank block of the CG checkpoint state (78.8 GB / 2048)
+	// re-gathered over Omni-Path plus 30 local iterations at 0.5 s.
+	block := 78.8e9 / 2048
+	got := m.ABFTRecoverySeconds(block, 30, 0.5)
+	want := m.PerRankSeconds + block/m.InterconnectBandwidth + 30*0.5
+	if !approxEq(got, want) {
+		t.Fatalf("ABFTRecoverySeconds = %g, want %g", got, want)
+	}
+	// The tier's raison d'être: no PFS term — it must be far below even
+	// the cheapest modeled restart of the same state.
+	restart := m.RecoverySeconds(2048, 78.8e9, 78.8e9, Uncompressed)
+	if got >= restart {
+		t.Fatalf("ABFT recovery %g s not below the PFS restart %g s", got, restart)
+	}
+	// Negative local iterations clamp to zero.
+	if m.ABFTRecoverySeconds(block, -5, 0.5) != m.ABFTRecoverySeconds(block, 0, 0.5) {
+		t.Fatal("negative local iterations must clamp to zero")
+	}
+	// Legacy literals without the interconnect field stay finite via
+	// the node-local memory fallback.
+	legacy := &Model{PerRankSeconds: 0.01, MemCopyPerCore: 4e9}
+	if v := legacy.ABFTRecoverySeconds(block, 0, 0); math.IsInf(v, 0) || math.IsNaN(v) {
+		t.Fatalf("legacy model ABFT cost not finite: %g", v)
+	}
+}

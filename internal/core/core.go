@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/abft"
 	"repro/internal/adapt"
 	"repro/internal/fti"
 	"repro/internal/lossless"
@@ -122,6 +123,14 @@ type Config struct {
 	// the checkpoint path regardless of this clock, so a coarse Clock
 	// only coarsens when checkpoints trigger, not what they cost.
 	Clock func() float64
+	// ABFT plugs the algorithm-based recovery guard in as the first
+	// tier of RecoverTiered: a failed solve first attempts the
+	// checkpoint-free algorithmic reconstruction (verified against the
+	// true residual) and only falls back to stored checkpoints when it
+	// is rejected. The guard must protect the same solver the Manager
+	// wires; the embedding loop must call the guard's Observe after
+	// every accepted step.
+	ABFT *abft.Guard
 }
 
 // Manager connects a solver to a checkpointer under one of the three
@@ -162,6 +171,9 @@ type Manager struct {
 	ctrl          *adapt.Controller
 	clock         func() float64
 	lastCkptClock float64
+
+	// abft is the optional first recovery tier (Config.ABFT).
+	abft *abft.Guard
 }
 
 // NewManager wires solver s to storage through the scheme in cfg. The
@@ -195,7 +207,10 @@ func NewManager(cfg Config, storage fti.Storage, s solver.Checkpointable) (*Mana
 				cfg.AdaptiveInterval.Async(), cfg.Async)
 		}
 	}
-	m := &Manager{cfg: cfg, slv: s}
+	if cfg.ABFT != nil && cfg.ABFT.Solver() != s {
+		return nil, fmt.Errorf("core: the ABFT guard protects a different solver than the Manager wires")
+	}
+	m := &Manager{cfg: cfg, slv: s, abft: cfg.ABFT}
 	m.ctrl = cfg.AdaptiveInterval
 	m.clock = cfg.Clock
 	if m.ctrl != nil && m.clock == nil {
@@ -565,6 +580,14 @@ func (m *Manager) Recover() (int, error) {
 		m.ctrl.ObserveRecovery(time.Since(restoreStart).Seconds())
 		m.lastCkptClock = m.clock()
 	}
+	return m.adoptSnapshot(snap)
+}
+
+// adoptSnapshot reinstates the solver from a restored snapshot
+// according to the scheme and adopts the snapshot's vectors as the
+// next recovery's in-place decode targets. It returns the iteration
+// the solver rolled back to.
+func (m *Manager) adoptSnapshot(snap *fti.Snapshot) (int, error) {
 	// Adopt the restored vectors as next recovery's decode targets:
 	// same lengths next time means the decode lands in place again.
 	for k, v := range snap.Vectors {

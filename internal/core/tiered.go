@@ -1,0 +1,198 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/abft"
+	"repro/internal/adapt"
+)
+
+// RecoveryTier names one rung of the tiered recovery chain, tried in
+// order until one succeeds:
+//
+//	TierABFT               checkpoint-free algorithmic reconstruction
+//	                       (needs the ABFT guard's retained redundancy;
+//	                       costs local-solve iterations, no PFS reads)
+//	TierCheckpoint         the latest committed checkpoint (one PFS
+//	                       read of the newest group)
+//	TierPreviousCheckpoint an older committed checkpoint the restore
+//	                       walk fell back to (the newest was missing or
+//	                       corrupt; its rejected read was still paid)
+//	TierRestartZero        restart from the initial guess — always
+//	                       available, loses all progress
+type RecoveryTier int
+
+const (
+	TierABFT RecoveryTier = iota
+	TierCheckpoint
+	TierPreviousCheckpoint
+	TierRestartZero
+)
+
+// String names the tier.
+func (t RecoveryTier) String() string {
+	switch t {
+	case TierABFT:
+		return "abft"
+	case TierCheckpoint:
+		return "checkpoint"
+	case TierPreviousCheckpoint:
+		return "previous-checkpoint"
+	case TierRestartZero:
+		return "restart-zero"
+	}
+	return fmt.Sprintf("RecoveryTier(%d)", int(t))
+}
+
+// TierAttempt is the fti.Info-style observation of one tier try: what
+// was attempted, whether it was accepted, and what it cost — wall
+// seconds, local-solve iterations (the ABFT tier's currency) and
+// encoded bytes read from storage (the checkpoint tiers'). The sim and
+// cluster layers price tiers from these fields.
+type TierAttempt struct {
+	Tier     RecoveryTier
+	Accepted bool
+	Err      string // rejection reason, empty when accepted
+	Seconds  float64
+	// Iterations is the ABFT tier's local reconstruction iteration
+	// count — the tier costs iterations, not PFS reads.
+	Iterations int
+	// ReadBytes is the encoded bytes read from storage for the attempt
+	// (0 for the ABFT and restart-zero tiers).
+	ReadBytes int
+	// Seq is the checkpoint sequence number of a checkpoint-tier
+	// attempt (0 otherwise).
+	Seq int
+}
+
+// RecoveryReport is the outcome of one RecoverTiered call: every tier
+// attempt in order, the tier that finally recovered the solver, and
+// the iteration the solver stands at afterwards.
+type RecoveryReport struct {
+	Attempts  []TierAttempt
+	Used      RecoveryTier
+	Iteration int
+}
+
+// ReadBytes sums the encoded bytes read from storage across all
+// attempts — the recovery's total PFS read traffic, including reads of
+// checkpoints that were then rejected.
+func (r *RecoveryReport) ReadBytes() int {
+	total := 0
+	for _, a := range r.Attempts {
+		total += a.ReadBytes
+	}
+	return total
+}
+
+// ABFTGuard returns the configured ABFT guard (nil when the tier is
+// disabled).
+func (m *Manager) ABFTGuard() *abft.Guard { return m.abft }
+
+// RecoverTiered runs the full recovery chain after a failure:
+// ABFT reconstruction → latest checkpoint → older checkpoints →
+// restart-from-zero, accepting the highest tier that verifies. It
+// never returns an error for a merely-degraded recovery — the chain
+// bottoms out at restart-from-zero, which always succeeds — so the
+// error return covers only broken invariants (an aborted in-flight
+// checkpoint that cannot be dropped, for instance).
+//
+// The per-tier timings, iteration counts and read bytes are recorded
+// in the returned report; an adaptive-interval controller wired into
+// the Manager additionally receives the recovery observation with its
+// tier flavor (ABFT recoveries never contaminate the I/O restart-cost
+// estimate, and neither kind touches the failure-rate posterior).
+func (m *Manager) RecoverTiered(x0 []float64) (*RecoveryReport, error) {
+	rep := &RecoveryReport{}
+
+	// Tier 0: algorithmic reconstruction, no storage involved.
+	if m.abft != nil {
+		start := time.Now()
+		recon, err := m.abft.Reconstruct()
+		att := TierAttempt{Tier: TierABFT, Seconds: time.Since(start).Seconds()}
+		if recon != nil {
+			att.Iterations = recon.LocalIterations
+		}
+		if err == nil {
+			att.Accepted = true
+			rep.Attempts = append(rep.Attempts, att)
+			rep.Used = TierABFT
+			rep.Iteration = recon.Iteration
+			// The state is recovered but nothing new is durable: the
+			// interval window keeps running, and the controller sees a
+			// no-I/O recovery.
+			if m.ctrl != nil {
+				m.ctrl.ObserveRecoveryKind(adapt.RecoveryObs{Seconds: att.Seconds, RestartIO: false})
+			}
+			return rep, nil
+		}
+		att.Err = err.Error()
+		rep.Attempts = append(rep.Attempts, att)
+	}
+
+	// Tiers 1–2: the stored-checkpoint chain. The fti restore walk
+	// already falls back newest-first; its per-attempt trace is mapped
+	// onto tiers by comparing each attempt against the latest committed
+	// sequence.
+	if m.async != nil {
+		m.async.Wait()
+		m.promote()
+		m.asyncErr = nil
+	}
+	if m.HasCheckpoint() {
+		if m.recoverBuf == nil {
+			m.recoverBuf = map[string][]float64{}
+		}
+		start := time.Now()
+		snap, attempts, err := m.ckpt.RestoreIntoTrace(m.recoverBuf)
+		latest := m.lastInfo.Seq
+		for _, fa := range attempts {
+			tier := TierCheckpoint
+			if fa.Seq != latest {
+				tier = TierPreviousCheckpoint
+			}
+			rep.Attempts = append(rep.Attempts, TierAttempt{
+				Tier:      tier,
+				Accepted:  fa.Err == "",
+				Err:       fa.Err,
+				Seconds:   fa.Seconds,
+				ReadBytes: fa.Bytes,
+				Seq:       fa.Seq,
+			})
+		}
+		if err == nil {
+			it, aerr := m.adoptSnapshot(snap)
+			if aerr == nil {
+				last := &rep.Attempts[len(rep.Attempts)-1]
+				rep.Used = last.Tier
+				rep.Iteration = it
+				if m.ctrl != nil {
+					m.ctrl.ObserveRecoveryKind(adapt.RecoveryObs{
+						Seconds:   time.Since(start).Seconds(),
+						RestartIO: true,
+					})
+					// The state just went back to storage's version of
+					// itself: the interval window restarts.
+					m.lastCkptClock = m.clock()
+				}
+				return rep, nil
+			}
+			// The snapshot decoded but the solver rejected it (missing
+			// dynamic variables, dimension mismatch): demote the accepted
+			// attempt and degrade to restart-from-zero.
+			last := &rep.Attempts[len(rep.Attempts)-1]
+			last.Accepted = false
+			last.Err = aerr.Error()
+		}
+		// err != nil: every checkpoint was invalid; the rejected
+		// attempts are already in the report. Degrade to tier 3.
+	}
+
+	// Tier 3: restart from the initial guess. Always succeeds.
+	it := m.RecoverFresh(x0)
+	rep.Attempts = append(rep.Attempts, TierAttempt{Tier: TierRestartZero, Accepted: true})
+	rep.Used = TierRestartZero
+	rep.Iteration = it
+	return rep, nil
+}

@@ -288,8 +288,8 @@ func TestFig10HeadlineReductions(t *testing.T) {
 func TestAdaptSweep(t *testing.T) {
 	res, text := runExperiment(t, "adapt")
 	r := res.(*AdaptResult)
-	if len(r.Scenarios) != 2 {
-		t.Fatalf("want 2 scenarios, got %d", len(r.Scenarios))
+	if len(r.Scenarios) != 3 {
+		t.Fatalf("want 3 scenarios, got %d", len(r.Scenarios))
 	}
 	steady := r.Scenario("steady")
 	if steady == nil {
@@ -308,7 +308,30 @@ func TestAdaptSweep(t *testing.T) {
 		t.Fatalf("drift: adaptive %.1f s does not beat the stale probe interval %.1f s",
 			drift.AdaptiveSecs, drift.ProbeSeconds)
 	}
+	lossy := r.Scenario("lossy-steady")
+	if lossy == nil {
+		t.Fatal("lossy-steady scenario missing — the sweep must run the lossy scheme, not only lossless")
+	}
+	if lossy.Scheme != "lossy" {
+		t.Fatalf("lossy-steady scheme = %q, want lossy", lossy.Scheme)
+	}
+	// The convergence-delay term exists precisely because lossy restores
+	// are inexact: failures must cost at least the rolled-back work, so
+	// the adaptive runs cannot beat the failure-free baseline.
+	if lossy.BaselineIters <= 0 {
+		t.Fatalf("lossy-steady baseline iterations = %.0f, want > 0", lossy.BaselineIters)
+	}
+	if lossy.ConvergenceDelay < 0 {
+		t.Fatalf("lossy-steady convergence delay %.0f is negative (adaptive mean %.0f vs baseline %.0f)",
+			lossy.ConvergenceDelay, lossy.AdaptiveIters, lossy.BaselineIters)
+	}
+	if lossy.AdaptiveSecs > 1.25*lossy.BestSeconds {
+		t.Fatalf("lossy-steady: adaptive %.1f s far off best fixed %.1f s", lossy.AdaptiveSecs, lossy.BestSeconds)
+	}
 	if !strings.Contains(text, "Adaptive checkpoint interval") {
 		t.Fatal("render missing title")
+	}
+	if !strings.Contains(text, "convergence delay") {
+		t.Fatal("render missing the convergence-delay row")
 	}
 }

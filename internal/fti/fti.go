@@ -401,11 +401,38 @@ func (c *Checkpointer) Restore() (*Snapshot, error) { return c.RestoreInto(nil) 
 // from a checkpoint that was later rejected; a recovery that falls
 // back to an older checkpoint overwrites them in full.
 func (c *Checkpointer) RestoreInto(targets map[string][]float64) (*Snapshot, error) {
-	return c.restore(func(seq int, data []byte) (*Snapshot, error) {
+	s, _, err := c.RestoreIntoTrace(targets)
+	return s, err
+}
+
+// RestoreAttempt records one checkpoint the restore walk tried: its
+// sequence number, the encoded bytes read from storage for the attempt
+// (base object plus, for sharded groups, the manifest's shard
+// payloads), the wall-clock duration, and the rejection reason (empty
+// for the accepted attempt). The trace is the per-tier observability
+// the tiered recovery chain prices fallbacks from — a restore that
+// fell back past the newest checkpoint paid for the rejected reads
+// too.
+type RestoreAttempt struct {
+	Seq     int
+	Bytes   int
+	Seconds float64
+	Err     string
+}
+
+// RestoreIntoTrace is RestoreInto returning, additionally, the ordered
+// trace of every checkpoint the newest-first walk attempted. On total
+// failure (every checkpoint invalid) the trace covers all rejected
+// attempts and the error is the usual "all checkpoints invalid".
+func (c *Checkpointer) RestoreIntoTrace(targets map[string][]float64) (*Snapshot, []RestoreAttempt, error) {
+	return c.restoreTrace(func(seq int, data []byte, att *RestoreAttempt) (*Snapshot, error) {
 		if shard.IsManifest(data) {
 			man, err := shard.ParseManifest(data)
 			if err != nil {
 				return nil, err
+			}
+			for _, sh := range man.Shards {
+				att.Bytes += sh.Size
 			}
 			return c.restoreStreaming(man, targets)
 		}
@@ -420,11 +447,14 @@ func (c *Checkpointer) RestoreInto(targets map[string][]float64) (*Snapshot, err
 // vector decodes into a fresh allocation. Restore must produce a
 // bitwise-identical snapshot.
 func (c *Checkpointer) RestoreReassembled() (*Snapshot, error) {
-	return c.restore(func(seq int, data []byte) (*Snapshot, error) {
+	s, _, err := c.restoreTrace(func(seq int, data []byte, att *RestoreAttempt) (*Snapshot, error) {
 		if shard.IsManifest(data) {
 			man, err := shard.ParseManifest(data)
 			if err != nil {
 				return nil, err
+			}
+			for _, sh := range man.Shards {
+				att.Bytes += sh.Size
 			}
 			data, err = shard.Read(c.storage, man, shard.Options{Workers: c.storageWorkers})
 			if err != nil {
@@ -433,16 +463,19 @@ func (c *Checkpointer) RestoreReassembled() (*Snapshot, error) {
 		}
 		return decodeSnapshot(data, c.enc)
 	})
+	return s, err
 }
 
-// restore walks the checkpoint series newest-first, handing each
+// restoreTrace walks the checkpoint series newest-first, handing each
 // base object (monolithic payload or shard manifest) to decode; any
 // missing, corrupt, or rejected checkpoint falls back to the previous
-// one — the paper's failure-during-checkpoint recovery path.
-func (c *Checkpointer) restore(decode func(seq int, data []byte) (*Snapshot, error)) (*Snapshot, error) {
+// one — the paper's failure-during-checkpoint recovery path. Every
+// attempted checkpoint is recorded in the returned trace, accepted or
+// not.
+func (c *Checkpointer) restoreTrace(decode func(seq int, data []byte, att *RestoreAttempt) (*Snapshot, error)) (*Snapshot, []RestoreAttempt, error) {
 	names, err := c.storage.List()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var seqs []int
 	for _, n := range names {
@@ -451,28 +484,39 @@ func (c *Checkpointer) restore(decode func(seq int, data []byte) (*Snapshot, err
 		}
 	}
 	if len(seqs) == 0 {
-		return nil, fmt.Errorf("fti: no checkpoints available")
+		return nil, nil, fmt.Errorf("fti: no checkpoints available")
 	}
 	sort.Sort(sort.Reverse(sort.IntSlice(seqs)))
+	var attempts []RestoreAttempt
 	var lastErr error
 	for _, seq := range seqs {
+		att := RestoreAttempt{Seq: seq}
+		start := time.Now()
 		data, err := c.storage.Read(ckptName(seq))
 		if err != nil {
+			att.Seconds = time.Since(start).Seconds()
+			att.Err = err.Error()
+			attempts = append(attempts, att)
 			lastErr = err
 			continue
 		}
-		s, err := decode(seq, data)
+		att.Bytes = len(data)
+		s, err := decode(seq, data, &att)
+		att.Seconds = time.Since(start).Seconds()
 		if err != nil {
 			lastErr = fmt.Errorf("fti: checkpoint %d: %w", seq, err)
+			att.Err = err.Error()
+			attempts = append(attempts, att)
 			continue
 		}
+		attempts = append(attempts, att)
 		// Re-sync the sequence counter with storage: a restore may have
 		// fallen back past checkpoints this Checkpointer never wrote,
 		// and the next save must not overwrite any surviving file.
 		c.syncSeq()
-		return s, nil
+		return s, attempts, nil
 	}
-	return nil, fmt.Errorf("fti: all checkpoints invalid: %w", lastErr)
+	return nil, attempts, fmt.Errorf("fti: all checkpoints invalid: %w", lastErr)
 }
 
 // LatestSeq returns the sequence number of the last written

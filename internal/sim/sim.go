@@ -93,6 +93,20 @@ type Config struct {
 	// Nil means a free capture.
 	CaptureSeconds func(info fti.Info) float64
 
+	// ABFTSeconds prices one ABFT tier attempt in simulated seconds
+	// when the Manager carries an ABFT guard (core.Config.ABFT): the
+	// tier costs local reconstruction iterations and neighbor block
+	// fetches, not PFS reads — cluster.Model.ABFTRecoverySeconds is the
+	// calibrated form. Nil defaults to Iterations × TitSeconds.
+	// Rejected attempts are priced too: a verification that failed
+	// still ran the local solve.
+	ABFTSeconds func(att core.TierAttempt) float64
+
+	// OnStep, when non-nil, runs after every completed iteration (after
+	// the ABFT guard's retention refresh) — the hook deterministic
+	// fault-injection couples through to damage state mid-run.
+	OnStep func()
+
 	// Failures injects fail-stop errors; nil disables them.
 	Failures *failure.Injector
 	// FailureSchedule, when non-empty, overrides Failures with an
@@ -137,6 +151,21 @@ type Outcome struct {
 	FailureEvents    []Event
 	Residuals        []float64 // per executed iteration (optional)
 	FinalResidual    float64
+	// Recovery-tier accounting. Every recovery increments exactly one
+	// of the three counters: ABFTRecoveries (checkpoint-free
+	// reconstruction — no PFS reads), CheckpointRestarts (latest or
+	// previous committed checkpoint), FreshRestarts (restart from the
+	// initial guess). RecoveryReadBytes totals the encoded bytes
+	// recoveries read from storage, including reads of checkpoints that
+	// were then rejected — the PFS read-traffic metric the ABFT tier
+	// exists to reduce.
+	ABFTRecoveries     int
+	CheckpointRestarts int
+	FreshRestarts      int
+	RecoveryReadBytes  int64
+	// RecoveryReports holds the per-failure tier reports of a tiered
+	// run (Manager with an ABFT guard), in failure order.
+	RecoveryReports []core.RecoveryReport
 	// IntervalPlans is the adaptive controller's re-planning trajectory
 	// (adaptive runs only): every interval decision with the estimates
 	// it was made from, in virtual-time order.
@@ -248,6 +277,34 @@ func Run(cfg Config) (*Outcome, error) {
 		return nil
 	}
 
+	// Tiered recovery engages when the Manager carries an ABFT guard:
+	// each failure loses one rank's block and the full chain
+	// (ABFT → latest ckpt → previous ckpt → zero) runs, priced per
+	// tier attempt. Without a guard the legacy single-tier path runs
+	// unchanged (plus read-traffic accounting).
+	guard := m.ABFTGuard()
+	abftSec := cfg.ABFTSeconds
+	if abftSec == nil {
+		abftSec = func(att core.TierAttempt) float64 { return float64(att.Iterations) * cfg.TitSeconds }
+	}
+	// priceReport sums the simulated cost of every tier attempt of one
+	// chain recovery: ABFT attempts cost reconstruction work (accepted
+	// or not — a failed verification still ran the local solve), each
+	// checkpoint-tier attempt costs one restore read (rejected reads
+	// were still paid), restart-from-zero is free.
+	priceReport := func(rep *core.RecoveryReport) float64 {
+		total := 0.0
+		for _, att := range rep.Attempts {
+			switch att.Tier {
+			case core.TierABFT:
+				total += abftSec(att)
+			case core.TierCheckpoint, core.TierPreviousCheckpoint:
+				total += cfg.RecoverySeconds(m.LastInfo())
+			}
+		}
+		return total
+	}
+
 	// handleFailure advances the clock through the recovery (including
 	// nested failures during recovery) and restores the solver.
 	handleFailure := func() error {
@@ -256,18 +313,86 @@ func Run(cfg Config) (*Outcome, error) {
 		if ctrl != nil {
 			ctrl.ObserveFailure(t)
 		}
+		if guard == nil {
+			for {
+				rec := cfg.RecoverySeconds(m.LastInfo())
+				nextFail = drawFail(t)
+				if t+rec <= nextFail {
+					t += rec
+					out.RecoveryTime += rec
+					if ctrl != nil {
+						ctrl.ObserveRecovery(rec)
+					}
+					break
+				}
+				// Failure during recovery: the recovery restarts.
+				wasted := nextFail - t
+				t = nextFail
+				out.RecoveryTime += wasted
+				out.Failures++
+				out.FailureEvents = append(out.FailureEvents, Event{SimSeconds: t, Iteration: out.IterationsExecuted})
+				if ctrl != nil {
+					ctrl.ObserveFailure(t)
+				}
+			}
+			if m.HasCheckpoint() {
+				if _, err := m.Recover(); err != nil {
+					return fmt.Errorf("sim: recovery: %w", err)
+				}
+				out.CheckpointRestarts++
+				out.RecoveryReadBytes += int64(m.LastInfo().Bytes)
+				logical = logicalAtCkpt
+			} else {
+				m.RecoverFresh(cfg.X0)
+				out.FreshRestarts++
+				logical = 0
+			}
+			lastCkptAt = t // the interval clock restarts after recovery
+			return nil
+		}
 		for {
-			rec := cfg.RecoverySeconds(m.LastInfo())
+			// Each failure (including one striking during recovery)
+			// loses one rank drawn from the guard's seeded stream.
+			guard.FailNextRank()
+			rep, err := m.RecoverTiered(cfg.X0)
+			if err != nil {
+				return fmt.Errorf("sim: tiered recovery: %w", err)
+			}
+			rec := priceReport(rep)
+			out.RecoveryReadBytes += int64(rep.ReadBytes())
 			nextFail = drawFail(t)
 			if t+rec <= nextFail {
 				t += rec
 				out.RecoveryTime += rec
-				if ctrl != nil {
-					ctrl.ObserveRecovery(rec)
+				out.RecoveryReports = append(out.RecoveryReports, *rep)
+				switch rep.Used {
+				case core.TierABFT:
+					out.ABFTRecoveries++
+					if ctrl != nil {
+						ctrl.ObserveRecoveryKind(adapt.RecoveryObs{Seconds: rec, RestartIO: false})
+					}
+					// Exact pre-failure state restored: no logical
+					// rollback, no re-executed work.
+				case core.TierCheckpoint:
+					out.CheckpointRestarts++
+					if ctrl != nil {
+						ctrl.ObserveRecoveryKind(adapt.RecoveryObs{Seconds: rec, RestartIO: true})
+					}
+					logical = logicalAtCkpt
+				case core.TierPreviousCheckpoint:
+					out.CheckpointRestarts++
+					if ctrl != nil {
+						ctrl.ObserveRecoveryKind(adapt.RecoveryObs{Seconds: rec, RestartIO: true})
+					}
+					logical = prevLogicalAtCkpt
+				default:
+					out.FreshRestarts++
+					logical = 0
 				}
 				break
 			}
-			// Failure during recovery: the recovery restarts.
+			// Failure during recovery: the completed chain's work is
+			// wasted and the chain reruns against the new loss.
 			wasted := nextFail - t
 			t = nextFail
 			out.RecoveryTime += wasted
@@ -276,15 +401,6 @@ func Run(cfg Config) (*Outcome, error) {
 			if ctrl != nil {
 				ctrl.ObserveFailure(t)
 			}
-		}
-		if m.HasCheckpoint() {
-			if _, err := m.Recover(); err != nil {
-				return fmt.Errorf("sim: recovery: %w", err)
-			}
-			logical = logicalAtCkpt
-		} else {
-			m.RecoverFresh(cfg.X0)
-			logical = 0
 		}
 		lastCkptAt = t // the interval clock restarts after recovery
 		return nil
@@ -417,6 +533,14 @@ func Run(cfg Config) (*Outcome, error) {
 			continue
 		}
 		rnorm = s.Step()
+		if guard != nil {
+			// The ABFT guard retains its per-iteration redundancy after
+			// every accepted step, as the paper's protected CG does.
+			guard.Observe()
+		}
+		if cfg.OnStep != nil {
+			cfg.OnStep()
+		}
 		out.IterationsExecuted++
 		logical++
 		t += cfg.TitSeconds

@@ -112,6 +112,11 @@ func (s *CG) X() []float64 { return s.x }
 // Rho returns the current ρ scalar (a dynamic variable).
 func (s *CG) Rho() float64 { return s.rho }
 
+// R returns the live residual vector. Callers must copy before
+// mutating — the exact-state ABFT guard retains a redundant copy of it
+// every iteration (Pachajoa/Levonyak's node-level redundancy).
+func (s *CG) R() []float64 { return s.r }
+
 // P returns the live search direction (a dynamic variable).
 func (s *CG) P() []float64 { return s.p }
 

@@ -125,6 +125,22 @@
 // the caller's clock: simulated runs are bitwise reproducible —
 // same seed and failure trace, same interval trajectory.
 //
+// Recovery itself is tiered: an ABFTGuard wired into
+// ManagerConfig.ABFT retains per-iteration algorithmic redundancy
+// (exact-state CG/PCG reconstruction, or a backward/forward hybrid for
+// restartable solvers), and Manager.RecoverTiered then runs the full
+// chain after a failure — checkpoint-free ABFT reconstruction, the
+// latest committed checkpoint, older checkpoints, restart-from-zero —
+// accepting the highest tier that verifies (bitwise checksums over the
+// retained state, a true-residual band over the reconstruction) and
+// reporting every attempt's cost in a RecoveryReport. A
+// ChecksumOperator adds Huang–Abraham verification of every
+// matrix-vector product for silent-corruption detection. The
+// deterministic fault-injection harness (ParseFailurePlan, the
+// cmd/solve -inject flag) drives seeded process losses and targeted
+// corruptions of retained state, shards and manifests to exercise
+// every rung of the chain.
+//
 // Knobs: GOMAXPROCS sizes the pool; SetParallelWorkers overrides it
 // (SetParallelWorkers(1) forces serial execution, useful for
 // reproducing single-core baselines); SZParams.BlockSize trades
@@ -149,6 +165,7 @@
 package lossyckpt
 
 import (
+	"repro/internal/abft"
 	"repro/internal/adapt"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -397,6 +414,101 @@ var NewManager = core.NewManager
 
 // RegisterStatics checkpoints A and b once (static variables).
 var RegisterStatics = core.RegisterStatics
+
+// ---- Tiered ABFT recovery --------------------------------------------------------
+
+// ABFTGuard retains per-iteration algorithmic redundancy over a solver
+// so a lost rank's block can be reconstructed without any checkpoint:
+// exact-state reconstruction for CG/PCG (retained r, p, ρ plus a local
+// solve of the failed block), or the backward/forward hybrid for
+// restartable solvers (periodically retained x spliced into a
+// restart). Wire into ManagerConfig.ABFT to arm the recovery chain's
+// first tier.
+type ABFTGuard = abft.Guard
+
+// ABFTConfig assembles an ABFTGuard.
+type ABFTConfig = abft.Config
+
+// ABFTMethod selects the reconstruction algorithm.
+type ABFTMethod = abft.Method
+
+// Reconstruction methods.
+const (
+	ABFTExactState      = abft.ExactState
+	ABFTBackwardForward = abft.BackwardForward
+)
+
+// ABFTRecon reports one accepted reconstruction (rank, iteration,
+// local-solve iterations, verification residuals).
+type ABFTRecon = abft.Recon
+
+// ABFTStats counts a guard's observes, reconstructions and rejections.
+type ABFTStats = abft.Stats
+
+// NewABFTGuard builds an ABFTGuard over an operator, right-hand side
+// and solver.
+var NewABFTGuard = abft.NewGuard
+
+// ChecksumOperator wraps a CSR operator with Huang–Abraham checksum
+// verification of every matrix-vector product — silent-corruption
+// detection on the solver's hot path, numerics untouched.
+type ChecksumOperator = abft.ChecksumOperator
+
+// NewChecksumOperator precomputes the column-sum checksum vector.
+var NewChecksumOperator = abft.NewChecksumOperator
+
+// RecoveryTier names one rung of the tiered recovery chain.
+type RecoveryTier = core.RecoveryTier
+
+// The chain's tiers, tried in order by Manager.RecoverTiered.
+const (
+	TierABFT               = core.TierABFT
+	TierCheckpoint         = core.TierCheckpoint
+	TierPreviousCheckpoint = core.TierPreviousCheckpoint
+	TierRestartZero        = core.TierRestartZero
+)
+
+// TierAttempt is one tier try: accepted or not, and what it cost.
+type TierAttempt = core.TierAttempt
+
+// RecoveryReport is the outcome of one Manager.RecoverTiered call.
+type RecoveryReport = core.RecoveryReport
+
+// RecoveryObservation is one completed recovery's measured cost with
+// its tier flavor (RestartIO=false for ABFT reconstructions), fed to
+// the interval controller's ObserveRecoveryKind so checkpoint-free
+// recoveries never contaminate the I/O restart-cost estimate.
+type RecoveryObservation = adapt.RecoveryObs
+
+// FailureKind is one injectable fault of the deterministic harness.
+type FailureKind = failure.Kind
+
+// The injectable fault kinds (the -inject spec grammar's names).
+const (
+	FailProcLoss        = failure.ProcLoss
+	FailCorruptABFT     = failure.CorruptABFT
+	FailCorruptShard    = failure.CorruptShard
+	FailCorruptManifest = failure.CorruptManifest
+	FailMidCheckpoint   = failure.MidCheckpoint
+)
+
+// FailurePlan is a parsed deterministic injection schedule.
+type FailurePlan = failure.Plan
+
+// ParseFailurePlan parses a `kind(+kind)*@iter(,...)` injection spec
+// into a seeded plan.
+var ParseFailurePlan = failure.ParsePlan
+
+// ParseFailureKind parses one fault-kind name.
+var ParseFailureKind = failure.ParseKind
+
+// CorruptLatestShard flips bytes in a random shard of the newest
+// stored checkpoint (fault injection for recovery testing).
+var CorruptLatestShard = failure.CorruptLatestShard
+
+// CorruptLatestManifest corrupts the newest checkpoint's manifest (or
+// monolithic object), forcing recovery onto an older checkpoint.
+var CorruptLatestManifest = failure.CorruptLatestManifest
 
 // ---- Adaptive checkpoint interval ------------------------------------------------
 

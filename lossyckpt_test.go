@@ -161,3 +161,82 @@ func TestExperimentRegistryViaFacade(t *testing.T) {
 		t.Fatal("nil result")
 	}
 }
+
+// TestFacadeTieredRecovery drives the tiered ABFT recovery chain
+// through the public API: guard a CG solve, recover a lost rank
+// checkpoint-free, then corrupt the retained redundancy and watch the
+// chain degrade to the checkpoint tier, all via facade names.
+func TestFacadeTieredRecovery(t *testing.T) {
+	a := lossyckpt.Poisson3D(8)
+	b := lossyckpt.OnesRHS(a.Rows)
+	cg := lossyckpt.NewCG(a, nil, b, nil, lossyckpt.SeqSpace{}, lossyckpt.SolverOptions{RTol: 1e-7})
+	guard, err := lossyckpt.NewABFTGuard(a, b, cg, lossyckpt.ABFTConfig{Seed: 1, Method: lossyckpt.ABFTExactState})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := lossyckpt.NewManager(lossyckpt.ManagerConfig{
+		Scheme:   lossyckpt.Lossy,
+		SZParams: lossyckpt.SZParams{Mode: lossyckpt.PWRel, ErrorBound: 1e-4},
+		ABFT:     guard,
+	}, lossyckpt.NewMemStorage(), cg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		cg.Step()
+		guard.Observe()
+	}
+	if _, err := mgr.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	x0 := make([]float64, a.Rows)
+
+	// Tier 0: checkpoint-free reconstruction, no PFS reads.
+	guard.FailNextRank()
+	rep, err := mgr.RecoverTiered(x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Used != lossyckpt.TierABFT || rep.ReadBytes() != 0 {
+		t.Fatalf("report %+v, want a read-free abft recovery", rep)
+	}
+
+	// Corrupted redundancy: the chain degrades to the checkpoint tier.
+	guard.CorruptRetained()
+	guard.FailNextRank()
+	rep, err = mgr.RecoverTiered(x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Used != lossyckpt.TierCheckpoint || rep.ReadBytes() == 0 {
+		t.Fatalf("report %+v, want a paid checkpoint-tier recovery", rep)
+	}
+	if st := guard.Stats(); st.Reconstructions != 1 || st.Rejected != 1 {
+		t.Fatalf("guard stats %+v, want one acceptance and one rejection", st)
+	}
+
+	res, err := lossyckpt.RunToConvergence(cg, lossyckpt.SolverOptions{}, func(int, float64) error {
+		guard.Observe()
+		return nil
+	})
+	if err != nil || !res.Converged {
+		t.Fatalf("post-recovery solve: converged=%v err=%v", res != nil && res.Converged, err)
+	}
+
+	// The injection grammar parses through the facade.
+	plan, err := lossyckpt.ParseFailurePlan("proc@3,abft+proc@6", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kinds := plan.Take(6); len(kinds) != 3 || kinds[0] != lossyckpt.FailProcLoss {
+		t.Fatalf("Take(6) = %v, want [proc abft proc]", kinds)
+	}
+
+	// Huang–Abraham verification on the operator's hot path.
+	co := lossyckpt.NewChecksumOperator(a)
+	dst := make([]float64, a.Rows)
+	co.MulVec(dst, b)
+	if !co.Verified() || co.Applications() != 1 {
+		t.Fatalf("checksum operator: verified=%v applications=%d", co.Verified(), co.Applications())
+	}
+}
