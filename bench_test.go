@@ -9,11 +9,13 @@ import (
 	"io"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"testing"
 
 	lossyckpt "repro"
 	"repro/internal/abft"
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/failure"
@@ -133,6 +135,139 @@ func BenchmarkFPCCompress(b *testing.B) {
 		if _, err := (lossless.FPC{}).Compress(x); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkCodecThroughput is the per-codec, per-core throughput
+// matrix on the 1M-element solver state: one compress and one
+// decompress sub-benchmark per codec (SZ PWRel/Abs through the SZG2
+// container, ZFP/FPC/flate through the shared BLK1 blocked container),
+// all pinned to a single worker so the MB/s column is per-core. The
+// decompress side decodes into a reused target (the DecompressInto
+// path the streaming restore is built on). Acceptance bands are
+// asserted in-bench (skipped under the race detector, whose
+// instrumentation distorts both time and allocation counts):
+//
+//   - SZ PWRel compress must run at least 2× faster than the 46.7 ms
+//     1M-element baseline recorded when the blocked container first
+//     landed (PR 1), i.e. ≤ 23.35 ms/op;
+//   - the blocked ZFP/FPC/flate compressors must allocate O(block)
+//     amortized — strictly less than the 8 MB raw payload per op —
+//     proving the per-block scratch is pooled, not reallocated.
+func BenchmarkCodecThroughput(b *testing.B) {
+	x := solverState(1 << 20)
+	rawBytes := float64(8 * len(x))
+	prev := parallel.SetWorkers(1)
+	defer parallel.SetWorkers(prev)
+
+	cases := []struct {
+		name     string
+		compress func([]float64) ([]byte, error)
+		decInto  func([]float64, []byte) error
+		// maxCompressNs is the per-op compress time band (0 = none).
+		maxCompressNs float64
+		// blockedAlloc asserts the O(block) allocation band on compress.
+		blockedAlloc bool
+	}{
+		{
+			name: "sz-pwrel",
+			compress: func(v []float64) ([]byte, error) {
+				return sz.Compress(v, sz.Params{Mode: sz.PWRel, ErrorBound: 1e-4})
+			},
+			decInto:       sz.DecompressInto,
+			maxCompressNs: 23.35e6,
+		},
+		{
+			name: "sz-abs",
+			compress: func(v []float64) ([]byte, error) {
+				return sz.Compress(v, sz.Params{Mode: sz.Abs, ErrorBound: 1e-4})
+			},
+			decInto: sz.DecompressInto,
+		},
+		{
+			name: "zfp",
+			compress: func(v []float64) ([]byte, error) {
+				return codec.Compress(v, codec.Params{Codec: codec.ZFP, Bound: 1e-4})
+			},
+			decInto:      codec.DecompressInto,
+			blockedAlloc: true,
+		},
+		{
+			name:         "fpc",
+			compress:     codec.BlockedFPC{}.Compress,
+			decInto:      codec.BlockedFPC{}.DecompressInto,
+			blockedAlloc: true,
+		},
+		{
+			name:         "flate",
+			compress:     codec.BlockedFlate{}.Compress,
+			decInto:      codec.BlockedFlate{}.DecompressInto,
+			blockedAlloc: true,
+		},
+	}
+
+	for _, c := range cases {
+		comp, err := c.compress(x)
+		if err != nil {
+			b.Fatalf("%s: %v", c.name, err)
+		}
+		dst := make([]float64, len(x))
+		if err := c.decInto(dst, comp); err != nil {
+			b.Fatalf("%s: decode: %v", c.name, err)
+		}
+		for i := range dst {
+			if math.IsNaN(dst[i]) || math.IsInf(dst[i], 0) {
+				b.Fatalf("%s: non-finite reconstruction at %d", c.name, i)
+			}
+		}
+		b.Run(c.name+"/compress", func(b *testing.B) {
+			b.SetBytes(int64(rawBytes))
+			// Warm the shared scratch pools, then pause GC while
+			// counting: sync.Pool contents are dropped at every cycle,
+			// so a mid-loop collection would bill the pool re-warm (big
+			// block buffers, DEFLATE writers) to whichever op it landed
+			// on and drown the steady-state figure the band is about.
+			if _, err := c.compress(x); err != nil {
+				b.Fatal(err)
+			}
+			prevGC := debug.SetGCPercent(-1)
+			defer debug.SetGCPercent(prevGC)
+			runtime.GC()
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.compress(x); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			runtime.ReadMemStats(&m1)
+			per := float64(m1.TotalAlloc-m0.TotalAlloc) / float64(b.N)
+			b.ReportMetric(per/1e6, "MB-alloc/op")
+			if raceEnabled {
+				return
+			}
+			if c.blockedAlloc && per >= rawBytes {
+				b.Fatalf("%s compress allocated %.1f MB/op — the blocked container must stay under the %.1f MB raw payload (pooled per-block scratch)",
+					c.name, per/1e6, rawBytes/1e6)
+			}
+			if c.maxCompressNs > 0 {
+				if perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N); perOp > c.maxCompressNs {
+					b.Fatalf("%s compress %.1f ms/op exceeds the %.1f ms acceptance band (2x the 46.7 ms PR-1 baseline)",
+						c.name, perOp/1e6, c.maxCompressNs/1e6)
+				}
+			}
+		})
+		b.Run(c.name+"/decompress", func(b *testing.B) {
+			b.SetBytes(int64(rawBytes))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.decInto(dst, comp); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

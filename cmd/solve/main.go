@@ -550,8 +550,11 @@ func printCostBreakdown(mdl *cluster.Model, scheme core.Scheme, info fti.Info, r
 	}
 	modCapture := mdl.CaptureSeconds(2048, raw)
 	// The stage helpers share the fused cost model's terms, so the
-	// per-phase rows always sum to the ckptSec the run was priced with.
-	modEncode := mdl.CompressStageSeconds(2048, raw, sch)
+	// per-phase rows always sum to the ckptSec the run was priced with:
+	// the codec-aware encode rate is pinned to the scheme-level
+	// calibration for the schemes' default codecs (sz, gzip) and falls
+	// back to it for codecs without a CodecRates entry.
+	modEncode := mdl.CodecCompressSeconds(2048, raw, info.EncoderName, sch)
 	modWrite := mdl.WriteStageSeconds(2048, float64(info.Bytes), max(info.Shards, 1), striped)
 	ms := func(s float64) string {
 		if math.IsNaN(s) {
@@ -567,6 +570,15 @@ func printCostBreakdown(mdl *cluster.Model, scheme core.Scheme, info fti.Info, r
 	fmt.Printf("  %-8s %12s %12s\n", "phase", "modeled", "measured")
 	fmt.Printf("  %-8s %12s %12s   (in-process sync capture happens inside the save)\n", "capture", ms(modCapture), ms(measCapture))
 	fmt.Printf("  %-8s %12s %12s\n", "encode", ms(modEncode), ms(info.EncodeSeconds))
+	if sch != cluster.Uncompressed && info.EncodeSeconds > 0 {
+		// Measured per-codec encode throughput beside the model's
+		// per-core rate: the in-process figure is this machine's cores,
+		// the modeled one is one Bebop core.
+		measMBs := raw / info.EncodeSeconds / 1e6
+		modMBs := raw / mdl.CodecCompressSeconds(1, raw, info.EncoderName, sch) / 1e6
+		fmt.Printf("  %-8s %12.4g %12.4g   (encode MB/s, codec %s; modeled is per Bebop core)\n",
+			"enc-MB/s", modMBs, measMBs, info.EncoderName)
+	}
 	fmt.Printf("  %-8s %12s %12s\n", "write", ms(modWrite), ms(info.WriteSeconds))
 	fmt.Printf("  %-8s %12s %12s   (measured only on failure runs)\n", "restart", ms(recSec(info)), ms(measuredRestart))
 }

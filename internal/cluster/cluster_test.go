@@ -312,3 +312,43 @@ func TestABFTRecoverySeconds(t *testing.T) {
 		t.Fatalf("legacy model ABFT cost not finite: %g", v)
 	}
 }
+
+func TestCodecRates(t *testing.T) {
+	m := Bebop()
+	raw := 78.8e9
+	// The schemes' default codecs are pinned to the scheme-level
+	// calibration, so codec-aware and scheme-level pricing agree for
+	// the paper's configurations.
+	if got, want := m.CodecCompressSeconds(2048, raw, "sz", LossyCompressed), m.CompressStageSeconds(2048, raw, LossyCompressed); !approxEq(got, want) {
+		t.Fatalf("sz codec pricing %g != scheme pricing %g", got, want)
+	}
+	if got, want := m.CodecCompressSeconds(2048, raw, "gzip(deflate)", LosslessCompressed), m.CompressStageSeconds(2048, raw, LosslessCompressed); !approxEq(got, want) {
+		t.Fatalf("gzip codec pricing %g != scheme pricing %g", got, want)
+	}
+	// The fti Lossless encoder's composite name resolves to the codec.
+	if got, want := m.CodecCompressSeconds(2048, raw, "lossless/fpc", LosslessCompressed), raw/(m.CodecRates["fpc"].CompressPerCore*2048); !approxEq(got, want) {
+		t.Fatalf("lossless/fpc priced %g, want fpc rate %g", got, want)
+	}
+	// zfp's dedicated rate outruns the sz calibration on both sides.
+	if c, s := m.CodecCompressSeconds(2048, raw, "zfp", LossyCompressed), m.CompressStageSeconds(2048, raw, LossyCompressed); c >= s {
+		t.Fatalf("zfp compress %g not below sz-calibrated %g", c, s)
+	}
+	if d, s := m.CodecDecompressSeconds(2048, raw, "zfp", LossyCompressed), raw/(m.DecompressPerCore*2048); d >= s {
+		t.Fatalf("zfp decompress %g not below sz-calibrated %g", d, s)
+	}
+	// Unknown codecs and legacy literals fall back to the scheme rate.
+	if got, want := m.CodecCompressSeconds(2048, raw, "mystery", LossyCompressed), m.CompressStageSeconds(2048, raw, LossyCompressed); !approxEq(got, want) {
+		t.Fatalf("unknown codec priced %g, want scheme fallback %g", got, want)
+	}
+	legacy := &Model{CompressPerCore: 77e6, LosslessPerCore: 100e6, DecompressPerCore: 192e6}
+	if got, want := legacy.CodecCompressSeconds(2048, raw, "zfp", LossyCompressed), raw/(77e6*2048); !approxEq(got, want) {
+		t.Fatalf("legacy literal priced %g, want %g", got, want)
+	}
+	// Uncompressed transfers cost nothing to encode regardless of name.
+	if got := m.CodecCompressSeconds(2048, raw, "sz", Uncompressed); got != 0 {
+		t.Fatalf("uncompressed encode cost %g, want 0", got)
+	}
+	if got := m.CodecDecompressSeconds(2048, raw, "raw", Uncompressed); got != 0 {
+		t.Fatalf("uncompressed decode cost %g, want 0", got)
+	}
+}

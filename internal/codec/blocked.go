@@ -1,0 +1,98 @@
+package codec
+
+import "repro/internal/lossless"
+
+// Container is implemented by codecs whose compressed streams may use
+// the BLK1 blocked container. The streaming restore path uses it to
+// pick the block-layout parser for a checkpoint blob; the ID also lets
+// decode reject a stream written by a different codec.
+type Container interface {
+	// ContainerID returns the BLK1 codec ID the implementation writes.
+	ContainerID() ID
+}
+
+// BlockedFPC is the lossless FPC codec wrapped in the BLK1 blocked
+// container: compression and decompression run block-parallel, and
+// blocked streams decode shard-by-shard through the streaming restore
+// path. Legacy (un-containered) FPC streams still decode through the
+// fallback path, and inputs of at most one block are emitted in the
+// legacy format, so it is a drop-in replacement for lossless.FPC.
+type BlockedFPC struct {
+	// BlockElems is the element count per container block; 0 means
+	// DefaultBlockElems.
+	BlockElems int
+}
+
+// Name matches lossless.FPC so checkpoint manifests stay compatible.
+func (BlockedFPC) Name() string { return lossless.FPC{}.Name() }
+
+// ContainerID implements Container.
+func (BlockedFPC) ContainerID() ID { return FPC }
+
+// Compress encodes x exactly, block-parallel.
+func (c BlockedFPC) Compress(x []float64) ([]byte, error) {
+	return Compress(x, Params{Codec: FPC, BlockElems: c.BlockElems})
+}
+
+// Decompress reverses Compress; legacy FPC streams decode too.
+func (c BlockedFPC) Decompress(data []byte) ([]float64, error) {
+	if IsBlocked(data) {
+		return decompress(data, FPC)
+	}
+	return lossless.FPC{}.Decompress(data)
+}
+
+// DecompressInto reverses Compress into dst; legacy FPC streams decode
+// too.
+func (c BlockedFPC) DecompressInto(dst []float64, data []byte) error {
+	if IsBlocked(data) {
+		return decompressInto(dst, data, FPC)
+	}
+	return lossless.FPC{}.DecompressInto(dst, data)
+}
+
+// BlockedFlate is the DEFLATE codec wrapped in the BLK1 blocked
+// container; see BlockedFPC for the container semantics. Level follows
+// compress/flate (0 = default).
+type BlockedFlate struct {
+	Level int
+	// BlockElems is the element count per container block; 0 means
+	// DefaultBlockElems.
+	BlockElems int
+}
+
+// Name matches lossless.Flate so checkpoint manifests stay compatible.
+func (BlockedFlate) Name() string { return lossless.Flate{}.Name() }
+
+// ContainerID implements Container.
+func (BlockedFlate) ContainerID() ID { return Flate }
+
+// Compress encodes x exactly, block-parallel.
+func (c BlockedFlate) Compress(x []float64) ([]byte, error) {
+	return Compress(x, Params{Codec: Flate, Level: c.Level, BlockElems: c.BlockElems})
+}
+
+// Decompress reverses Compress; legacy flate streams decode too.
+func (c BlockedFlate) Decompress(data []byte) ([]float64, error) {
+	if IsBlocked(data) {
+		return decompress(data, Flate)
+	}
+	return lossless.Flate{Level: c.Level}.Decompress(data)
+}
+
+// DecompressInto reverses Compress into dst; legacy flate streams
+// decode too.
+func (c BlockedFlate) DecompressInto(dst []float64, data []byte) error {
+	if IsBlocked(data) {
+		return decompressInto(dst, data, Flate)
+	}
+	return lossless.Flate{Level: c.Level}.DecompressInto(dst, data)
+}
+
+// The two adapters satisfy lossless.Codec.
+var (
+	_ lossless.Codec = BlockedFPC{}
+	_ lossless.Codec = BlockedFlate{}
+	_ Container      = BlockedFPC{}
+	_ Container      = BlockedFlate{}
+)

@@ -1,0 +1,549 @@
+// Package codec provides the generic blocked container that gives the
+// non-SZ codecs — ZFP, FPC, and DEFLATE — the same block-parallel
+// treatment the SZ compressor's SZG2 container provides: fixed-size
+// element blocks, each compressed as a fully independent stream of the
+// underlying codec, framed by a header that records every block's byte
+// span. Blocks compress and decompress concurrently across the
+// parallel worker pool, a shard holding whole blocks decodes without
+// its neighbors, and the header layout is compatible with the sharded
+// checkpoint writer's block-aligned cut machinery (BlockRanges /
+// SplitBlocks mirror the sz package's contracts).
+//
+// The BLK1 container:
+//
+//	"BLK1" | codec ID byte | uvarint n | uvarint blockElems
+//	       | uvarint nBlocks | nBlocks × uvarint blockByteLen
+//	       | concatenated block payloads
+//
+// Block i covers elements [i·blockElems, min(n, (i+1)·blockElems)).
+// Each block payload is the codec ID byte followed by a complete
+// legacy stream of that codec (zfp "ZFG1", fpc, or flate framing), so
+// every block is self-describing and the per-block decoder needs no
+// container context. Legacy single-block streams — anything without
+// the BLK1 magic — still decode through the adapters' fallback path.
+//
+// For ZFP the container block size is forced to a multiple of the
+// transform block (zfp.BlockSize), which keeps every transform block
+// inside one container block at the same intra-block offsets; the
+// blocked reconstruction is then bitwise identical to the legacy
+// stream's. FPC and flate are lossless, so blocked and legacy streams
+// trivially reconstruct the same bits.
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/lossless"
+	"repro/internal/parallel"
+	"repro/internal/sz"
+	"repro/internal/zfp"
+)
+
+// ID names the underlying codec of a BLK1 container. The values are
+// part of the on-disk format.
+type ID byte
+
+const (
+	// ZFP is the transform-based error-bounded codec (zfp package).
+	ZFP ID = 1
+	// FPC is the predictive XOR lossless codec (lossless.FPC).
+	FPC ID = 2
+	// Flate is the DEFLATE lossless codec (lossless.Flate).
+	Flate ID = 3
+)
+
+// String returns the codec's report name, matching the underlying
+// codec's Name() where one exists.
+func (id ID) String() string {
+	switch id {
+	case ZFP:
+		return "zfp"
+	case FPC:
+		return lossless.FPC{}.Name()
+	case Flate:
+		return lossless.Flate{}.Name()
+	}
+	return fmt.Sprintf("codec(%d)", byte(id))
+}
+
+// valid reports whether id names a known codec.
+func (id ID) valid() bool { return id == ZFP || id == FPC || id == Flate }
+
+// maxElemsPerByte is the allocation guard for crafted headers: the
+// smallest possible encoded footprint per element for each codec, as a
+// "max elements per payload byte" factor. FPC spends at least a header
+// nibble per value; flate's DEFLATE expands at most ~1032×, and eight
+// raw bytes make one float64; ZFP spends at least one varint byte per
+// coefficient behind the same ~1032× DEFLATE bound.
+func maxElemsPerByte(id ID) int {
+	switch id {
+	case FPC:
+		return 2
+	case Flate:
+		return 129 // ceil(1032/8)
+	case ZFP:
+		return 1032
+	}
+	return 0
+}
+
+const magic = "BLK1"
+
+// DefaultBlockElems is the element count per container block when
+// Params.BlockElems is zero. It matches the SZ container's default so
+// shard-cut granularity is uniform across codecs.
+const DefaultBlockElems = 32768
+
+// Range and BlockLayout are shared with the sz package: both
+// containers describe their block structure the same way, so the
+// streaming restore machinery handles either with one set of types.
+type Range = sz.Range
+
+// BlockLayout is the sz package's layout type (see sz.BlockLayout).
+type BlockLayout = sz.BlockLayout
+
+// Params selects the codec and shapes the container.
+type Params struct {
+	// Codec picks the underlying compressor.
+	Codec ID
+	// Bound is the absolute error bound (ZFP only; lossless codecs
+	// ignore it).
+	Bound float64
+	// Level is the DEFLATE level (Flate only; 0 = default).
+	Level int
+	// BlockElems is the element count per container block; 0 means
+	// DefaultBlockElems. For ZFP it is rounded up to a multiple of
+	// zfp.BlockSize so blocked output is bitwise identical to legacy.
+	BlockElems int
+}
+
+// sanitize validates p and fills defaults.
+func (p Params) sanitize() (Params, error) {
+	if !p.Codec.valid() {
+		return p, fmt.Errorf("codec: unknown codec id %d", byte(p.Codec))
+	}
+	if p.BlockElems <= 0 {
+		p.BlockElems = DefaultBlockElems
+	}
+	if p.Codec == ZFP {
+		if r := p.BlockElems % zfp.BlockSize; r != 0 {
+			p.BlockElems += zfp.BlockSize - r
+		}
+	}
+	return p, nil
+}
+
+// appendBlock appends one block payload — the ID byte plus a complete
+// legacy stream of the codec — to buf.
+func appendBlock(buf []byte, p Params, chunk []float64) ([]byte, error) {
+	buf = append(buf, byte(p.Codec))
+	switch p.Codec {
+	case ZFP:
+		return zfp.AppendCompress(buf, chunk, p.Bound)
+	case FPC:
+		return lossless.FPC{}.AppendCompress(buf, chunk)
+	case Flate:
+		return lossless.Flate{Level: p.Level}.AppendCompress(buf, chunk)
+	}
+	return nil, fmt.Errorf("codec: unknown codec id %d", byte(p.Codec))
+}
+
+// Compress encodes x. Inputs of at most one block emit the codec's
+// legacy stream unchanged (no container framing); larger inputs emit
+// the BLK1 container, compressing blocks concurrently across the
+// worker pool. Output bytes depend only on the input and parameters,
+// never on the schedule.
+func Compress(x []float64, p Params) ([]byte, error) {
+	p, err := p.sanitize()
+	if err != nil {
+		return nil, err
+	}
+	n := len(x)
+	if n <= p.BlockElems {
+		switch p.Codec {
+		case ZFP:
+			return zfp.Compress(x, p.Bound)
+		case FPC:
+			return lossless.FPC{}.Compress(x)
+		default:
+			return lossless.Flate{Level: p.Level}.Compress(x)
+		}
+	}
+
+	blockElems := p.BlockElems
+	nBlocks := (n + blockElems - 1) / blockElems
+	blocks := make([][]byte, nBlocks)
+	errs := make([]error, nBlocks)
+	parallel.ForBounded(nBlocks, 1, 0, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			start := b * blockElems
+			end := start + blockElems
+			if end > n {
+				end = n
+			}
+			chunk := x[start:end]
+			// One uniform worst-case request (FPC's 8n + n/2 bound is the
+			// largest of the three codecs) keeps every pooled buffer at
+			// least as big as the 8n-byte raw images the codecs stage
+			// internally, so the shared pool reaches a steady state
+			// instead of ping-ponging between compressed-size and
+			// raw-size capacities on every block.
+			buf := parallel.GetBytes(9*len(chunk) + 80)
+			blocks[b], errs[b] = appendBlock(buf, p, chunk)
+		}
+	})
+	for b, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("codec: block %d: %w", b, err)
+		}
+	}
+
+	total := 0
+	for _, blk := range blocks {
+		total += len(blk)
+	}
+	out := make([]byte, 0, total+16+binary.MaxVarintLen64*(nBlocks+3))
+	out = append(out, magic...)
+	out = append(out, byte(p.Codec))
+	var scratch [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) {
+		k := binary.PutUvarint(scratch[:], v)
+		out = append(out, scratch[:k]...)
+	}
+	putUvarint(uint64(n))
+	putUvarint(uint64(blockElems))
+	putUvarint(uint64(nBlocks))
+	for _, blk := range blocks {
+		putUvarint(uint64(len(blk)))
+	}
+	for b, blk := range blocks {
+		out = append(out, blk...)
+		parallel.PutBytes(blk)
+		blocks[b] = nil
+	}
+	return out, nil
+}
+
+// IsBlocked reports whether data starts like a BLK1 container.
+func IsBlocked(data []byte) bool {
+	return len(data) >= len(magic) && string(data[:len(magic)]) == magic
+}
+
+// StreamID returns the codec ID recorded in a BLK1 container header.
+func StreamID(data []byte) (ID, bool) {
+	if !IsBlocked(data) || len(data) < len(magic)+1 {
+		return 0, false
+	}
+	id := ID(data[len(magic)])
+	return id, id.valid()
+}
+
+// parseLayout validates a BLK1 container header and returns its codec
+// ID and block layout: offsets[b] is the absolute byte offset of block
+// b's payload, with offsets[nBlocks] == streamLen. data must contain
+// the complete header (through the block-length table) but may be
+// truncated before the payloads; streamLen is the byte length of the
+// full stream, against which the allocation guards and block spans are
+// validated. The guards reject crafted headers before any caller
+// allocates output.
+func parseLayout(data []byte, streamLen int) (ID, blockedLayout, error) {
+	var lay blockedLayout
+	if !IsBlocked(data) {
+		return 0, lay, fmt.Errorf("codec: not a BLK1 stream")
+	}
+	off := len(magic) + 1
+	if len(data) < off {
+		return 0, lay, fmt.Errorf("codec: truncated blocked header")
+	}
+	id := ID(data[len(magic)])
+	if !id.valid() {
+		return 0, lay, fmt.Errorf("codec: unknown codec id %d", byte(id))
+	}
+	getUvarint := func() (uint64, error) {
+		v, k := binary.Uvarint(data[off:])
+		if k <= 0 {
+			return 0, fmt.Errorf("codec: truncated blocked header")
+		}
+		off += k
+		return v, nil
+	}
+	n64, err := getUvarint()
+	if err != nil {
+		return 0, lay, err
+	}
+	blockElems64, err := getUvarint()
+	if err != nil {
+		return 0, lay, err
+	}
+	nBlocks64, err := getUvarint()
+	if err != nil {
+		return 0, lay, err
+	}
+	n := int(n64)
+	blockElems := int(blockElems64)
+	nBlocks := int(nBlocks64)
+	if n < 0 || blockElems < 1 || nBlocks < 1 {
+		return 0, lay, fmt.Errorf("codec: invalid blocked header (n=%d blockElems=%d nBlocks=%d)",
+			n, blockElems, nBlocks)
+	}
+	if want := (n + blockElems - 1) / blockElems; want != nBlocks {
+		return 0, lay, fmt.Errorf("codec: blocked header inconsistent: %d elements in %d-element blocks needs %d blocks, header says %d",
+			n, blockElems, want, nBlocks)
+	}
+	// Allocation guards: every block needs at least one length byte,
+	// and the codec's minimum encoded footprint bounds how many
+	// elements the remaining bytes could genuinely hold.
+	if nBlocks > streamLen-off {
+		return 0, lay, fmt.Errorf("codec: %d blocks exceed %d remaining bytes", nBlocks, streamLen-off)
+	}
+	if n > maxElemsPerByte(id)*(streamLen-off) {
+		return 0, lay, fmt.Errorf("codec: %d elements exceed %d payload bytes", n, streamLen-off)
+	}
+	lens := make([]int, nBlocks)
+	for b := range lens {
+		l, err := getUvarint()
+		if err != nil {
+			return 0, lay, err
+		}
+		if l > uint64(streamLen-off) {
+			return 0, lay, fmt.Errorf("codec: block %d length %d exceeds payload", b, l)
+		}
+		lens[b] = int(l)
+	}
+	offsets := make([]int, nBlocks+1)
+	offsets[0] = off
+	for b, l := range lens {
+		offsets[b+1] = offsets[b] + l
+	}
+	if offsets[nBlocks] != streamLen {
+		return 0, lay, fmt.Errorf("codec: blocked payload is %d bytes, blocks cover %d",
+			streamLen-off, offsets[nBlocks]-off)
+	}
+	return id, blockedLayout{n: n, blockElems: blockElems, offsets: offsets}, nil
+}
+
+// blockedLayout mirrors the sz package's internal layout form.
+type blockedLayout struct {
+	n, blockElems int
+	offsets       []int
+}
+
+// Decompress decodes a BLK1 container (any codec).
+func Decompress(data []byte) ([]float64, error) {
+	return decompress(data, 0)
+}
+
+// DecompressAs is Decompress restricted to containers written by the
+// given codec; a container holding another codec's data is rejected.
+func DecompressAs(data []byte, want ID) ([]float64, error) {
+	return decompress(data, want)
+}
+
+func decompress(data []byte, want ID) ([]float64, error) {
+	id, lay, err := parseLayout(data, len(data))
+	if err != nil {
+		return nil, err
+	}
+	if want != 0 && id != want {
+		return nil, fmt.Errorf("codec: stream holds %v data, want %v", id, want)
+	}
+	out := make([]float64, lay.n)
+	if err := decodeBlocksInto(data, lay, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecompressInto decodes a BLK1 container into dst, whose length must
+// equal the stream's element count; blocks decode concurrently
+// straight into their slices of dst.
+func DecompressInto(dst []float64, data []byte) error {
+	return decompressInto(dst, data, 0)
+}
+
+// DecompressIntoAs is DecompressInto restricted to containers written
+// by the given codec.
+func DecompressIntoAs(dst []float64, data []byte, want ID) error {
+	return decompressInto(dst, data, want)
+}
+
+func decompressInto(dst []float64, data []byte, want ID) error {
+	id, lay, err := parseLayout(data, len(data))
+	if err != nil {
+		return err
+	}
+	if want != 0 && id != want {
+		return fmt.Errorf("codec: stream holds %v data, want %v", id, want)
+	}
+	if len(dst) != lay.n {
+		return fmt.Errorf("codec: stream holds %d values, dst has %d", lay.n, len(dst))
+	}
+	return decodeBlocksInto(data, lay, dst)
+}
+
+// decodeBlocksInto decodes every block of a parsed BLK1 stream into
+// its slice of out, concurrently across the worker pool.
+func decodeBlocksInto(data []byte, lay blockedLayout, out []float64) error {
+	n, blockElems, offsets := lay.n, lay.blockElems, lay.offsets
+	nBlocks := len(offsets) - 1
+	errs := make([]error, nBlocks)
+	parallel.ForBounded(nBlocks, 1, 0, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			start := b * blockElems
+			end := start + blockElems
+			if end > n {
+				end = n
+			}
+			errs[b] = DecodeBlockInto(out[start:end], data[offsets[b]:offsets[b+1]])
+		}
+	})
+	for b, err := range errs {
+		if err != nil {
+			return fmt.Errorf("codec: block %d: %w", b, err)
+		}
+	}
+	return nil
+}
+
+// DecodeBlockInto decodes one BLK1 block payload — the bytes of one
+// BlockLayout span — into dst, which must hold exactly the block's
+// element count (BlockLayout.ElemRange). It is the streaming-decode
+// entry point: every block is a fully independent compression unit,
+// so a shard holding whole blocks decodes without its neighbors.
+func DecodeBlockInto(dst []float64, block []byte) error {
+	if len(block) < 1 {
+		return fmt.Errorf("codec: empty block")
+	}
+	id, payload := ID(block[0]), block[1:]
+	switch id {
+	case ZFP:
+		return zfp.DecompressInto(dst, payload)
+	case FPC:
+		return lossless.FPC{}.DecompressInto(dst, payload)
+	case Flate:
+		return lossless.Flate{}.DecompressInto(dst, payload)
+	}
+	return fmt.Errorf("codec: unknown block payload codec %d", byte(id))
+}
+
+// HeaderPrefixLen is the number of leading bytes of a BLK1 stream that
+// always contain the fixed header fields (magic, ID byte, and the
+// three size varints); HeaderLenBound needs at most this much. It
+// equals sz.HeaderPrefixLen, so streaming readers can peek once for
+// either container family.
+const HeaderPrefixLen = 5 + 3*binary.MaxVarintLen64
+
+// HeaderLenBound reports an upper bound on the byte length of a BLK1
+// container header (through the per-block length table), given the
+// stream's first bytes. Streaming readers use it to size the header
+// fetch before ParseBlockLayout: peek HeaderPrefixLen bytes, get the
+// bound, fetch that much, parse. ok is false when prefix is not the
+// start of a BLK1 stream or is too short to tell.
+func HeaderLenBound(prefix []byte) (bound int, ok bool) {
+	if !IsBlocked(prefix) {
+		return 0, false
+	}
+	off := len(magic) + 1
+	if len(prefix) < off {
+		return 0, false
+	}
+	var nBlocks uint64
+	for j := 0; j < 3; j++ {
+		v, k := binary.Uvarint(prefix[off:])
+		if k <= 0 {
+			return 0, false
+		}
+		off += k
+		nBlocks = v
+	}
+	// Guard the bound arithmetic against a crafted count; the real
+	// nBlocks-vs-stream-length check happens in parseLayout.
+	if nBlocks > uint64(1<<31/binary.MaxVarintLen64) {
+		return 0, false
+	}
+	return off + int(nBlocks)*binary.MaxVarintLen64, true
+}
+
+// ParseBlockLayout validates a BLK1 container header and returns its
+// block layout. header must contain the complete header (magic
+// through the block-length table) and may be truncated anywhere after
+// it; streamLen is the byte length of the full stream, which the
+// crafted-header allocation guards and the block spans are validated
+// against. In-memory callers pass the whole stream and its length.
+func ParseBlockLayout(header []byte, streamLen int) (BlockLayout, error) {
+	_, lay, err := parseLayout(header, streamLen)
+	if err != nil {
+		return BlockLayout{}, err
+	}
+	bl := BlockLayout{N: lay.n, BlockElems: lay.blockElems, Blocks: make([]Range, len(lay.offsets)-1)}
+	for b := range bl.Blocks {
+		bl.Blocks[b] = Range{Start: lay.offsets[b], End: lay.offsets[b+1]}
+	}
+	return bl, nil
+}
+
+// BlockRanges returns the absolute byte span of every independently
+// compressed block payload inside a BLK1 stream, in order; the first
+// span starts after the container header and the last ends at
+// len(data). It returns (nil, false) when data is not a valid BLK1
+// container (legacy single-block streams, other formats, corrupt
+// headers). The spans are the natural cut points for sharded
+// checkpoint storage, exactly like sz.BlockRanges.
+func BlockRanges(data []byte) ([]Range, bool) {
+	_, lay, err := parseLayout(data, len(data))
+	if err != nil {
+		return nil, false
+	}
+	ranges := make([]Range, len(lay.offsets)-1)
+	for b := range ranges {
+		ranges[b] = Range{Start: lay.offsets[b], End: lay.offsets[b+1]}
+	}
+	return ranges, true
+}
+
+// SplitBlocks partitions an encoded stream into at most maxParts
+// contiguous byte spans that cover it exactly. For BLK1 streams every
+// cut falls on a block boundary (the container header travels with the
+// first span) and the spans are balanced by bytes, not block count, so
+// unevenly compressible blocks still split into similar-sized parts.
+// Legacy or foreign streams return a single span; maxParts < 1 is
+// treated as 1. The contract matches sz.SplitBlocks.
+func SplitBlocks(data []byte, maxParts int) []Range {
+	if maxParts < 1 {
+		maxParts = 1
+	}
+	whole := []Range{{Start: 0, End: len(data)}}
+	if maxParts == 1 {
+		return whole
+	}
+	blocks, ok := BlockRanges(data)
+	if !ok || len(blocks) == 0 {
+		return whole
+	}
+	if maxParts > len(blocks) {
+		maxParts = len(blocks)
+	}
+	parts := make([]Range, 0, maxParts)
+	start := 0
+	bi := 0
+	for p := 0; p < maxParts; p++ {
+		// Even byte target for the remaining parts, then advance to the
+		// nearest block boundary at or past it.
+		target := start + (len(data)-start+maxParts-p-1)/(maxParts-p)
+		end := len(data)
+		if p < maxParts-1 {
+			for bi < len(blocks)-1 && blocks[bi].End < target {
+				bi++
+			}
+			end = blocks[bi].End
+			bi++
+		}
+		parts = append(parts, Range{Start: start, End: end})
+		if end == len(data) {
+			break
+		}
+		start = end
+	}
+	return parts
+}

@@ -1,0 +1,401 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/lossless"
+	"repro/internal/zfp"
+)
+
+// testField builds a deterministic, smooth-but-noisy field like solver
+// state: large-scale oscillation plus small noise.
+func testField(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 2.5 + math.Sin(float64(i)/97.0) + 1e-3*rng.NormFloat64()
+	}
+	return x
+}
+
+// allParams returns one Params per codec with a small block size so
+// modest inputs exercise the container.
+func allParams(blockElems int) []Params {
+	return []Params{
+		{Codec: ZFP, Bound: 1e-6, BlockElems: blockElems},
+		{Codec: FPC, BlockElems: blockElems},
+		{Codec: Flate, BlockElems: blockElems},
+	}
+}
+
+func TestRoundTripBlockedAndLegacy(t *testing.T) {
+	for _, n := range []int{1, 31, 100, 4096, 4097, 14000} {
+		x := testField(n, int64(n))
+		for _, p := range allParams(4096) {
+			enc, err := Compress(x, p)
+			if err != nil {
+				t.Fatalf("%v n=%d: compress: %v", p.Codec, n, err)
+			}
+			wantBlocked := n > 4096
+			if IsBlocked(enc) != wantBlocked {
+				t.Fatalf("%v n=%d: blocked=%v, want %v", p.Codec, n, IsBlocked(enc), wantBlocked)
+			}
+			var dec []float64
+			if IsBlocked(enc) {
+				dec, err = Decompress(enc)
+			} else {
+				switch p.Codec {
+				case ZFP:
+					dec, err = zfp.Decompress(enc)
+				case FPC:
+					dec, err = lossless.FPC{}.Decompress(enc)
+				default:
+					dec, err = lossless.Flate{}.Decompress(enc)
+				}
+			}
+			if err != nil {
+				t.Fatalf("%v n=%d: decompress: %v", p.Codec, n, err)
+			}
+			if len(dec) != n {
+				t.Fatalf("%v n=%d: got %d values", p.Codec, n, len(dec))
+			}
+			for i := range x {
+				if p.Codec == ZFP {
+					if d := math.Abs(dec[i] - x[i]); d > p.Bound*(1+1e-12) {
+						t.Fatalf("%v n=%d: |err|=%g exceeds bound at %d", p.Codec, n, d, i)
+					}
+				} else if dec[i] != x[i] {
+					t.Fatalf("%v n=%d: lossless mismatch at %d: %v != %v", p.Codec, n, i, dec[i], x[i])
+				}
+			}
+			// DecompressInto must agree bitwise with Decompress.
+			if IsBlocked(enc) {
+				into := make([]float64, n)
+				if err := DecompressInto(into, enc); err != nil {
+					t.Fatalf("%v n=%d: DecompressInto: %v", p.Codec, n, err)
+				}
+				for i := range dec {
+					if math.Float64bits(into[i]) != math.Float64bits(dec[i]) {
+						t.Fatalf("%v n=%d: Into differs at %d", p.Codec, n, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBlockedMatchesLegacyBitwise checks that the blocked container
+// reconstructs exactly the bits the legacy stream does: trivially true
+// for the lossless codecs, and true for ZFP because container blocks
+// are forced to transform-block multiples.
+func TestBlockedMatchesLegacyBitwise(t *testing.T) {
+	n := 10000
+	x := testField(n, 7)
+	for _, p := range allParams(2048) {
+		legacyP := p
+		legacyP.BlockElems = n + 1 // force legacy
+		legacy, err := Compress(x, legacyP)
+		if err != nil {
+			t.Fatalf("%v: legacy compress: %v", p.Codec, err)
+		}
+		blocked, err := Compress(x, p)
+		if err != nil {
+			t.Fatalf("%v: blocked compress: %v", p.Codec, err)
+		}
+		if !IsBlocked(blocked) || IsBlocked(legacy) {
+			t.Fatalf("%v: container selection wrong", p.Codec)
+		}
+		var legacyDec []float64
+		switch p.Codec {
+		case ZFP:
+			legacyDec, err = zfp.Decompress(legacy)
+		case FPC:
+			legacyDec, err = lossless.FPC{}.Decompress(legacy)
+		default:
+			legacyDec, err = lossless.Flate{}.Decompress(legacy)
+		}
+		if err != nil {
+			t.Fatalf("%v: legacy decompress: %v", p.Codec, err)
+		}
+		blockedDec, err := Decompress(blocked)
+		if err != nil {
+			t.Fatalf("%v: blocked decompress: %v", p.Codec, err)
+		}
+		for i := range legacyDec {
+			if math.Float64bits(legacyDec[i]) != math.Float64bits(blockedDec[i]) {
+				t.Fatalf("%v: reconstruction differs at %d: %x != %x",
+					p.Codec, i, math.Float64bits(legacyDec[i]), math.Float64bits(blockedDec[i]))
+			}
+		}
+	}
+}
+
+// TestZFPBlockElemsRounding verifies the transform-alignment rule.
+func TestZFPBlockElemsRounding(t *testing.T) {
+	p, err := Params{Codec: ZFP, Bound: 1e-4, BlockElems: 1000}.sanitize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.BlockElems%zfp.BlockSize != 0 {
+		t.Fatalf("BlockElems %d not a transform-block multiple", p.BlockElems)
+	}
+	if p.BlockElems < 1000 {
+		t.Fatalf("BlockElems rounded down: %d", p.BlockElems)
+	}
+}
+
+func TestBlockLayoutAndPerBlockDecode(t *testing.T) {
+	n := 9000
+	x := testField(n, 3)
+	for _, p := range allParams(2048) {
+		enc, err := Compress(x, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lay, err := ParseBlockLayout(enc, len(enc))
+		if err != nil {
+			t.Fatalf("%v: ParseBlockLayout: %v", p.Codec, err)
+		}
+		if lay.N != n {
+			t.Fatalf("%v: layout N=%d", p.Codec, lay.N)
+		}
+		full, err := Decompress(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for b, span := range lay.Blocks {
+			lo, hi := lay.ElemRange(b)
+			dst := make([]float64, hi-lo)
+			if err := DecodeBlockInto(dst, enc[span.Start:span.End]); err != nil {
+				t.Fatalf("%v: block %d: %v", p.Codec, b, err)
+			}
+			for i := range dst {
+				if math.Float64bits(dst[i]) != math.Float64bits(full[lo+i]) {
+					t.Fatalf("%v: block %d differs at %d", p.Codec, b, i)
+				}
+			}
+		}
+		// HeaderLenBound must cover the real header (first block start).
+		bound, ok := HeaderLenBound(enc[:HeaderPrefixLen])
+		if !ok || bound < lay.Blocks[0].Start {
+			t.Fatalf("%v: HeaderLenBound=%d ok=%v, header ends at %d", p.Codec, bound, ok, lay.Blocks[0].Start)
+		}
+		// BlockRanges must match the layout spans.
+		ranges, ok := BlockRanges(enc)
+		if !ok || len(ranges) != len(lay.Blocks) {
+			t.Fatalf("%v: BlockRanges mismatch", p.Codec)
+		}
+		for b := range ranges {
+			if ranges[b] != lay.Blocks[b] {
+				t.Fatalf("%v: range %d mismatch", p.Codec, b)
+			}
+		}
+	}
+}
+
+func TestSplitBlocksAligned(t *testing.T) {
+	n := 20000
+	x := testField(n, 11)
+	enc, err := Compress(x, Params{Codec: FPC, BlockElems: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranges, _ := BlockRanges(enc)
+	ends := map[int]bool{}
+	for _, r := range ranges {
+		ends[r.End] = true
+	}
+	for _, parts := range [][]Range{SplitBlocks(enc, 3), SplitBlocks(enc, 7), SplitBlocks(enc, 1000)} {
+		pos := 0
+		for i, part := range parts {
+			if part.Start != pos {
+				t.Fatalf("part %d starts at %d, want %d", i, part.Start, pos)
+			}
+			if i < len(parts)-1 && !ends[part.End] {
+				t.Fatalf("part %d cut at %d is not a block boundary", i, part.End)
+			}
+			pos = part.End
+		}
+		if pos != len(enc) {
+			t.Fatalf("parts cover %d of %d bytes", pos, len(enc))
+		}
+	}
+	// Legacy streams split into a single span.
+	legacy, err := lossless.FPC{}.Compress(x[:100])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parts := SplitBlocks(legacy, 4); len(parts) != 1 || parts[0] != (Range{Start: 0, End: len(legacy)}) {
+		t.Fatalf("legacy split: %v", parts)
+	}
+}
+
+// mangleHeader re-encodes a BLK1 header with the given fields, keeping
+// the original payload bytes, to craft inconsistent streams.
+func mangleHeader(t *testing.T, enc []byte, n, blockElems, nBlocks uint64, lens []uint64, payload []byte) []byte {
+	t.Helper()
+	out := append([]byte(nil), enc[:5]...)
+	var scratch [binary.MaxVarintLen64]byte
+	put := func(v uint64) {
+		k := binary.PutUvarint(scratch[:], v)
+		out = append(out, scratch[:k]...)
+	}
+	put(n)
+	put(blockElems)
+	put(nBlocks)
+	for _, l := range lens {
+		put(l)
+	}
+	return append(out, payload...)
+}
+
+// TestCraftedHeaderRobustness is the PR-4 hardening contract for the
+// new container: corrupt or adversarial headers must be rejected by
+// the parser, before any output allocation happens.
+func TestCraftedHeaderRobustness(t *testing.T) {
+	x := testField(8192, 5)
+	enc, err := Compress(x, Params{Codec: FPC, BlockElems: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay, err := ParseBlockLayout(enc, len(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := enc[lay.Blocks[0].Start:]
+	nb := uint64(len(lay.Blocks))
+	lens := make([]uint64, nb)
+	for b, r := range lay.Blocks {
+		lens[b] = uint64(r.End - r.Start)
+	}
+
+	cases := map[string][]byte{
+		"empty":              {},
+		"magic only":         []byte("BLK1"),
+		"truncated prefix":   enc[:6],
+		"truncated table":    enc[:lay.Blocks[0].Start-2],
+		"unknown id":         append([]byte("BLK1\xEE"), enc[5:]...),
+		"zero blocks":        mangleHeader(t, enc, 8192, 2048, 0, nil, payload),
+		"zero blockElems":    mangleHeader(t, enc, 8192, 0, 4, lens, payload),
+		"block count lie":    mangleHeader(t, enc, 8192, 2048, 3, lens[:3], payload),
+		"huge n":             mangleHeader(t, enc, 1<<40, 2048, 4, lens, payload),
+		"overflowing length": mangleHeader(t, enc, 8192, 2048, 4, []uint64{lens[0], lens[1], lens[2], 1 << 50}, payload),
+		"overlapping blocks": mangleHeader(t, enc, 8192, 2048, 4, []uint64{lens[0], lens[1], lens[2] - 10, lens[3]}, payload),
+		"trailing bytes":     append(append([]byte(nil), enc...), 0xFF),
+	}
+	for name, data := range cases {
+		if _, err := ParseBlockLayout(data, len(data)); err == nil {
+			t.Errorf("%s: ParseBlockLayout accepted", name)
+		}
+		if _, err := Decompress(data); err == nil {
+			t.Errorf("%s: Decompress accepted", name)
+		}
+		if _, ok := BlockRanges(data); ok {
+			t.Errorf("%s: BlockRanges accepted", name)
+		}
+	}
+
+	// The n-vs-payload allocation guard must trip before the decoder
+	// allocates: a tiny stream claiming a huge element count is the
+	// attack ParseBlockLayout's guard exists for. maxElemsPerByte
+	// bounds what each codec could genuinely hold.
+	for _, id := range []ID{ZFP, FPC, Flate} {
+		tiny := mangleHeader(t, append([]byte("BLK1"), byte(id)), 1<<40, 1<<39, 2, []uint64{4, 4}, make([]byte, 8))
+		if _, err := Decompress(tiny); err == nil {
+			t.Errorf("%v: huge-n guard missed", id)
+		}
+	}
+}
+
+func TestBlockedAdapters(t *testing.T) {
+	x := testField(12000, 9)
+	adapters := []lossless.Codec{
+		BlockedFPC{BlockElems: 4096},
+		BlockedFlate{BlockElems: 4096},
+	}
+	inner := []lossless.Codec{lossless.FPC{}, lossless.Flate{}}
+	for i, c := range adapters {
+		if c.Name() != inner[i].Name() {
+			t.Fatalf("adapter name %q != inner %q", c.Name(), inner[i].Name())
+		}
+		enc, err := c.Compress(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsBlocked(enc) {
+			t.Fatalf("%s: adapter did not emit container", c.Name())
+		}
+		dec, err := c.Decompress(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytesEqualFloats(dec, x) {
+			t.Fatalf("%s: blocked round trip mismatch", c.Name())
+		}
+		// Legacy fallback: streams from the un-containered codec decode.
+		legacy, err := inner[i].Compress(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err = c.Decompress(legacy)
+		if err != nil {
+			t.Fatalf("%s: legacy fallback: %v", c.Name(), err)
+		}
+		if !bytesEqualFloats(dec, x) {
+			t.Fatalf("%s: legacy round trip mismatch", c.Name())
+		}
+		into := make([]float64, len(x))
+		if err := c.DecompressInto(into, legacy); err != nil {
+			t.Fatalf("%s: legacy DecompressInto: %v", c.Name(), err)
+		}
+		if !bytesEqualFloats(into, x) {
+			t.Fatalf("%s: legacy DecompressInto mismatch", c.Name())
+		}
+	}
+	// Codec mismatch: an FPC adapter must reject a flate container.
+	flateEnc, err := BlockedFlate{BlockElems: 4096}.Compress(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (BlockedFPC{}).Decompress(flateEnc); err == nil {
+		t.Fatal("FPC adapter accepted flate container")
+	}
+	if id, ok := StreamID(flateEnc); !ok || id != Flate {
+		t.Fatalf("StreamID = %v, %v", id, ok)
+	}
+}
+
+func bytesEqualFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDeterministicOutput: container bytes must not depend on the
+// worker schedule.
+func TestDeterministicOutput(t *testing.T) {
+	x := testField(16384, 13)
+	for _, p := range allParams(1024) {
+		a, err := Compress(x, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Compress(x, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("%v: nondeterministic container bytes", p.Codec)
+		}
+	}
+}

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/abft"
 	"repro/internal/adapt"
+	"repro/internal/codec"
 	"repro/internal/fti"
 	"repro/internal/lossless"
 	"repro/internal/model"
@@ -196,7 +197,10 @@ func NewManager(cfg Config, storage fti.Storage, s solver.Checkpointable) (*Mana
 		}
 	}
 	if cfg.Codec == nil {
-		cfg.Codec = lossless.Flate{}
+		// Blocked container by default: compression runs block-parallel
+		// and sharded checkpoints restore block-by-block; legacy flate
+		// checkpoints still decode through the adapter's fallback.
+		cfg.Codec = codec.BlockedFlate{}
 	}
 	if cfg.AdaptiveInterval != nil {
 		if cfg.Interval > 0 {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/codec"
 	"repro/internal/lossless"
 	"repro/internal/sz"
 	"repro/internal/zfp"
@@ -124,18 +125,38 @@ func (SZ) Decode(data []byte) ([]float64, error) { return sz.Decompress(data) }
 func (SZ) DecodeInto(dst []float64, data []byte) error { return sz.DecompressInto(dst, data) }
 
 // ZFP wraps the transform-based lossy compressor (absolute bound).
+// Vectors larger than one container block are written in the BLK1
+// blocked container — compressed block-parallel and restorable
+// shard-by-shard through the streaming path — with bitwise identical
+// reconstruction to the legacy stream; legacy single-block streams
+// from older checkpoints still decode.
 type ZFP struct {
 	Bound float64
+	// BlockElems is the container block size in elements; 0 means
+	// codec.DefaultBlockElems (rounded to a transform-block multiple).
+	BlockElems int
 }
 
 // Name returns "zfp".
 func (ZFP) Name() string { return "zfp" }
 
 // Encode compresses within the absolute error bound.
-func (e ZFP) Encode(x []float64) ([]byte, error) { return zfp.Compress(x, e.Bound) }
+func (e ZFP) Encode(x []float64) ([]byte, error) {
+	return codec.Compress(x, codec.Params{Codec: codec.ZFP, Bound: e.Bound, BlockElems: e.BlockElems})
+}
 
 // Decode reconstructs within the bound.
-func (ZFP) Decode(data []byte) ([]float64, error) { return zfp.Decompress(data) }
+func (ZFP) Decode(data []byte) ([]float64, error) {
+	if codec.IsBlocked(data) {
+		return codec.DecompressAs(data, codec.ZFP)
+	}
+	return zfp.Decompress(data)
+}
 
 // DecodeInto reconstructs within the bound into dst (DecoderInto).
-func (ZFP) DecodeInto(dst []float64, data []byte) error { return zfp.DecompressInto(dst, data) }
+func (ZFP) DecodeInto(dst []float64, data []byte) error {
+	if codec.IsBlocked(data) {
+		return codec.DecompressIntoAs(dst, data, codec.ZFP)
+	}
+	return zfp.DecompressInto(dst, data)
+}

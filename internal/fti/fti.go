@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/codec"
 	"repro/internal/fti/shard"
 	"repro/internal/sz"
 )
@@ -666,7 +667,11 @@ func encodeSnapshot(s *Snapshot, enc Encoder, buf []byte, wantBounds bool) (payl
 		if wantBounds {
 			blobStart := len(out)
 			bounds = append(bounds, blobStart)
-			if ranges, ok := sz.BlockRanges(blob); ok {
+			ranges, ok := sz.BlockRanges(blob)
+			if !ok {
+				ranges, ok = codec.BlockRanges(blob)
+			}
+			if ok {
 				for _, r := range ranges[1:] { // ranges[0].Start is mid-header
 					bounds = append(bounds, blobStart+r.Start)
 				}

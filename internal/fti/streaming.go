@@ -6,14 +6,15 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/codec"
 	"repro/internal/fti/shard"
 	"repro/internal/sz"
 )
 
 // This file is the streaming half of the restore path: a sharded
 // checkpoint is decoded without ever reassembling its payload. The
-// snapshot skeleton (framing, scalars, vector headers, SZG2 container
-// headers) is parsed serially through a chunk cursor that touches only
+// snapshot skeleton (framing, scalars, vector headers, SZG2/BLK1
+// container headers) is parsed serially through a chunk cursor that touches only
 // the bytes it needs — zero-copy within a shard, tiny stitched copies
 // across boundaries — and then every compression block decodes straight
 // into its destination slice, fanned out over the shard worker pool so
@@ -82,17 +83,65 @@ func (c *chunkCursor) float() (float64, error) {
 	return math.Float64frombits(binary.LittleEndian.Uint64(b)), nil
 }
 
-// streamBlock is one SZG2 compression block scheduled for decode: its
-// absolute byte span within the payload and its destination slice.
+// streamBlock is one compression block (SZG2 or BLK1) scheduled for
+// decode: its absolute byte span within the payload and its
+// destination slice.
 type streamBlock struct {
 	span sz.Range
 	dst  []float64
 	vec  string // for error messages
 }
 
+// blockFormat describes one blocked-container family — how to bound
+// and parse its header and how to decode one block payload — so the
+// streaming restore path handles SZ's SZG2 container and the generic
+// BLK1 container through a single code path.
+type blockFormat struct {
+	prefixLen   int
+	lenBound    func(prefix []byte) (int, bool)
+	parse       func(header []byte, streamLen int) (sz.BlockLayout, error)
+	decodeBlock func(dst []float64, block []byte) error
+}
+
+var (
+	szFormat = &blockFormat{
+		prefixLen:   sz.HeaderPrefixLen,
+		lenBound:    sz.HeaderLenBound,
+		parse:       sz.ParseBlockLayout,
+		decodeBlock: sz.DecodeBlockInto,
+	}
+	codecFormat = &blockFormat{
+		prefixLen:   codec.HeaderPrefixLen,
+		lenBound:    codec.HeaderLenBound,
+		parse:       codec.ParseBlockLayout,
+		decodeBlock: codec.DecodeBlockInto,
+	}
+)
+
+// blockFormatFor returns the blocked-container family enc writes, or
+// nil when enc writes monolithic payloads only. For any other encoder
+// a blob starting with a container magic is a byte coincidence (e.g. a
+// raw float image), not a block container — hence the explicit
+// dispatch instead of sniffing.
+func blockFormatFor(enc Encoder) *blockFormat {
+	switch e := enc.(type) {
+	case SZ:
+		return szFormat
+	case ZFP:
+		return codecFormat
+	case Lossless:
+		if _, ok := e.Codec.(codec.Container); ok {
+			return codecFormat
+		}
+	}
+	return nil
+}
+
 // restoreStreaming decodes a sharded checkpoint in place. Vector
-// payloads in the SZG2 blocked container are block-decoded per shard;
-// other payloads (legacy SZG1 streams, raw, lossless, ZFP) are
+// payloads in a blocked container (SZ's SZG2, or the generic BLK1 the
+// ZFP and blocked-lossless encoders write) are block-decoded per
+// shard; other payloads (legacy single-block streams, raw,
+// un-containered lossless) are
 // stitched and decoded through the encoder's DecodeInto path. The
 // whole-payload IEEE CRC trailer is not re-verified: every byte served
 // by the Reader already passed its shard's CRC32C.
@@ -142,10 +191,7 @@ func (c *Checkpointer) restoreStreaming(man *shard.Manifest, targets map[string]
 		s.Scalars[name] = v
 	}
 
-	// Only the SZ encoder writes SZG2 containers; for any other
-	// encoder a blob starting with the SZG2 magic is a byte
-	// coincidence (e.g. a raw float image), not a block container.
-	_, blockStreamer := c.enc.(SZ)
+	bf := blockFormatFor(c.enc)
 
 	nVecs, err := cur.uvarint()
 	if err != nil {
@@ -177,7 +223,7 @@ func (c *Checkpointer) restoreStreaming(man *shard.Manifest, targets map[string]
 			dst = t
 		}
 
-		lay, blocked, err := peekBlockLayout(r, blobStart, blobLen, blockStreamer)
+		lay, blocked, err := peekBlockLayout(r, blobStart, blobLen, bf)
 		if err != nil {
 			return nil, fmt.Errorf("vector %q: %w", name, err)
 		}
@@ -186,8 +232,8 @@ func (c *Checkpointer) restoreStreaming(man *shard.Manifest, targets map[string]
 			// for the per-shard decode pass; blocks that straddle a
 			// shard boundary (an unaligned cut) are stitched serially.
 			if dst == nil {
-				// lay.N is guarded against crafted headers by
-				// ParseBlockLayout (n ≤ 8× the blob bytes).
+				// lay.N is guarded against crafted headers by the
+				// format's ParseBlockLayout allocation guards.
 				dst = make([]float64, lay.N)
 			}
 			for bi := range lay.Blocks {
@@ -244,7 +290,7 @@ func (c *Checkpointer) restoreStreaming(man *shard.Manifest, targets map[string]
 		if err != nil {
 			return nil, err
 		}
-		if err := sz.DecodeBlockInto(blk.dst, raw); err != nil {
+		if err := bf.decodeBlock(blk.dst, raw); err != nil {
 			return nil, fmt.Errorf("decode vector %q: %w", blk.vec, err)
 		}
 	}
@@ -256,7 +302,7 @@ func (c *Checkpointer) restoreStreaming(man *shard.Manifest, targets map[string]
 	// back mid-stream.
 	err = r.Process(shard.Options{Workers: c.storageWorkers}, func(i, start int, chunk []byte) error {
 		for _, blk := range perShard[i] {
-			if err := sz.DecodeBlockInto(blk.dst, chunk[blk.span.Start-start:blk.span.End-start]); err != nil {
+			if err := bf.decodeBlock(blk.dst, chunk[blk.span.Start-start:blk.span.End-start]); err != nil {
 				return fmt.Errorf("decode vector %q: %w", blk.vec, err)
 			}
 		}
@@ -268,22 +314,24 @@ func (c *Checkpointer) restoreStreaming(man *shard.Manifest, targets map[string]
 	return s, nil
 }
 
-// peekBlockLayout inspects a blob's head and, when it is an SZG2 block
-// container written by the SZ encoder, parses its layout from the
-// header bytes alone (no whole-blob read). A blob that does not parse
-// as SZG2 — legacy SZG1 streams, other encoders' payloads — reports
-// blocked=false and is decoded whole by the caller; parse failures are
-// only errors when the blob unambiguously started as SZG2, since a
-// truncated container would fail whole-blob decode anyway.
-func peekBlockLayout(r *shard.Reader, blobStart, blobLen int, blockStreamer bool) (sz.BlockLayout, bool, error) {
-	if !blockStreamer || blobLen < sz.HeaderPrefixLen {
+// peekBlockLayout inspects a blob's head and, when it is a block
+// container of the encoder's format family (SZG2 or BLK1), parses its
+// layout from the header bytes alone (no whole-blob read). A blob that
+// does not parse as a container — legacy single-block streams, other
+// encoders' payloads — reports blocked=false and is decoded whole by
+// the caller; parse failures are only errors when the blob
+// unambiguously started as a container, since a truncated container
+// would fail whole-blob decode anyway. bf == nil means the encoder
+// never writes containers.
+func peekBlockLayout(r *shard.Reader, blobStart, blobLen int, bf *blockFormat) (sz.BlockLayout, bool, error) {
+	if bf == nil || blobLen < bf.prefixLen {
 		return sz.BlockLayout{}, false, nil
 	}
-	head, err := r.Bytes(blobStart, blobStart+sz.HeaderPrefixLen)
+	head, err := r.Bytes(blobStart, blobStart+bf.prefixLen)
 	if err != nil {
 		return sz.BlockLayout{}, false, err
 	}
-	bound, ok := sz.HeaderLenBound(head)
+	bound, ok := bf.lenBound(head)
 	if !ok {
 		return sz.BlockLayout{}, false, nil
 	}
@@ -294,7 +342,7 @@ func peekBlockLayout(r *shard.Reader, blobStart, blobLen int, blockStreamer bool
 	if err != nil {
 		return sz.BlockLayout{}, false, err
 	}
-	lay, err := sz.ParseBlockLayout(hdr, blobLen)
+	lay, err := bf.parse(hdr, blobLen)
 	if err != nil {
 		return sz.BlockLayout{}, false, err
 	}

@@ -4,6 +4,16 @@
 // from most quantization codes landing in a handful of bins around
 // zero-difference; Huffman coding turns that skew into sub-bit-per-
 // symbol output.
+//
+// The coder is tuned for SZ's shape: a huge nominal alphabet (65,536
+// bins by default) of which only a few hundred symbols actually occur
+// per block. Every per-alphabet cost — table clears, table walks,
+// header emission — is charged per *distinct symbol* instead, by
+// tracking the distinct set during frequency counting and keeping the
+// pooled alphabet-sized tables all-zero between uses (only the dirtied
+// entries are cleared on release). The bitstream is emitted into an
+// exactly-sized buffer computed from the frequency histogram, so the
+// hot emission loop performs no capacity checks.
 package huffman
 
 import (
@@ -44,33 +54,31 @@ func (h *nodeHeap) Pop() interface{} {
 
 const maxCodeLen = 58 // fits a code plus slack in a uint64 accumulator
 
-// codeLengths returns the canonical Huffman code length per symbol
-// given frequencies (zero frequency ⇒ length 0), writing into the
-// pooled lengths slice its caller provides (pre-zeroed, same length as
-// freq). Lengths are clamped by construction far below maxCodeLen for
-// any realistic input; if the tree ever gets deeper, frequencies are
-// flattened and the tree is rebuilt (a standard, lossless fallback).
-func codeLengths(freq []uint64, lengths []int) []int {
+// codeLengths computes the canonical Huffman code length per occurring
+// symbol, writing into the pooled lengths table (all-zero on entry).
+// distinct lists the symbols with nonzero frequency in ascending
+// order, which fixes the tree tiebreaker deterministically — the same
+// order the pre-distinct-tracking coder got from walking the whole
+// frequency table, so emitted streams are byte-identical. Lengths are
+// clamped by construction far below maxCodeLen for any realistic
+// input; if the tree ever gets deeper, frequencies are flattened and
+// the tree is rebuilt (a standard, lossless fallback).
+func codeLengths(freq []uint64, distinct []int, lengths []int) {
 	for shift := uint(0); ; shift++ {
 		var h nodeHeap
-		serial := 0
-		for sym, f := range freq {
-			if f == 0 {
-				continue
-			}
-			adj := f >> shift
+		for serial, sym := range distinct {
+			adj := freq[sym] >> shift
 			if adj == 0 {
 				adj = 1
 			}
 			h = append(h, &node{freq: adj, symbol: sym, depth: serial})
-			serial++
 		}
 		if len(h) == 0 {
-			return lengths
+			return
 		}
 		if len(h) == 1 {
 			lengths[h[0].symbol] = 1
-			return lengths
+			return
 		}
 		heap.Init(&h)
 		for h.Len() > 1 {
@@ -82,13 +90,11 @@ func codeLengths(freq []uint64, lengths []int) []int {
 			}
 			heap.Push(&h, &node{freq: a.freq + b.freq, symbol: -1, left: a, right: b, depth: d + 1})
 		}
-		root := h[0]
-		for i := range lengths {
-			lengths[i] = 0
-		}
-		deepest := assignDepths(root, 0, lengths)
+		// assignDepths overwrites every distinct symbol's entry, so no
+		// clear is needed between retries.
+		deepest := assignDepths(h[0], 0, lengths)
 		if deepest <= maxCodeLen {
-			return lengths
+			return
 		}
 		// Flatten the distribution and retry: halving frequencies
 		// shrinks the depth while preserving optimality structure.
@@ -111,16 +117,16 @@ func assignDepths(n *node, depth int, lengths []int) int {
 	return l
 }
 
-// canonicalCodes converts code lengths to canonical codes: symbols
-// sorted by (length, symbol) receive consecutive code values. codes is
-// a caller-provided (pooled) slice of the same length as lengths; only
-// entries for symbols with nonzero length are written, and only those
-// are ever read back.
-func canonicalCodes(lengths []int, codes []uint64) {
+// canonicalCodes converts code lengths to canonical codes — symbols
+// sorted by (length, symbol) receive consecutive code values — and
+// stores them packed as code<<6 | length in the pooled packed table,
+// so the emission loop loads one table entry per symbol. distinct must
+// be ascending; only its entries are written.
+func canonicalCodes(lengths []int, distinct []int, packed []uint64) {
 	type ls struct{ sym, l int }
-	var active []ls
-	for sym, l := range lengths {
-		if l > 0 {
+	active := make([]ls, 0, len(distinct))
+	for _, sym := range distinct {
+		if l := lengths[sym]; l > 0 {
 			active = append(active, ls{sym, l})
 		}
 	}
@@ -134,64 +140,61 @@ func canonicalCodes(lengths []int, codes []uint64) {
 	prevLen := 0
 	for _, e := range active {
 		code <<= uint(e.l - prevLen)
-		codes[e.sym] = code
+		packed[e.sym] = code<<6 | uint64(e.l)
 		code++
 		prevLen = e.l
 	}
 }
 
-// freqPool recycles frequency-count buffers: with the default SZ
-// alphabet of 65,536 bins a fresh table is a 512 KiB allocation per
-// encoded block, which dominated the allocation profile of the
-// checkpoint path. Clearing a pooled table is a memclr — far cheaper
-// than allocating and garbage-collecting one.
-var freqPool = sync.Pool{New: func() any { s := make([]uint64, 0, 1024); return &s }}
+// tablePool recycles the alphabet-sized uint64 tables (frequencies and
+// packed codes): with the default SZ alphabet of 65,536 bins a fresh
+// table is a 512 KiB allocation per encoded block. Invariant: every
+// pooled table is all-zero up to its capacity, maintained by clearing
+// exactly the dirtied entries on release — O(distinct symbols), not a
+// 512 KiB memclr per block.
+var tablePool = sync.Pool{New: func() any { s := make([]uint64, 0, 1024); return &s }}
 
-func getFreq(n int) []uint64 {
-	s := *freqPool.Get().(*[]uint64)
-	if cap(s) < n {
-		s = make([]uint64, n)
-	} else {
-		s = s[:n]
-		clear(s)
-	}
-	return s
-}
-
-func putFreq(s []uint64) {
-	s = s[:0]
-	freqPool.Put(&s)
-}
-
-// getCodes returns an uncleared pooled []uint64 for canonical codes;
-// canonicalCodes writes every entry that is ever read back.
-func getCodes(n int) []uint64 {
-	s := *freqPool.Get().(*[]uint64)
+// getTable returns an all-zero []uint64 of length n.
+func getTable(n int) []uint64 {
+	s := *tablePool.Get().(*[]uint64)
 	if cap(s) < n {
 		s = make([]uint64, n)
 	}
 	return s[:n]
 }
 
-// lengthsPool recycles the per-symbol code-length tables (another
-// 512 KiB at the default SZ alphabet).
+// putTable recycles a table, zeroing the entries listed in dirty
+// (every index the caller wrote) to restore the pool invariant.
+func putTable(s []uint64, dirty []int) {
+	for _, d := range dirty {
+		s[d] = 0
+	}
+	s = s[:0]
+	tablePool.Put(&s)
+}
+
+// lengthsPool recycles the per-symbol code-length tables under the
+// same all-zero invariant.
 var lengthsPool = sync.Pool{New: func() any { s := make([]int, 0, 1024); return &s }}
 
-func getLengths(n int) []int {
+func getLengthTable(n int) []int {
 	s := *lengthsPool.Get().(*[]int)
 	if cap(s) < n {
 		s = make([]int, n)
-	} else {
-		s = s[:n]
-		clear(s)
 	}
-	return s
+	return s[:n]
 }
 
-func putLengths(s []int) {
+func putLengthTable(s []int, dirty []int) {
+	for _, d := range dirty {
+		s[d] = 0
+	}
 	s = s[:0]
 	lengthsPool.Put(&s)
 }
+
+// symsPool recycles the distinct-symbol lists (no zero invariant).
+var symsPool = sync.Pool{New: func() any { s := make([]int, 0, 1024); return &s }}
 
 // Encode Huffman-codes the symbol stream. Symbols must lie in
 // [0, alphabet). The output is self-describing: Decode needs no side
@@ -208,19 +211,31 @@ func AppendEncode(dst []byte, symbols []int, alphabet int) ([]byte, error) {
 	if alphabet <= 0 {
 		return nil, fmt.Errorf("huffman: alphabet size must be positive, got %d", alphabet)
 	}
-	freq := getFreq(alphabet)
-	defer putFreq(freq)
+	freq := getTable(alphabet)
+	distinct := (*symsPool.Get().(*[]int))[:0]
+	defer func() {
+		putTable(freq, distinct)
+		distinct = distinct[:0]
+		symsPool.Put(&distinct)
+	}()
 	for _, s := range symbols {
-		if s < 0 || s >= alphabet {
+		if uint(s) >= uint(alphabet) {
 			return nil, fmt.Errorf("huffman: symbol %d outside alphabet [0,%d)", s, alphabet)
+		}
+		if freq[s] == 0 {
+			distinct = append(distinct, s)
 		}
 		freq[s]++
 	}
-	lengths := codeLengths(freq, getLengths(alphabet))
-	defer putLengths(lengths)
-	codes := getCodes(alphabet)
-	defer putFreq(codes)
-	canonicalCodes(lengths, codes)
+	sort.Ints(distinct)
+	lengths := getLengthTable(alphabet)
+	packed := getTable(alphabet)
+	defer func() {
+		putLengthTable(lengths, distinct)
+		putTable(packed, distinct)
+	}()
+	codeLengths(freq, distinct, lengths)
+	canonicalCodes(lengths, distinct, packed)
 
 	out := dst
 	var scratch [binary.MaxVarintLen64]byte
@@ -230,36 +245,46 @@ func AppendEncode(dst []byte, symbols []int, alphabet int) ([]byte, error) {
 	}
 	putUvarint(uint64(len(symbols)))
 	putUvarint(uint64(alphabet))
-	// Table: count of present symbols, then (symbol, length) pairs.
-	present := 0
-	for _, l := range lengths {
-		if l > 0 {
-			present++
-		}
+	// Table: count of present symbols, then (symbol, length) pairs in
+	// ascending symbol order. Every distinct symbol has a code.
+	putUvarint(uint64(len(distinct)))
+	totalBits := uint64(0)
+	for _, sym := range distinct {
+		putUvarint(uint64(sym))
+		out = append(out, byte(lengths[sym]))
+		totalBits += freq[sym] * uint64(lengths[sym])
 	}
-	putUvarint(uint64(present))
-	for sym, l := range lengths {
-		if l > 0 {
-			putUvarint(uint64(sym))
-			out = append(out, byte(l))
-		}
+
+	// Bitstream, MSB-first within the accumulator. The histogram gives
+	// the exact output size, so the buffer is grown once and the hot
+	// loop writes by index — no per-byte capacity checks.
+	nBytes := int((totalBits + 7) / 8)
+	start := len(out)
+	if cap(out)-start < nBytes {
+		grown := make([]byte, start, start+nBytes)
+		copy(grown, out)
+		out = grown
 	}
-	// Bitstream, MSB-first within the accumulator.
+	buf := out[start : start+nBytes]
 	var acc uint64
 	var nbits uint
+	idx := 0
 	for _, s := range symbols {
-		l := uint(lengths[s])
-		acc = (acc << l) | codes[s]
+		e := packed[s]
+		l := uint(e & 63)
+		acc = (acc << l) | (e >> 6)
 		nbits += l
 		for nbits >= 8 {
 			nbits -= 8
-			out = append(out, byte(acc>>nbits))
+			buf[idx] = byte(acc >> nbits)
+			idx++
 		}
 	}
 	if nbits > 0 {
-		out = append(out, byte(acc<<(8-nbits)))
+		buf[idx] = byte(acc << (8 - nbits))
+		idx++
 	}
-	return out, nil
+	return out[:start+idx], nil
 }
 
 // Decode reverses Encode.
@@ -267,10 +292,16 @@ func Decode(data []byte) ([]int, error) {
 	return DecodeInto(data, nil)
 }
 
+// decEntry is one code-table row during decode.
+type decEntry struct{ sym, l int }
+
 // DecodeInto is Decode writing into buf's backing array when its
 // capacity suffices (buf may be nil or a recycled zero-length slice).
 // The returned slice aliases buf when no growth was needed, letting
-// callers pool the symbol buffer across blocks.
+// callers pool the symbol buffer across blocks. The decoder builds its
+// canonical tables from the stream's (symbol, length) pairs alone — no
+// alphabet-sized scratch, so sparse tables over huge alphabets decode
+// in O(present) setup time.
 func DecodeInto(data []byte, buf []int) ([]int, error) {
 	off := 0
 	getUvarint := func() (uint64, error) {
@@ -296,8 +327,15 @@ func DecodeInto(data []byte, buf []int) ([]int, error) {
 	if alphabet > 1<<24 {
 		return nil, fmt.Errorf("huffman: alphabet %d exceeds 2^24", alphabet)
 	}
-	lengths := getLengths(int(alphabet))
-	defer putLengths(lengths)
+	// Allocation guards: every symbol costs at least one bit, every
+	// table entry at least two bytes.
+	if count > 8*uint64(len(data)) {
+		return nil, fmt.Errorf("huffman: %d symbols exceed %d stream bytes", count, len(data))
+	}
+	if present > alphabet || present > uint64(len(data)-off)/2 {
+		return nil, fmt.Errorf("huffman: table of %d entries cannot fit", present)
+	}
+	active := make([]decEntry, 0, present)
 	for i := uint64(0); i < present; i++ {
 		sym, err := getUvarint()
 		if err != nil {
@@ -309,27 +347,18 @@ func DecodeInto(data []byte, buf []int) ([]int, error) {
 		if sym >= alphabet {
 			return nil, fmt.Errorf("huffman: table symbol %d outside alphabet", sym)
 		}
-		lengths[sym] = int(data[off])
+		l := int(data[off])
 		off++
+		if l < 1 || l > maxCodeLen {
+			return nil, fmt.Errorf("huffman: invalid code length %d for symbol %d", l, sym)
+		}
+		active = append(active, decEntry{sym: int(sym), l: l})
 	}
 	if count == 0 {
 		if buf != nil {
 			return buf[:0], nil
 		}
 		return []int{}, nil
-	}
-	codes := getCodes(int(alphabet))
-	defer putFreq(codes)
-	canonicalCodes(lengths, codes)
-
-	// Build a (length → firstCode, firstIndex) canonical decoding
-	// table plus symbols sorted canonically.
-	type ls struct{ sym, l int }
-	var active []ls
-	for sym, l := range lengths {
-		if l > 0 {
-			active = append(active, ls{sym, l})
-		}
 	}
 	if len(active) == 0 {
 		return nil, fmt.Errorf("huffman: no code table for %d symbols", count)
@@ -340,22 +369,27 @@ func DecodeInto(data []byte, buf []int) ([]int, error) {
 		}
 		return active[i].sym < active[j].sym
 	})
+
+	// Canonical (length → firstCode, firstIndex) decoding table.
 	maxLen := active[len(active)-1].l
-	firstCode := make([]uint64, maxLen+1)
-	firstIdx := make([]int, maxLen+1)
-	countAt := make([]int, maxLen+1)
+	var firstCode [maxCodeLen + 1]uint64
+	var firstIdx, countAt [maxCodeLen + 1]int
 	for _, e := range active {
 		countAt[e.l]++
 	}
+	var code uint64
+	prevLen := 0
 	idx := 0
 	for l := 1; l <= maxLen; l++ {
-		if countAt[l] > 0 {
-			// First canonical code of this length is the code of the
-			// first symbol of this length in canonical order.
-			firstCode[l] = codes[active[idx].sym]
-			firstIdx[l] = idx
-			idx += countAt[l]
+		if countAt[l] == 0 {
+			continue
 		}
+		code <<= uint(l - prevLen)
+		firstCode[l] = code
+		firstIdx[l] = idx
+		code += uint64(countAt[l])
+		idx += countAt[l]
+		prevLen = l
 	}
 
 	out := buf[:0]
@@ -376,8 +410,8 @@ func DecodeInto(data []byte, buf []int) ([]int, error) {
 			if countAt[l] == 0 {
 				continue
 			}
-			code := acc >> (nbits - uint(l))
-			rel := int(code) - int(firstCode[l])
+			c := acc >> (nbits - uint(l))
+			rel := int(c) - int(firstCode[l])
 			if rel >= 0 && rel < countAt[l] {
 				out = append(out, active[firstIdx[l]+rel].sym)
 				nbits -= uint(l)

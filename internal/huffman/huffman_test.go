@@ -115,7 +115,14 @@ func TestDecodeRejectsTruncated(t *testing.T) {
 func TestCodeLengthsKraft(t *testing.T) {
 	// Kraft inequality must hold with equality for a full tree.
 	freq := []uint64{100, 50, 20, 5, 5, 1, 0, 0}
-	lengths := codeLengths(freq, make([]int, len(freq)))
+	var distinct []int
+	for sym, f := range freq {
+		if f > 0 {
+			distinct = append(distinct, sym)
+		}
+	}
+	lengths := make([]int, len(freq))
+	codeLengths(freq, distinct, lengths)
 	var kraft float64
 	for sym, l := range lengths {
 		if freq[sym] > 0 && l == 0 {

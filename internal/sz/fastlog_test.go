@@ -1,0 +1,86 @@
+package sz
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestFastLogAccuracy sweeps the full normal exponent range and a
+// dense band of near-1 values, asserting fastLog stays within
+// fastLogErr of math.Log everywhere — the property the tightened
+// encode bound in appendLogTransform relies on.
+func TestFastLogAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	check := func(x float64) {
+		t.Helper()
+		got := fastLog(math.Float64bits(x))
+		want := math.Log(x)
+		if d := math.Abs(got - want); d > fastLogErr {
+			t.Fatalf("fastLog(%g) = %v, math.Log = %v, |diff| = %g > %g", x, got, want, d, fastLogErr)
+		}
+	}
+	// Every binade from the smallest normal to the largest, several
+	// mantissas each, hitting all 128 table rows across the sweep.
+	for e := -1022; e <= 1023; e++ {
+		scale := math.Ldexp(1, e)
+		if math.IsInf(scale, 0) {
+			continue
+		}
+		for j := 0; j < 8; j++ {
+			m := 1 + rng.Float64()
+			if m >= 2 {
+				m = 1.9999999
+			}
+			x := m * scale
+			if x < tinyThreshold || math.IsInf(x, 0) {
+				continue
+			}
+			check(x)
+		}
+	}
+	// Near 1, where ln catastrophically cancels: absolute accuracy must
+	// survive the k and ln(c) terms cancelling.
+	for j := 0; j < 20000; j++ {
+		check(1 + (rng.Float64()-0.5)*1e-3)
+	}
+	// Table-row edges.
+	for i := 0; i < 128; i++ {
+		check(1 + float64(i)/128)
+		check((1 + float64(i)/128) / 2)
+	}
+	check(tinyThreshold)
+	check(math.MaxFloat64)
+}
+
+// TestFastLogBoundCompensation verifies the PWRel encoder's bound
+// arithmetic: quantizing fastLog values under ln(1+eb) − fastLogErr
+// keeps the decoded values within eb·|x| even for eb small enough that
+// the tightening matters.
+func TestFastLogBoundCompensation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, eb := range []float64{1e-2, 1e-4, 1e-6, 1e-9} {
+		x := make([]float64, 20000)
+		for i := range x {
+			// Wide dynamic range, including large-|ln| magnitudes where
+			// fastLog's absolute error peaks.
+			x[i] = math.Ldexp(1+rng.Float64(), rng.Intn(1200)-600)
+			if i%3 == 0 {
+				x[i] = -x[i]
+			}
+		}
+		enc, err := Compress(x, Params{Mode: PWRel, ErrorBound: eb})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := Decompress(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if d := math.Abs(dec[i] - x[i]); d > eb*math.Abs(x[i])*(1+1e-10) {
+				t.Fatalf("eb=%g: |dec-x| = %g at %d exceeds %g (x=%g)", eb, d, i, eb*math.Abs(x[i]), x[i])
+			}
+		}
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"math/bits"
 	"sync/atomic"
 
 	"repro/internal/huffman"
@@ -143,10 +144,12 @@ func Compress(x []float64, p Params) ([]byte, error) {
 func firstNonFinite(x []float64) int {
 	var first atomic.Int64
 	first.Store(int64(len(x)))
+	// NaN and ±Inf share an all-ones biased exponent, so one integer
+	// mask-and-compare per element replaces the IsNaN/IsInf pair.
+	const expMask = 0x7FF0000000000000
 	parallel.For(len(x), parallel.Grain(len(x), 1<<14, 4), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			v := x[i]
-			if math.IsNaN(v) || math.IsInf(v, 0) {
+			if math.Float64bits(x[i])&expMask == expMask {
 				// Keep the smallest offending index so the error
 				// message is deterministic under any schedule.
 				for {
@@ -333,42 +336,76 @@ func decodeConstantInto(p []byte, dst []float64) error {
 	return nil
 }
 
-// predict applies the chosen predictor to the reconstructed prefix.
-func predict(recon []float64, i int, pred Predictor) float64 {
-	switch {
-	case i == 0:
-		return 0
-	case i == 1 || pred == PredictorLorenzo:
-		return recon[i-1]
-	default: // PredictorLinear
-		return 2*recon[i-1] - recon[i-2]
+// roundMagic rounds a float64 to the nearest integer (ties to even) by
+// pushing it past the mantissa's integer boundary: adding 1.5·2^52
+// forces the fraction bits out in one rounding, and subtracting it
+// back recovers the rounded value. Valid for |v| < 2^51 — quantization
+// bins are bounded by intervals/2 ≤ 2^23, far inside. Two float adds
+// replace a math.Round call in the hottest loop. Ties round to even
+// where math.Round rounds away from zero; either neighbor bin
+// reconstructs at exactly eb error on a tie, so the bound recheck in
+// quantStep keeps the guarantee independent of tie direction.
+const roundMagic = 6755399441055744.0 // 1.5 * 2^52
+
+// quantStep quantizes one value against its prediction: the returned
+// code is 0 (unpredictable — caller stores v verbatim) or half+bin,
+// and the returned value is the reconstruction the decoder will see
+// (v itself when unpredictable), which becomes the next prediction
+// input. inv = 1/(2·eb), twoEB = 2·eb, limit = float64(half−1). The
+// bound recheck makes the quantizer self-verifying: any rounding slip
+// at a bin edge (including the inv-multiply replacing the old
+// division) demotes the value to unpredictable instead of breaking
+// the error bound.
+func quantStep(v, p, inv, twoEB, eb, limit float64, half int) (int, float64) {
+	binF := (v - p) * inv
+	if binF < limit && binF > -limit { // false for NaN/Inf → unpredictable
+		bin := binF + roundMagic - roundMagic
+		r := p + twoEB*bin
+		d := v - r
+		if d <= eb && d >= -eb {
+			return half + int(bin), r
+		}
 	}
+	return 0, v
 }
 
 // choosePredictor dry-runs both predictors on a sample and picks the
-// one with the lower total coded-magnitude proxy.
+// one with the lower total coded-magnitude proxy (bits.Len of the bin
+// magnitude — an integer stand-in for the log2 entropy proxy).
 func choosePredictor(x []float64, eb float64, intervals int) Predictor {
 	n := len(x)
 	if n > 4096 {
 		n = 4096
 	}
 	half := intervals / 2
-	recon := parallel.GetFloat64s(n)[:n]
-	defer parallel.PutFloat64s(recon)
-	cost := func(pred Predictor) float64 {
-		var c float64
+	inv := 1 / (2 * eb)
+	twoEB := 2 * eb
+	limit := float64(half - 1)
+	cost := func(pred Predictor) int {
+		c := 0
+		var prev, prev2 float64
 		for i := 0; i < n; i++ {
-			p := predict(recon, i, pred)
-			diff := x[i] - p
-			binF := diff / (2 * eb)
-			if math.Abs(binF) >= float64(half-1) {
-				c += 64 // unpredictable: full value stored
-				recon[i] = x[i]
-				continue
+			p := 2*prev - prev2
+			if pred == PredictorLorenzo {
+				p = prev
 			}
-			bin := math.Round(binF)
-			c += math.Log2(1 + math.Abs(bin)*2 + 1) // entropy proxy
-			recon[i] = p + 2*eb*bin
+			if i == 0 {
+				p = 0
+			} else if i == 1 {
+				p = prev
+			}
+			code, r := quantStep(x[i], p, inv, twoEB, eb, limit, half)
+			if code == 0 {
+				c += 64 // unpredictable: full value stored
+			} else {
+				d := code - half
+				if d < 0 {
+					d = -d
+				}
+				c += bits.Len64(uint64(2*d + 2))
+			}
+			prev2 = prev
+			prev = r
 		}
 		return c
 	}
@@ -382,6 +419,10 @@ func choosePredictor(x []float64, eb float64, intervals int) Predictor {
 // Huffman), appending the payload to dst. All large scratch state
 // comes from the parallel package's pools, keeping the per-call
 // allocation profile flat even when many blocks encode concurrently.
+// The predict→quantize loop is specialized per predictor: the
+// reconstructed prefix lives in one or two registers instead of a
+// side array, and quantStep's multiply-and-magic-round replaces the
+// divide-and-math.Round of the generic path.
 func appendCore(dst []byte, x []float64, eb float64, pred Predictor, intervals int) ([]byte, error) {
 	if pred == PredictorAuto {
 		pred = choosePredictor(x, eb, intervals)
@@ -390,31 +431,49 @@ func appendCore(dst []byte, x []float64, eb float64, pred Predictor, intervals i
 	half := intervals / 2
 	codes := parallel.GetInts(n)[:n]
 	defer parallel.PutInts(codes)
-	recon := parallel.GetFloat64s(n)[:n]
-	defer parallel.PutFloat64s(recon)
 	unpred := parallel.GetFloat64s(0)
 	defer func() { parallel.PutFloat64s(unpred) }()
-	for i := 0; i < n; i++ {
-		p := predict(recon, i, pred)
-		diff := x[i] - p
-		binF := diff / (2 * eb)
-		quantized := false
-		if math.Abs(binF) < float64(half-1) {
-			bin := math.Round(binF)
-			r := p + 2*eb*bin
-			// Safety net against floating-point rounding at the bin
-			// edge: fall back to storing the value if the
-			// reconstruction misses the bound.
-			if math.Abs(x[i]-r) <= eb {
-				codes[i] = half + int(bin)
-				recon[i] = r
-				quantized = true
+	inv := 1 / (2 * eb)
+	twoEB := 2 * eb
+	limit := float64(half - 1)
+	if pred == PredictorLorenzo {
+		prev := 0.0
+		for i, v := range x {
+			code, r := quantStep(v, prev, inv, twoEB, eb, limit, half)
+			if code == 0 {
+				unpred = append(unpred, v)
 			}
+			codes[i] = code
+			prev = r
 		}
-		if !quantized {
-			codes[i] = 0
-			recon[i] = x[i]
-			unpred = append(unpred, x[i])
+	} else {
+		var prev, prev2 float64
+		i := 0
+		// The first two elements use the short-prefix predictors
+		// (0, then previous), peeled so the steady-state loop is
+		// branch-free on the index.
+		for ; i < n && i < 2; i++ {
+			p := 0.0
+			if i == 1 {
+				p = prev
+			}
+			code, r := quantStep(x[i], p, inv, twoEB, eb, limit, half)
+			if code == 0 {
+				unpred = append(unpred, x[i])
+			}
+			codes[i] = code
+			prev2 = prev
+			prev = r
+		}
+		for ; i < n; i++ {
+			v := x[i]
+			code, r := quantStep(v, 2*prev-prev2, inv, twoEB, eb, limit, half)
+			if code == 0 {
+				unpred = append(unpred, v)
+			}
+			codes[i] = code
+			prev2 = prev
+			prev = r
 		}
 	}
 	hstream := parallel.GetBytes(n)
@@ -513,21 +572,63 @@ func decodeCoreInto(p []byte, dst []float64) ([]float64, error) {
 	} else if len(recon) != n {
 		return nil, fmt.Errorf("sz: core block holds %d values, expected %d", n, len(recon))
 	}
+	// Reconstruction mirrors the encoder's specialized loops: the
+	// predictor inputs live in registers, and the arithmetic
+	// (prediction + 2·eb·bin) is identical to the generic predict()
+	// path, so streams written before the specialization decode
+	// bitwise identically. Any predictor byte other than Lorenzo —
+	// Linear, or junk from a corrupt stream — takes the linear path,
+	// matching the generic switch's default arm.
+	twoEB := 2 * eb
 	ui := 0
-	for i := 0; i < n; i++ {
-		c := codes[i]
-		if c == 0 {
-			if ui >= int(nUnpred) {
-				return nil, fmt.Errorf("sz: unpredictable count overflow at %d", i)
-			}
-			recon[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[off+8*ui:]))
-			ui++
-			continue
+	nu := int(nUnpred)
+	unpredAt := func(i int) (float64, error) {
+		if ui >= nu {
+			return 0, fmt.Errorf("sz: unpredictable count overflow at %d", i)
 		}
-		bin := float64(c - half)
-		recon[i] = predict(recon, i, pred) + 2*eb*bin
+		v := math.Float64frombits(binary.LittleEndian.Uint64(p[off+8*ui:]))
+		ui++
+		return v, nil
 	}
-	if ui != int(nUnpred) {
+	if pred == PredictorLorenzo {
+		prev := 0.0
+		for i, c := range codes {
+			var v float64
+			if c == 0 {
+				var err error
+				if v, err = unpredAt(i); err != nil {
+					return nil, err
+				}
+			} else {
+				v = prev + twoEB*float64(c-half)
+			}
+			recon[i] = v
+			prev = v
+		}
+	} else {
+		var prev, prev2 float64
+		for i, c := range codes {
+			pr := 2*prev - prev2
+			if i == 0 {
+				pr = 0
+			} else if i == 1 {
+				pr = prev
+			}
+			var v float64
+			if c == 0 {
+				var err error
+				if v, err = unpredAt(i); err != nil {
+					return nil, err
+				}
+			} else {
+				v = pr + twoEB*float64(c-half)
+			}
+			recon[i] = v
+			prev2 = prev
+			prev = v
+		}
+	}
+	if ui != nu {
 		return nil, fmt.Errorf("sz: %d unpredictable values stored, %d consumed", nUnpred, ui)
 	}
 	return recon, nil
@@ -548,34 +649,64 @@ const tinyThreshold = 2.2250738585072014e-308 // math.SmallestNormalFloat64
 // satisfying the bound.
 func appendLogTransform(dst []byte, x []float64, p Params) ([]byte, error) {
 	n := len(x)
-	signs := make([]byte, (n+7)/8)
-	zeros := make([]byte, (n+7)/8)
-	tiny := make([]byte, (n+7)/8)
+	nb := (n + 7) / 8
+	// One pooled buffer holds all three bitmaps back to back in stream
+	// order (zeros | signs | tiny), so emitting them is a single append.
+	bitmaps := parallel.GetBytes(3 * nb)[:3*nb]
+	defer func() { parallel.PutBytes(bitmaps) }()
+	for i := range bitmaps {
+		bitmaps[i] = 0
+	}
+	zeros := bitmaps[:nb]
+	signs := bitmaps[nb : 2*nb]
+	tiny := bitmaps[2*nb : 3*nb]
 	var exact []float64
 	logs := parallel.GetFloat64s(n)
 	defer func() { parallel.PutFloat64s(logs) }()
+
+	// fastLog is accurate to fastLogErr, not correctly rounded, so the
+	// encoder quantizes under a bound tightened by exactly that much:
+	// reconstruction stays within ln(1+eb) of the true logarithm. The
+	// tightened bound travels in the core sub-stream, so decoders are
+	// oblivious. For bounds so tight the tightening would cost more
+	// than half the budget (eb below ~2e-12), fall back to math.Log.
+	lnb := math.Log1p(p.ErrorBound)
+	lnbEnc := lnb - fastLogErr
+	useFast := lnbEnc > 0.5*lnb
+	if !useFast {
+		lnbEnc = lnb
+	}
+
+	// Classification works on the raw bits: sign, zero, and subnormal
+	// tests are integer compares (tinyThreshold is the smallest normal,
+	// so "below it" is exactly "biased exponent zero").
 	for i, v := range x {
-		if v == 0 {
-			zeros[i/8] |= 1 << (i % 8)
+		b := math.Float64bits(v)
+		abs := b &^ (1 << 63)
+		bit := byte(1) << (uint(i) & 7)
+		if abs == 0 {
+			zeros[i>>3] |= bit
 			continue
 		}
-		if v < 0 {
-			signs[i/8] |= 1 << (i % 8)
+		if b != abs {
+			signs[i>>3] |= bit
 		}
-		if math.Abs(v) < tinyThreshold {
-			tiny[i/8] |= 1 << (i % 8)
-			exact = append(exact, math.Abs(v))
+		if abs < 1<<52 { // biased exponent 0: subnormal
+			tiny[i>>3] |= bit
+			exact = append(exact, math.Float64frombits(abs))
 			continue
 		}
-		logs = append(logs, math.Log(math.Abs(v)))
+		if useFast {
+			logs = append(logs, fastLog(abs))
+		} else {
+			logs = append(logs, math.Log(math.Float64frombits(abs)))
+		}
 	}
 	out := dst
 	var scratch [binary.MaxVarintLen64]byte
 	k := binary.PutUvarint(scratch[:], uint64(n))
 	out = append(out, scratch[:k]...)
-	out = append(out, zeros...)
-	out = append(out, signs...)
-	out = append(out, tiny...)
+	out = append(out, bitmaps...)
 	k = binary.PutUvarint(scratch[:], uint64(len(exact)))
 	out = append(out, scratch[:k]...)
 	var b8 [8]byte
@@ -583,7 +714,7 @@ func appendLogTransform(dst []byte, x []float64, p Params) ([]byte, error) {
 		binary.LittleEndian.PutUint64(b8[:], math.Float64bits(v))
 		out = append(out, b8[:]...)
 	}
-	return appendCore(out, logs, math.Log1p(p.ErrorBound), p.Predictor, p.Intervals)
+	return appendCore(out, logs, lnbEnc, p.Predictor, p.Intervals)
 }
 
 // decodeLogTransformInto decodes a log-transform payload, writing into

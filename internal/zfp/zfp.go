@@ -22,6 +22,8 @@ import (
 	"io"
 	"math"
 	"sync"
+
+	"repro/internal/parallel"
 )
 
 // BlockSize is the number of samples per transform block.
@@ -52,8 +54,40 @@ func basis(n int) [][]float64 {
 	return b
 }
 
+// appendWriter is an io.Writer appending into a byte slice, so the
+// DEFLATE stage emits straight into the output stream.
+type appendWriter struct{ b []byte }
+
+func (w *appendWriter) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+// flateWriters recycles BestSpeed flate.Writer state (~600 KiB of
+// match-finder tables per writer) across compress calls.
+var flateWriters sync.Pool
+
+func getFlateWriter(w io.Writer) *flate.Writer {
+	if v := flateWriters.Get(); v != nil {
+		fw := v.(*flate.Writer)
+		fw.Reset(w)
+		return fw
+	}
+	fw, _ := flate.NewWriter(w, flate.BestSpeed) // BestSpeed is always a valid level
+	return fw
+}
+
 // Compress encodes x with the absolute error bound eb.
 func Compress(x []float64, eb float64) ([]byte, error) {
+	return AppendCompress(nil, x, eb)
+}
+
+// AppendCompress is Compress appending to dst (which may be pooled
+// scratch), returning the extended slice. The varint scratch stream
+// and the DEFLATE state come from pools, so the only growth is dst
+// itself — the blocked container uses this to keep per-block encode
+// free of whole-payload intermediates.
+func AppendCompress(dst []byte, x []float64, eb float64) ([]byte, error) {
 	if eb <= 0 || math.IsNaN(eb) || math.IsInf(eb, 0) {
 		return nil, fmt.Errorf("zfp: error bound must be positive and finite, got %v", eb)
 	}
@@ -64,10 +98,11 @@ func Compress(x []float64, eb float64) ([]byte, error) {
 	}
 	n := len(x)
 
-	// Quantized coefficient stream, zigzag varint coded.
-	var raw bytes.Buffer
+	// Quantized coefficient stream, zigzag varint coded, in pooled
+	// scratch.
+	raw := parallel.GetBytes(2*n + 64)
 	var scratch [binary.MaxVarintLen64]byte
-	coeff := make([]float64, BlockSize)
+	var coeff [BlockSize]float64
 	for off := 0; off < n; off += BlockSize {
 		bl := BlockSize
 		if off+bl > n {
@@ -83,36 +118,38 @@ func Compress(x []float64, eb float64) ([]byte, error) {
 			}
 			coeff[k] = math.Round(c / q)
 			if math.Abs(coeff[k]) > 1e18 {
+				parallel.PutBytes(raw)
 				return nil, fmt.Errorf("zfp: coefficient overflow; bound %g too small for data magnitude", eb)
 			}
 		}
 		for k := 0; k < bl; k++ {
 			z := zigzag(int64(coeff[k]))
 			m := binary.PutUvarint(scratch[:], z)
-			raw.Write(scratch[:m])
+			raw = append(raw, scratch[:m]...)
 		}
 	}
 
-	// Entropy stage: DEFLATE over the varint stream.
-	var comp bytes.Buffer
-	w, err := flate.NewWriter(&comp, flate.BestSpeed)
-	if err != nil {
-		return nil, err
-	}
-	if _, err := w.Write(raw.Bytes()); err != nil {
-		return nil, err
-	}
-	if err := w.Close(); err != nil {
-		return nil, err
-	}
-
-	out := []byte(magic)
+	// Entropy stage: DEFLATE over the varint stream, straight onto the
+	// header.
+	aw := &appendWriter{b: dst}
+	aw.b = append(aw.b, magic...)
 	var b8 [8]byte
 	binary.LittleEndian.PutUint64(b8[:], uint64(n))
-	out = append(out, b8[:]...)
+	aw.b = append(aw.b, b8[:]...)
 	binary.LittleEndian.PutUint64(b8[:], math.Float64bits(eb))
-	out = append(out, b8[:]...)
-	return append(out, comp.Bytes()...), nil
+	aw.b = append(aw.b, b8[:]...)
+	w := getFlateWriter(aw)
+	_, werr := w.Write(raw)
+	cerr := w.Close()
+	flateWriters.Put(w)
+	parallel.PutBytes(raw)
+	if werr != nil {
+		return nil, werr
+	}
+	if cerr != nil {
+		return nil, cerr
+	}
+	return aw.b, nil
 }
 
 // Decompress reverses Compress.
@@ -130,8 +167,9 @@ func Decompress(data []byte) ([]float64, error) {
 
 // DecompressInto reverses Compress into a caller-provided slice: dst
 // must have exactly the stream's element count, and no output
-// allocation is performed. dst is zeroed before the inverse transform
-// accumulates into it, so it may hold stale values on entry; the
+// allocation is performed. The varint stream is decoded serially, then
+// the inverse transforms — the expensive stage — run block-parallel
+// across the worker pool; transform blocks are independent, so the
 // reconstruction is bitwise identical to Decompress.
 func DecompressInto(dst []float64, data []byte) error {
 	n, err := decodedLen(data)
@@ -173,41 +211,76 @@ func decompressInto(data []byte, out []float64) error {
 		return fmt.Errorf("zfp: corrupt error bound %v", eb)
 	}
 	r := flate.NewReader(bytes.NewReader(data[20:]))
-	raw, err := io.ReadAll(r)
+	raw, err := readAllInto(parallel.GetBytes(2*n+64), r)
 	if err != nil {
+		parallel.PutBytes(raw)
 		return fmt.Errorf("zfp: inflate: %w", err)
 	}
 
-	// The inverse transform accumulates; stale destination contents
-	// must not leak into the reconstruction.
-	for i := range out {
-		out[i] = 0
-	}
+	// Serial pass: the varint stream is sequential, so coefficient
+	// boundaries are only known by scanning it once.
+	vals := parallel.GetFloat64s(n)[:n]
 	off := 0
-	for blockOff := 0; blockOff < n; blockOff += BlockSize {
-		bl := BlockSize
-		if blockOff+bl > n {
-			bl = n - blockOff
+	for k := 0; k < n; k++ {
+		z, m := binary.Uvarint(raw[off:])
+		if m <= 0 {
+			parallel.PutBytes(raw)
+			parallel.PutFloat64s(vals)
+			return fmt.Errorf("zfp: truncated coefficient stream")
 		}
-		bb := basis(bl)
-		q := 2 * eb / math.Sqrt(float64(bl))
-		for k := 0; k < bl; k++ {
-			z, m := binary.Uvarint(raw[off:])
-			if m <= 0 {
-				return fmt.Errorf("zfp: truncated coefficient stream")
+		off += m
+		vals[k] = float64(unzigzag(z))
+	}
+	parallel.PutBytes(raw)
+
+	// Parallel pass: every BlockSize-sample inverse transform touches a
+	// disjoint slice of out, so blocks reconstruct concurrently.
+	nBlocks := (n + BlockSize - 1) / BlockSize
+	parallel.For(nBlocks, parallel.Grain(nBlocks, 8, 4), func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			blockOff := b * BlockSize
+			bl := BlockSize
+			if blockOff+bl > n {
+				bl = n - blockOff
 			}
-			off += m
-			c := float64(unzigzag(z)) * q
-			if c == 0 {
-				continue
+			bb := basis(bl)
+			q := 2 * eb / math.Sqrt(float64(bl))
+			dst := out[blockOff : blockOff+bl]
+			for i := range dst {
+				dst[i] = 0
 			}
-			row := bb[k]
-			for i := 0; i < bl; i++ {
-				out[blockOff+i] += c * row[i]
+			for k := 0; k < bl; k++ {
+				c := vals[blockOff+k] * q
+				if c == 0 {
+					continue
+				}
+				row := bb[k]
+				for i := 0; i < bl; i++ {
+					dst[i] += c * row[i]
+				}
 			}
+		}
+	})
+	parallel.PutFloat64s(vals)
+	return nil
+}
+
+// readAllInto reads r to EOF appending into buf, like io.ReadAll but
+// reusing buf's capacity.
+func readAllInto(buf []byte, r io.Reader) ([]byte, error) {
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		m, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+m]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
 		}
 	}
-	return nil
 }
 
 // Ratio returns the compression ratio original/compressed in bytes.

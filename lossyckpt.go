@@ -48,7 +48,13 @@
 // bound using the global value range before blocking), the output
 // bytes are schedule-independent, and legacy single-stream "SZG1"
 // checkpoints remain decodable. Inputs of at most one block keep the
-// legacy format byte-for-byte.
+// legacy format byte-for-byte. The ZFP, FPC, and flate codecs get the
+// same treatment through a shared blocked container ("BLK1",
+// CompressBlocked/DecompressBlockedInto): per-block independent
+// state, concurrent compress and in-place decode, shard cuts aligned
+// to block boundaries, legacy streams still decoding — with ZFP's
+// blocks pinned to transform-block multiples so its blocked and
+// legacy streams reconstruct bitwise identically.
 //
 // Sparse matrix-vector products (CSR.MulVec / MulVecSub) partition by
 // row ranges above ~32k nonzeros; each row accumulates in serial
@@ -167,6 +173,7 @@ package lossyckpt
 import (
 	"repro/internal/abft"
 	"repro/internal/adapt"
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/failure"
@@ -322,6 +329,68 @@ var SZBlockRanges = sz.BlockRanges
 // spans cut on block boundaries.
 var SZSplitBlocks = sz.SplitBlocks
 
+// ---- Blocked containers (ZFP / FPC / flate) ---------------------------------
+
+// CodecID identifies a codec inside the shared "BLK1" blocked
+// container (the ZFP/FPC/flate counterpart of SZ's SZG2).
+type CodecID = codec.ID
+
+// The blocked container's codec IDs.
+const (
+	CodecZFP   = codec.ZFP
+	CodecFPC   = codec.FPC
+	CodecFlate = codec.Flate
+)
+
+// CodecParams select the codec and its knobs (error bound for ZFP,
+// DEFLATE level for flate, elements per block) for CompressBlocked.
+type CodecParams = codec.Params
+
+// CompressBlocked encodes through the blocked container: inputs above
+// one block emit a BLK1 stream whose blocks compress concurrently
+// with fully independent state; smaller inputs keep the codec's
+// legacy stream byte-for-byte.
+var CompressBlocked = codec.Compress
+
+// DecompressBlocked decodes a BLK1 container or any codec's legacy
+// stream, dispatching on the stream magic.
+var DecompressBlocked = codec.Decompress
+
+// DecompressBlockedInto is DecompressBlocked into a caller-provided
+// slice whose length must equal the stream's element count — the
+// zero-copy decode the streaming restore path uses.
+var DecompressBlockedInto = codec.DecompressInto
+
+// IsBlockedStream reports whether a stream is a BLK1 container.
+var IsBlockedStream = codec.IsBlocked
+
+// BlockedStreamID reads the codec ID out of a BLK1 container header.
+var BlockedStreamID = codec.StreamID
+
+// ParseBlockedLayout parses a BLK1 container header (header bytes plus
+// the full stream length) into its block layout for streaming decode.
+var ParseBlockedLayout = codec.ParseBlockLayout
+
+// BlockedRanges reports the byte span of every block in a BLK1 stream
+// (false for legacy/foreign streams) — the shard-alignment cut points.
+var BlockedRanges = codec.BlockRanges
+
+// SplitBlockedStream partitions a BLK1 stream into at most n
+// contiguous spans cut on block boundaries.
+var SplitBlockedStream = codec.SplitBlocks
+
+// DecodeBlockedBlockInto decodes one BLK1 block payload into a slice
+// holding exactly that block's elements.
+var DecodeBlockedBlockInto = codec.DecodeBlockInto
+
+// BlockedFPC is the lossless FPC codec behind the blocked container —
+// plug into LosslessEncoder for parallel lossless checkpoints.
+type BlockedFPC = codec.BlockedFPC
+
+// BlockedFlate is the lossless DEFLATE codec behind the blocked
+// container.
+type BlockedFlate = codec.BlockedFlate
+
 // ---- Checkpoint/restart -------------------------------------------------------
 
 // Checkpointer is the FTI-like Protect/Checkpoint/Recover library.
@@ -380,6 +449,15 @@ type RawEncoder = fti.Raw
 
 // SZEncoder stores vectors through the lossy compressor.
 type SZEncoder = fti.SZ
+
+// ZFPEncoder stores vectors through the ZFP-like transform codec,
+// blocked above ZFPEncoder.BlockElems elements (transform-block
+// aligned, so blocked and legacy streams decode bitwise identically).
+type ZFPEncoder = fti.ZFP
+
+// LosslessEncoder stores vectors through a lossless codec — wrap
+// BlockedFPC or BlockedFlate for the parallel blocked containers.
+type LosslessEncoder = fti.Lossless
 
 // DecoderInto is the optional streaming extension of a checkpoint
 // encoder: decode directly into a caller-provided slice (the restore
