@@ -10,8 +10,10 @@ import (
 	"math"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"strings"
 	"testing"
+	"time"
 
 	lossyckpt "repro"
 	"repro/internal/abft"
@@ -22,6 +24,7 @@ import (
 	"repro/internal/fti"
 	"repro/internal/lossless"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/precond"
 	"repro/internal/solver"
@@ -591,6 +594,73 @@ func BenchmarkRecoverStall(b *testing.B) {
 		b.Fatalf("streaming restore (%.1f MB/op) must allocate less than the legacy path (%.1f MB/op)",
 			streamPer/1e6, legacyPer/1e6)
 	}
+}
+
+// BenchmarkObsOverhead bounds the cost of the observability layer on
+// the checkpoint hot path: the 1M-element PWRel sync save is timed
+// with instrumentation disabled (nil registry and tracer — every hook
+// a no-op) and with a live registry+tracer attached, and the band
+// sub-benchmark asserts the interleaved medians agree within 2%. The
+// disabled/instrumented sub-benchmarks report the two ns/op figures;
+// the A/B trials interleave so machine drift cancels. Race builds
+// skip the assertion (the detector inflates the instrumented atomics
+// far past anything a production build sees).
+func BenchmarkObsOverhead(b *testing.B) {
+	x := solverState(1 << 20)
+	params := sz.Params{Mode: sz.PWRel, ErrorBound: 1e-4}
+	newCk := func(instrument bool) *fti.Checkpointer {
+		ck := fti.New(fti.NewMemStorage(), fti.SZ{Params: params})
+		if err := ck.SetKeep(1); err != nil {
+			b.Fatal(err)
+		}
+		if instrument {
+			ck.Instrument(obs.New(), obs.NewTracer())
+		}
+		return ck
+	}
+	save := func(ck *fti.Checkpointer, i int) float64 {
+		start := time.Now()
+		if _, err := ck.Save(&fti.Snapshot{Iteration: i, Vectors: map[string][]float64{"x": x}}); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start).Seconds()
+	}
+	b.Run("disabled", func(b *testing.B) {
+		ck := newCk(false)
+		b.SetBytes(int64(8 * len(x)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			save(ck, i)
+		}
+	})
+	b.Run("instrumented", func(b *testing.B) {
+		ck := newCk(true)
+		b.SetBytes(int64(8 * len(x)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			save(ck, i)
+		}
+	})
+	b.Run("band", func(b *testing.B) {
+		const trials = 9
+		plain, inst := newCk(false), newCk(true)
+		save(plain, 0) // warm both paths (pool spin-up, buffer growth)
+		save(inst, 0)
+		plainT := make([]float64, 0, trials)
+		instT := make([]float64, 0, trials)
+		for t := 1; t <= trials; t++ {
+			plainT = append(plainT, save(plain, t))
+			instT = append(instT, save(inst, t))
+		}
+		sort.Float64s(plainT)
+		sort.Float64s(instT)
+		ratio := instT[trials/2] / plainT[trials/2]
+		b.ReportMetric(100*(ratio-1), "overhead-%")
+		if !raceEnabled && ratio > 1.02 {
+			b.Fatalf("instrumented save median %.2f ms vs disabled %.2f ms: %.2f%% overhead exceeds the 2%% band",
+				1e3*instT[trials/2], 1e3*plainT[trials/2], 100*(ratio-1))
+		}
+	})
 }
 
 func mustDirStorage(b *testing.B) *fti.DirStorage {

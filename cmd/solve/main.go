@@ -43,6 +43,16 @@
 // this mode -interval is a checkpoint cadence in iterations
 // (default 25).
 //
+// Observability: -metrics-out writes the end-of-run metrics snapshot
+// as JSON, -trace-out writes a Chrome trace_event file (load it at
+// chrome://tracing or https://ui.perfetto.dev), and -debug-addr
+// serves /metrics (Prometheus text), /trace, and /debug/pprof live
+// while the solve runs. The cost table and a metrics summary are
+// emitted on every exit path — success, error, and injected runs
+// alike. With -inject -async the trace shows the background
+// encode/write spans overlapping solver iterations on real clocks;
+// simulated runs emit the same span schema in virtual time.
+//
 // -shards N splits every checkpoint into N shard objects plus a
 // manifest, written concurrently by up to -storage-workers goroutines
 // (0 = GOMAXPROCS). Passing -shards (any value, 1 included) also
@@ -59,9 +69,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/abft"
@@ -71,6 +85,7 @@ import (
 	"repro/internal/failure"
 	"repro/internal/fti"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/precond"
 	"repro/internal/sim"
 	"repro/internal/solver"
@@ -97,6 +112,9 @@ func main() {
 	priorMTTI := flag.Float64("prior-mtti", 3600, "adaptive controller's prior mean time to interruption in seconds (its only a-priori knowledge)")
 	recoveryTiers := flag.Bool("recovery-tiers", false, "tiered recovery: ABFT reconstruction, then latest checkpoint, then older checkpoints, then restart-from-zero")
 	injectSpec := flag.String("inject", "", "seeded fault plan 'kind(+kind)*@iter,...' (kinds proc|abft|shard|manifest|midckpt) driving the real solve; requires -recovery-tiers, excludes -mtti")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /trace, and /debug/pprof on this address (e.g. localhost:6060) while the run is live")
+	metricsOut := flag.String("metrics-out", "", "write the end-of-run metrics snapshot as JSON to this file")
+	traceOut := flag.String("trace-out", "", "write the end-of-run Chrome trace_event JSON to this file")
 	flag.Parse()
 	// The striped single-writer cost model engages when -shards is
 	// given explicitly — including -shards 1, so monolithic and sharded
@@ -108,13 +126,25 @@ func main() {
 		}
 	})
 
-	if err := run(*method, *grid, *rtol, *schemeName, *eb, *interval, *mtti, *tit, *seed, *ckptDir, *maxIter, *async, *shards, *storageWorkers, striped, *adaptive, *priorMTTI, *recoveryTiers, *injectSpec); err != nil {
+	// One registry + tracer pair backs the live endpoint and the
+	// end-of-run artifacts; left nil (zero overhead) unless asked for.
+	var wiring obsWiring
+	wiring.metricsOut, wiring.traceOut = *metricsOut, *traceOut
+	if *debugAddr != "" || *metricsOut != "" || *traceOut != "" {
+		wiring.reg = obs.New()
+		wiring.tr = obs.NewTracer()
+	}
+	if *debugAddr != "" {
+		serveDebug(*debugAddr, wiring.reg, wiring.tr)
+	}
+
+	if err := run(*method, *grid, *rtol, *schemeName, *eb, *interval, *mtti, *tit, *seed, *ckptDir, *maxIter, *async, *shards, *storageWorkers, striped, *adaptive, *priorMTTI, *recoveryTiers, *injectSpec, wiring); err != nil {
 		fmt.Fprintln(os.Stderr, "solve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(method string, grid int, rtol float64, schemeName string, eb, interval, mtti, tit float64, seed int64, ckptDir string, maxIter int, async bool, shards, storageWorkers int, striped, adaptive bool, priorMTTI float64, recoveryTiers bool, injectSpec string) error {
+func run(method string, grid int, rtol float64, schemeName string, eb, interval, mtti, tit float64, seed int64, ckptDir string, maxIter int, async bool, shards, storageWorkers int, striped, adaptive bool, priorMTTI float64, recoveryTiers bool, injectSpec string, wiring obsWiring) error {
 	if adaptive && interval > 0 {
 		return fmt.Errorf("-adaptive and -interval are mutually exclusive (the controller owns the cadence)")
 	}
@@ -220,9 +250,23 @@ func run(method string, grid int, rtol float64, schemeName string, eb, interval,
 		Shards:         shards,
 		StorageWorkers: storageWorkers,
 		ABFT:           guard,
+		// The simulator needs a synchronous Manager (it prices the async
+		// overlap itself); the real injected run uses the actual async
+		// pipeline so its overlap shows up on the trace's wall clocks.
+		Async: async && injectSpec != "",
 	}, storage, s)
 	if err != nil {
 		return err
+	}
+	if wiring.armed() {
+		if injectSpec != "" {
+			// Real run: the pipeline emits wall-clock spans itself.
+			mgr.Instrument(wiring.reg, wiring.tr)
+		} else {
+			// Virtual-time run: the simulator owns the trace (same span
+			// schema, virtual clock); the Manager still exports metrics.
+			mgr.Instrument(wiring.reg, nil)
+		}
 	}
 	if err := core.RegisterStatics(mgr.Checkpointer(), a, b); err != nil {
 		return err
@@ -277,6 +321,12 @@ func run(method string, grid int, rtol float64, schemeName string, eb, interval,
 	capSec := func(info fti.Info) float64 {
 		return mdl.CaptureSeconds(2048, float64(info.RawBytes))
 	}
+	// The reporter is deferred so the cost table, metrics summary, and
+	// observability artifacts come out on EVERY exit path — converged,
+	// errored, or injected — not just the happy one.
+	rep := &reporter{mgr: mgr, mdl: mdl, scheme: scheme, raw: raw, striped: striped,
+		recSec: recSec, measuredRestart: math.NaN(), wiring: wiring}
+	defer rep.emit()
 	if injectSpec != "" {
 		plan, err := failure.ParsePlan(injectSpec, seed)
 		if err != nil {
@@ -286,7 +336,7 @@ func run(method string, grid int, rtol float64, schemeName string, eb, interval,
 		if ckptEvery <= 0 {
 			ckptEvery = 25
 		}
-		return runInjected(a, s, mgr, guard, co, plan, storage, mdl, recSec, tit, ckptEvery, maxIter)
+		return runInjected(a, s, mgr, guard, co, plan, storage, mdl, recSec, tit, ckptEvery, maxIter, wiring.tr)
 	}
 	var ctrl *adapt.Controller
 	if adaptive {
@@ -344,6 +394,8 @@ func run(method string, grid int, rtol float64, schemeName string, eb, interval,
 		ABFTSeconds:       abftSec,
 		Failures:          failure.NewInjector(mtti, seed),
 		MaxIterations:     maxIter,
+		Metrics:           wiring.reg,
+		Tracer:            wiring.tr,
 	})
 	if err != nil {
 		return err
@@ -386,7 +438,6 @@ func run(method string, grid int, rtol float64, schemeName string, eb, interval,
 	// On failure-injected runs, measure one real restart so the
 	// in-process R (streaming shard-parallel restore) can be compared
 	// against the modeled ShardedRecoverySeconds at cluster scale.
-	measuredRestart := math.NaN()
 	if mtti > 0 && mgr.HasCheckpoint() {
 		info := mgr.LastInfo()
 		start := time.Now()
@@ -395,7 +446,7 @@ func run(method string, grid int, rtol float64, schemeName string, eb, interval,
 			return fmt.Errorf("restart measurement: %w", err)
 		}
 		wall := time.Since(start).Seconds()
-		measuredRestart = wall
+		rep.measuredRestart = wall
 		bps := 0.0
 		if wall > 0 {
 			bps = float64(info.Bytes) / wall
@@ -405,8 +456,130 @@ func run(method string, grid int, rtol float64, schemeName string, eb, interval,
 		fmt.Printf("restart: modeled R=%.2fs at 2048 ranks (%d shard objects)\n",
 			recSec(info), max(info.Shards, 1))
 	}
-	printCostBreakdown(mdl, scheme, mgr.LastInfo(), raw, striped, recSec, measuredRestart)
-	return nil
+	return nil // the deferred reporter prints the cost table and metrics
+}
+
+// obsWiring carries the optional observability plumbing from flag
+// parsing into the run: both pointers nil means every hook in every
+// instrumented layer is a no-op.
+type obsWiring struct {
+	reg        *obs.Registry
+	tr         *obs.Tracer
+	metricsOut string
+	traceOut   string
+}
+
+func (w obsWiring) armed() bool { return w.reg != nil || w.tr != nil }
+
+// serveDebug exposes the live registry and tracer (plus pprof) on a
+// background HTTP listener. Snapshots are taken per request, so
+// hitting /metrics mid-run observes the solve without pausing it.
+func serveDebug(addr string, reg *obs.Registry, tr *obs.Tracer) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WriteProm(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = tr.WriteChrome(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			fmt.Fprintln(os.Stderr, "solve: debug server:", err)
+		}
+	}()
+	fmt.Printf("debug endpoint: http://%s/{metrics,trace,debug/pprof}\n", addr)
+}
+
+// reporter emits the end-of-run cost table, metrics summary, and
+// observability artifacts exactly once. run defers it, so error and
+// injection paths report the same way the happy path does.
+type reporter struct {
+	once            sync.Once
+	mgr             *core.Manager
+	mdl             *cluster.Model
+	scheme          core.Scheme
+	raw             float64
+	striped         bool
+	recSec          func(fti.Info) float64
+	measuredRestart float64
+	wiring          obsWiring
+}
+
+func (r *reporter) emit() {
+	r.once.Do(func() {
+		// Drain any in-flight async save first so LastInfo and the
+		// registry describe the run's final state (no-op when sync).
+		info, _ := r.mgr.WaitCheckpoint()
+		printCostBreakdown(r.mdl, r.scheme, info, r.raw, r.striped, r.recSec, r.measuredRestart)
+		r.printMetricsSummary()
+		r.writeArtifacts()
+	})
+}
+
+// printMetricsSummary renders the non-zero counters, gauges, and
+// histogram aggregates from the registry — a digest of the full
+// snapshot that -metrics-out (or /metrics) exposes.
+func (r *reporter) printMetricsSummary() {
+	if r.wiring.reg == nil {
+		return
+	}
+	snap := r.wiring.reg.Snapshot()
+	printed := false
+	for i := range snap.Metrics {
+		md := &snap.Metrics[i]
+		name := md.Name
+		for _, l := range md.Labels {
+			name += fmt.Sprintf("{%s=%q}", l.Key, l.Value)
+		}
+		var line string
+		switch {
+		case md.Type == "histogram" && md.Count > 0:
+			line = fmt.Sprintf("  %-52s count=%-6d mean=%-10.4g p99=%.4g",
+				name, md.Count, md.Sum/float64(md.Count), md.Quantile(0.99))
+		case md.Type != "histogram" && md.Value != 0:
+			line = fmt.Sprintf("  %-52s %g", name, md.Value)
+		default:
+			continue // zero-valued: present in the snapshot, noise here
+		}
+		if !printed {
+			fmt.Printf("metrics summary (non-zero; full snapshot via -metrics-out or /metrics):\n")
+			printed = true
+		}
+		fmt.Println(line)
+	}
+}
+
+func (r *reporter) writeArtifacts() {
+	write := func(path, what string, emit func(io.Writer) error) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err == nil {
+			err = emit(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "solve: writing %s: %v\n", what, err)
+			return
+		}
+		fmt.Printf("%s written to %s\n", what, path)
+	}
+	if r.wiring.reg != nil {
+		write(r.wiring.metricsOut, "metrics snapshot", r.wiring.reg.WriteJSON)
+	}
+	if r.wiring.tr != nil {
+		write(r.wiring.traceOut, "chrome trace", r.wiring.tr.WriteChrome)
+	}
 }
 
 // injectedFailure records one injected event and the tier chain that
@@ -422,18 +595,29 @@ type injectedFailure struct {
 // the tier chain, and prints the per-failure tier table.
 func runInjected(a *sparse.CSR, s solver.Checkpointable, mgr *core.Manager, guard *abft.Guard,
 	co *abft.ChecksumOperator, plan *failure.Plan, storage fti.Storage, mdl *cluster.Model,
-	recSec func(fti.Info) float64, tit float64, ckptEvery, maxIter int) error {
+	recSec func(fti.Info) float64, tit float64, ckptEvery, maxIter int, tr *obs.Tracer) error {
 	fmt.Printf("injection plan: %d events, checkpoint every %d iterations\n", len(plan.Events()), ckptEvery)
 	x0 := make([]float64, a.Rows)
 	var failures []injectedFailure
+	// Coalesce the iteration stretches between lifecycle events into
+	// compute spans, so the trace shows the async pipeline's
+	// encode/write spans overlapping them. All no-ops when tr is nil.
+	computeStart := tr.Now()
+	markCompute := func() {
+		if now := tr.Now(); now > computeStart {
+			tr.Complete(obs.TrackSolver, obs.CatSolver, obs.SpanCompute, computeStart, now-computeStart, nil)
+		}
+	}
 	cb := func(it int, rnorm float64) error {
 		// Retain this iteration's redundancy first: the guard protects
 		// the state the step just produced.
 		guard.Observe()
 		if it%ckptEvery == 0 {
+			markCompute()
 			if _, err := mgr.Checkpoint(); err != nil {
 				return err
 			}
+			computeStart = tr.Now()
 		}
 		kinds := plan.Take(it)
 		if len(kinds) == 0 {
@@ -476,15 +660,19 @@ func runInjected(a *sparse.CSR, s solver.Checkpointable, mgr *core.Manager, guar
 		if !needRecovery {
 			return nil // latent corruption: surfaces at the next recovery
 		}
+		markCompute()
+		tr.Instant(obs.TrackSolver, obs.CatRecovery, obs.SpanFailure)
 		guard.FailNextRank()
 		rep, err := mgr.RecoverTiered(x0)
 		if err != nil {
 			return err
 		}
+		computeStart = tr.Now()
 		failures = append(failures, injectedFailure{iter: it, kinds: kinds, rep: rep})
 		return nil
 	}
 	res, err := solver.RunToConvergence(s, solver.Options{MaxIter: maxIter}, cb)
+	markCompute()
 	if err != nil {
 		return err
 	}

@@ -242,6 +242,7 @@ type Controller struct {
 	planned    bool // at least one re-plan happened
 	dirty      bool // fresh observations since the last re-plan
 	traj       []Plan
+	met        *ctrlMetrics
 }
 
 // New builds a Controller.
@@ -376,6 +377,7 @@ func (c *Controller) Replan(now float64) Plan {
 		Ratio:    c.ratio.Value(),
 	}
 	c.traj = append(c.traj, p)
+	c.met.observePlan(p, c.recovery.Value())
 	return p
 }
 

@@ -175,6 +175,9 @@ type Manager struct {
 
 	// abft is the optional first recovery tier (Config.ABFT).
 	abft *abft.Guard
+
+	// mobs is the observability bundle (nil when uninstrumented).
+	mobs *managerObs
 }
 
 // NewManager wires solver s to storage through the scheme in cfg. The
@@ -335,8 +338,10 @@ func (m *Manager) Checkpoint() (fti.Info, error) {
 	m.lastCkptIter = m.slv.Iteration()
 	m.lastInfo = info
 	m.haveCkpt = true
+	m.mobs.observeCommit()
 	if m.ctrl != nil {
 		now := m.clock()
+		m.mobs.observeWindow(now - m.lastCkptClock)
 		m.lastCkptClock = now
 		// The stage timings are measured inside the save, so a coarse or
 		// virtual Clock cannot zero the cost observation.
@@ -374,7 +379,9 @@ func (m *Manager) checkpointAsync() (fti.Info, error) {
 		// The interval window restarts at capture completion; the cost
 		// observation follows at promote time, when the background
 		// encode+write durations are known.
-		m.lastCkptClock = m.clock()
+		now := m.clock()
+		m.mobs.observeWindow(now - m.lastCkptClock)
+		m.lastCkptClock = now
 	}
 	info := fti.Info{Seq: t.Seq, EncoderName: m.ckpt.Encoder().Name()}
 	for _, v := range snap.Vectors {
@@ -409,6 +416,7 @@ func (m *Manager) promote() {
 	m.lastCkptIter = m.inflightIter
 	m.lastInfo = info
 	m.haveCkpt = true
+	m.mobs.observeCommit()
 	if m.ctrl != nil {
 		m.ctrl.ObserveCheckpoint(adapt.CheckpointObs{
 			When:              m.clock(),
@@ -455,6 +463,7 @@ func (m *Manager) AbortLastCheckpoint() error {
 	if err := m.ckpt.DropLatest(); err != nil {
 		return err
 	}
+	m.mobs.observeAbort()
 	m.lastCkptIter, m.haveCkpt = m.prevCkptIter, m.prevHaveCkpt
 	// Roll the accounting back too: LastInfo must describe the
 	// checkpoint recovery will actually restore, not the dropped one
@@ -584,7 +593,11 @@ func (m *Manager) Recover() (int, error) {
 		m.ctrl.ObserveRecovery(time.Since(restoreStart).Seconds())
 		m.lastCkptClock = m.clock()
 	}
-	return m.adoptSnapshot(snap)
+	it, aerr := m.adoptSnapshot(snap)
+	if aerr == nil {
+		m.mobs.observeRecovery(TierCheckpoint, time.Since(restoreStart).Seconds())
+	}
+	return it, aerr
 }
 
 // adoptSnapshot reinstates the solver from a restored snapshot

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"repro/internal/obs"
+)
+
+// managerObs is the Manager's observability bundle: checkpoint
+// lifecycle counters, per-tier recovery counters, the recovery-chain
+// latency histogram, the realized interval-window gauge, and the
+// trace sink for tiered-recovery spans. A nil bundle (the default)
+// makes every hook a no-op.
+type managerObs struct {
+	committed   *obs.Counter
+	aborted     *obs.Counter
+	recoverySec *obs.Histogram
+	window      *obs.Gauge
+	tiers       [TierRestartZero + 1]*obs.Counter
+	tr          *obs.Tracer
+}
+
+// Instrument attaches metric and trace sinks to the Manager and to
+// every subsystem it owns: the checkpointer (sync or async pipeline),
+// the ABFT guard, and the adaptive-interval controller. Passing nil
+// for both detaches. Only safe while no checkpoint is in flight.
+//
+// Instrumentation is strictly an observer — it never adds controller
+// calls, clock reads that feed decisions, or extra storage traffic —
+// so an instrumented Manager converges bitwise-identically to an
+// uninstrumented one.
+func (m *Manager) Instrument(reg *obs.Registry, tr *obs.Tracer) {
+	if m.async != nil {
+		m.async.Instrument(reg, tr)
+	} else {
+		m.ckpt.Instrument(reg, tr)
+	}
+	if m.abft != nil {
+		m.abft.Instrument(reg)
+	}
+	if m.ctrl != nil {
+		m.ctrl.Instrument(reg)
+	}
+	if reg == nil && tr == nil {
+		m.mobs = nil
+		return
+	}
+	mo := &managerObs{
+		committed:   reg.Counter(obs.MCoreCheckpointsCommittedTotal),
+		aborted:     reg.Counter(obs.MCoreCheckpointsAbortedTotal),
+		recoverySec: reg.Histogram(obs.MCoreRecoverySeconds, obs.LatencyBuckets()),
+		window:      reg.Gauge(obs.MCoreIntervalSeconds),
+		tr:          tr,
+	}
+	for t := TierABFT; t <= TierRestartZero; t++ {
+		mo.tiers[t] = reg.With(obs.L("tier", t.String())).Counter(obs.MCoreRecoveriesTotal)
+	}
+	m.mobs = mo
+}
+
+func (o *managerObs) observeCommit() {
+	if o == nil {
+		return
+	}
+	o.committed.Inc()
+}
+
+func (o *managerObs) observeAbort() {
+	if o == nil {
+		return
+	}
+	o.aborted.Inc()
+}
+
+// observeWindow records the realized interval between consecutive
+// checkpoint captures (adaptive-interval runs, where the Manager has
+// a clock).
+func (o *managerObs) observeWindow(sec float64) {
+	if o == nil {
+		return
+	}
+	o.window.Set(sec)
+}
+
+// observeRecovery counts one completed recovery under the tier that
+// finally restored the solver and records the whole chain's duration.
+func (o *managerObs) observeRecovery(tier RecoveryTier, sec float64) {
+	if o == nil {
+		return
+	}
+	if tier >= 0 && int(tier) < len(o.tiers) {
+		o.tiers[tier].Inc()
+	}
+	o.recoverySec.Observe(sec)
+}
+
+// traceStart returns the trace-relative start time of a recovery
+// chain about to run (0 when tracing is off).
+func (o *managerObs) traceStart() float64 {
+	if o == nil {
+		return 0
+	}
+	return o.tr.Now()
+}
+
+// finishTiered records a finished recovery chain: the per-tier
+// counter and chain histogram, plus one span per tier attempt laid
+// out sequentially from the chain's start — the attempts did run
+// back-to-back, so the measured durations tile the chain.
+func (o *managerObs) finishTiered(rep *RecoveryReport, start, totalSec float64) {
+	if o == nil {
+		return
+	}
+	o.observeRecovery(rep.Used, totalSec)
+	if o.tr == nil {
+		return
+	}
+	cursor := start
+	for _, att := range rep.Attempts {
+		args := map[string]float64{"accepted": 0}
+		if att.Accepted {
+			args["accepted"] = 1
+		}
+		if att.Iterations > 0 {
+			args["iterations"] = float64(att.Iterations)
+		}
+		if att.ReadBytes > 0 {
+			args["read_bytes"] = float64(att.ReadBytes)
+		}
+		if att.Seq > 0 {
+			args["seq"] = float64(att.Seq)
+		}
+		o.tr.Complete(obs.TrackRecovery, obs.CatRecovery,
+			obs.SpanTierPrefix+att.Tier.String(), cursor, att.Seconds, args)
+		cursor += att.Seconds
+	}
+}

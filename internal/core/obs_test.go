@@ -1,0 +1,184 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/abft"
+	"repro/internal/fti"
+	"repro/internal/obs"
+	"repro/internal/precond"
+	"repro/internal/solver"
+	"repro/internal/sparse"
+	"repro/internal/sz"
+)
+
+// flakyListStorage fails List on demand — the restore walk then fails
+// before any per-checkpoint read begins.
+type flakyListStorage struct {
+	*fti.MemStorage
+	failList bool
+}
+
+func (s *flakyListStorage) List() ([]string, error) {
+	if s.failList {
+		return nil, errors.New("storage listing unavailable")
+	}
+	return s.MemStorage.List()
+}
+
+func newGuardedManager(t *testing.T, st fti.Storage) (*Manager, *solver.CG, *abft.Guard) {
+	t.Helper()
+	a := sparse.Poisson3D(8)
+	b := sparse.OnesRHS(a.Rows)
+	cg := solver.NewCG(a, precond.NewJacobiFromMatrix(a), b, nil, solver.SeqSpace{},
+		solver.Options{RTol: 1e-8})
+	g, err := abft.NewGuard(a, b, cg, abft.Config{Seed: 1})
+	if err != nil {
+		t.Fatalf("NewGuard: %v", err)
+	}
+	m, err := NewManager(Config{
+		Scheme:   Lossy,
+		SZParams: sz.Params{Mode: sz.PWRel, ErrorBound: 1e-4},
+		ABFT:     g,
+	}, st, cg)
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	return m, cg, g
+}
+
+// Satellite fix: every attempt of an exhausted chain — the rejected
+// ones and the final restart-from-zero — carries a measured duration.
+func TestRecoverTieredRecordsAttemptDurations(t *testing.T) {
+	r := newTieredRig(t, 1)
+	r.steps(t, 4)
+	r.checkpoint(t)
+	r.steps(t, 4)
+
+	r.g.CorruptRetained()
+	r.corruptAllCheckpoints(t)
+	r.g.FailNextRank()
+	rep, err := r.m.RecoverTiered(r.x0)
+	if err != nil {
+		t.Fatalf("RecoverTiered: %v", err)
+	}
+	if rep.Used != TierRestartZero {
+		t.Fatalf("used %v, want restart-zero; attempts %+v", rep.Used, rep.Attempts)
+	}
+	for i, att := range rep.Attempts {
+		if att.Seconds <= 0 {
+			t.Fatalf("attempt %d (%v, accepted=%v) has no duration: %+v",
+				i, att.Tier, att.Accepted, att)
+		}
+	}
+}
+
+// Satellite fix: a restore walk that dies before reading any
+// checkpoint (the storage listing failed) still reports the rejected
+// checkpoint tier with the time it cost, instead of dropping it.
+func TestRecoverTieredReportsFailedWalk(t *testing.T) {
+	st := &flakyListStorage{MemStorage: fti.NewMemStorage()}
+	m, cg, g := newGuardedManager(t, st)
+	for i := 0; i < 4; i++ {
+		cg.Step()
+		g.Observe()
+	}
+	if _, err := m.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		cg.Step()
+		g.Observe()
+	}
+
+	st.failList = true
+	g.CorruptRetained()
+	g.FailNextRank()
+	rep, err := m.RecoverTiered(make([]float64, len(cg.X())))
+	if err != nil {
+		t.Fatalf("RecoverTiered: %v", err)
+	}
+	if rep.Used != TierRestartZero {
+		t.Fatalf("used %v, want restart-zero; attempts %+v", rep.Used, rep.Attempts)
+	}
+	// abft rejected, synthesized checkpoint rejection, restart-zero.
+	if len(rep.Attempts) != 3 {
+		t.Fatalf("attempts %+v, want 3", rep.Attempts)
+	}
+	walk := rep.Attempts[1]
+	if walk.Tier != TierCheckpoint || walk.Accepted {
+		t.Fatalf("second attempt %+v, want rejected checkpoint tier", walk)
+	}
+	if !strings.Contains(walk.Err, "listing unavailable") {
+		t.Fatalf("walk rejection %q does not carry the storage error", walk.Err)
+	}
+	if walk.Seconds <= 0 {
+		t.Fatalf("failed walk attempt has no duration: %+v", walk)
+	}
+}
+
+// The Manager's bundle counts lifecycle events across every layer it
+// owns, and the recovery chain lands per-attempt tier spans on the
+// recovery track.
+func TestManagerInstrumentCountsLifecycle(t *testing.T) {
+	r := newTieredRig(t, 1)
+	reg := obs.New()
+	tr := obs.NewTracer()
+	r.m.Instrument(reg, tr)
+
+	r.steps(t, 5)
+	r.checkpoint(t)
+	r.steps(t, 5)
+	r.checkpoint(t)
+	r.g.FailNextRank()
+	rep, err := r.m.RecoverTiered(r.x0)
+	if err != nil {
+		t.Fatalf("RecoverTiered: %v", err)
+	}
+	if rep.Used != TierABFT {
+		t.Fatalf("used %v, want abft", rep.Used)
+	}
+
+	snap := reg.Snapshot()
+	want := map[string]float64{
+		obs.MCoreCheckpointsCommittedTotal: 2,
+		obs.MFTICheckpointsTotal:           2,
+		obs.MABFTReconstructionsTotal:      1,
+	}
+	for name, v := range want {
+		md := snap.Get(name)
+		if md == nil || md.Value != v {
+			t.Fatalf("%s = %+v, want %g", name, md, v)
+		}
+	}
+	if md := snap.Get(obs.MABFTObservesTotal); md == nil || md.Value != 10 {
+		t.Fatalf("abft_observes_total = %+v, want 10", md)
+	}
+	if md := snap.Get(obs.MCoreRecoveriesTotal, obs.L("tier", "abft")); md == nil || md.Value != 1 {
+		t.Fatalf("core_recoveries_total{tier=abft} = %+v, want 1", md)
+	}
+	if md := snap.Get(obs.MFTICompressionRatio); md == nil || md.Value <= 0 {
+		t.Fatalf("fti_compression_ratio = %+v, want positive gauge", md)
+	}
+
+	var tierSpans, encodeSpans int
+	for _, e := range tr.Events() {
+		switch {
+		case strings.HasPrefix(e.Name, obs.SpanTierPrefix):
+			tierSpans++
+			if e.Track != obs.TrackRecovery {
+				t.Fatalf("tier span %q on track %d, want recovery track", e.Name, e.Track)
+			}
+		case e.Name == obs.SpanEncode:
+			encodeSpans++
+		}
+	}
+	if tierSpans != len(rep.Attempts) {
+		t.Fatalf("%d tier spans, want one per attempt (%d)", tierSpans, len(rep.Attempts))
+	}
+	if encodeSpans != 2 {
+		t.Fatalf("%d encode spans, want 2 (one per checkpoint)", encodeSpans)
+	}
+}

@@ -73,6 +73,13 @@ type RecoveryReport struct {
 	Attempts  []TierAttempt
 	Used      RecoveryTier
 	Iteration int
+	// Interrupted marks a chain whose recovered state was lost to a
+	// new failure before the chain's cost had fully elapsed (the
+	// virtual-time harness sets it): the attempts and their durations
+	// were still paid and are reported, but the chain recovered
+	// nothing durable and its Used tier does not count as a completed
+	// recovery.
+	Interrupted bool
 }
 
 // ReadBytes sums the encoded bytes read from storage across all
@@ -105,6 +112,11 @@ func (m *Manager) ABFTGuard() *abft.Guard { return m.abft }
 // estimate, and neither kind touches the failure-rate posterior).
 func (m *Manager) RecoverTiered(x0 []float64) (*RecoveryReport, error) {
 	rep := &RecoveryReport{}
+	chainStart := time.Now()
+	traceAt := m.mobs.traceStart()
+	defer func() {
+		m.mobs.finishTiered(rep, traceAt, time.Since(chainStart).Seconds())
+	}()
 
 	// Tier 0: algorithmic reconstruction, no storage involved.
 	if m.abft != nil {
@@ -146,6 +158,17 @@ func (m *Manager) RecoverTiered(x0 []float64) (*RecoveryReport, error) {
 		}
 		start := time.Now()
 		snap, attempts, err := m.ckpt.RestoreIntoTrace(m.recoverBuf)
+		if err != nil && len(attempts) == 0 {
+			// The walk failed before any per-checkpoint read began
+			// (e.g. the storage listing errored): the elapsed time was
+			// still paid, so the rejection is reported with it rather
+			// than dropped.
+			rep.Attempts = append(rep.Attempts, TierAttempt{
+				Tier:    TierCheckpoint,
+				Err:     err.Error(),
+				Seconds: time.Since(start).Seconds(),
+			})
+		}
 		latest := m.lastInfo.Seq
 		for _, fa := range attempts {
 			tier := TierCheckpoint
@@ -162,6 +185,7 @@ func (m *Manager) RecoverTiered(x0 []float64) (*RecoveryReport, error) {
 			})
 		}
 		if err == nil {
+			adoptStart := time.Now()
 			it, aerr := m.adoptSnapshot(snap)
 			if aerr == nil {
 				last := &rep.Attempts[len(rep.Attempts)-1]
@@ -180,18 +204,27 @@ func (m *Manager) RecoverTiered(x0 []float64) (*RecoveryReport, error) {
 			}
 			// The snapshot decoded but the solver rejected it (missing
 			// dynamic variables, dimension mismatch): demote the accepted
-			// attempt and degrade to restart-from-zero.
+			// attempt and degrade to restart-from-zero. The adoption
+			// work belongs to the rejected attempt's duration.
 			last := &rep.Attempts[len(rep.Attempts)-1]
 			last.Accepted = false
 			last.Err = aerr.Error()
+			last.Seconds += time.Since(adoptStart).Seconds()
 		}
 		// err != nil: every checkpoint was invalid; the rejected
 		// attempts are already in the report. Degrade to tier 3.
 	}
 
-	// Tier 3: restart from the initial guess. Always succeeds.
+	// Tier 3: restart from the initial guess. Always succeeds. Its
+	// duration is measured like every other tier's, so a report's
+	// attempts carry consistent timings whichever rung recovered.
+	freshStart := time.Now()
 	it := m.RecoverFresh(x0)
-	rep.Attempts = append(rep.Attempts, TierAttempt{Tier: TierRestartZero, Accepted: true})
+	rep.Attempts = append(rep.Attempts, TierAttempt{
+		Tier:     TierRestartZero,
+		Accepted: true,
+		Seconds:  time.Since(freshStart).Seconds(),
+	})
 	rep.Used = TierRestartZero
 	rep.Iteration = it
 	return rep, nil

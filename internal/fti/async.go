@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // AsyncCheckpointer is the asynchronous checkpoint pipeline: the
@@ -156,12 +158,15 @@ func (a *AsyncCheckpointer) SaveAsync(s *Snapshot) (Ticket, error) {
 		a.mu.Unlock()
 		return Ticket{}, err
 	}
+	capSpan := a.c.ins.spanOn(obs.TrackSolver, obs.CatCheckpoint, obs.SpanCapture)
 	start := time.Now()
 	slot := a.slot
 	a.slot ^= 1
 	a.caps[slot] = copySnapshotInto(a.caps[slot], s)
 	job := &asyncJob{snap: a.caps[slot], slot: slot, done: make(chan struct{})}
 	job.capSec = time.Since(start).Seconds()
+	capSpan.End()
+	a.c.ins.observeCapture(job.capSec)
 	a.inflight = job
 	a.stats.Saves++
 	a.stats.CaptureSeconds += job.capSec

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/codec"
 	"repro/internal/fti/shard"
+	"repro/internal/obs"
 	"repro/internal/sz"
 )
 
@@ -106,6 +107,10 @@ type Checkpointer struct {
 	vecs   []protVec
 	ints   []protInt
 	floats []protFloat
+
+	// ins is the optional observability bundle (see Instrument); nil
+	// means every hook is a no-op.
+	ins *instruments
 }
 
 type protVec struct {
@@ -345,10 +350,12 @@ func (c *Checkpointer) Save(s *Snapshot) (Info, error) {
 func (c *Checkpointer) save(s *Snapshot, buf []byte) ([]byte, Info, error) {
 	c.seq++
 	info := Info{Seq: c.seq, EncoderName: c.enc.Name(), StaticBytes: c.staticSize, Shards: 1}
+	encSpan := c.ins.span(obs.CatCheckpoint, obs.SpanEncode)
 	encStart := time.Now()
 	payload, rawBytes, vecBytes, bounds, err := encodeSnapshot(s, c.enc, buf, c.shards > 1)
 	if err != nil {
 		c.seq--
+		c.ins.observeSaveError()
 		return buf, Info{}, err
 	}
 	info.EncodeSeconds = time.Since(encStart).Seconds()
@@ -358,7 +365,11 @@ func (c *Checkpointer) save(s *Snapshot, buf []byte) ([]byte, Info, error) {
 	if info.Bytes > 0 {
 		info.CompressionRatio = float64(rawBytes) / float64(info.Bytes)
 	}
+	encSpan.EndArgs(map[string]float64{
+		"raw_bytes": float64(rawBytes), "encoded_bytes": float64(info.Bytes),
+	})
 	name := ckptName(c.seq)
+	wrSpan := c.ins.span(obs.CatCheckpoint, obs.SpanWrite)
 	writeStart := time.Now()
 	// groupShards is the number of shard *objects* the just-written
 	// checkpoint owns: 0 for a monolithic write (its base name holds
@@ -367,18 +378,24 @@ func (c *Checkpointer) save(s *Snapshot, buf []byte) ([]byte, Info, error) {
 	groupShards := 0
 	if c.shards > 1 {
 		written, err := shard.Write(c.storage, name, c.enc.Name(), payload, bounds,
-			shard.Options{Shards: c.shards, Workers: c.storageWorkers})
+			c.ins.shardOpts(shard.Options{Shards: c.shards, Workers: c.storageWorkers}))
 		if err != nil {
 			c.seq--
+			c.ins.observeSaveError()
 			return payload, Info{}, err
 		}
 		info.Shards = written
 		groupShards = written
 	} else if err := c.storage.Write(name, payload); err != nil {
 		c.seq--
+		c.ins.observeSaveError()
 		return payload, Info{}, err
 	}
 	info.WriteSeconds = time.Since(writeStart).Seconds()
+	wrSpan.EndArgs(map[string]float64{
+		"bytes": float64(info.Bytes), "shards": float64(max(groupShards, 1)),
+	})
+	c.ins.observeSave(info)
 	c.gc(groupShards)
 	return payload, info, nil
 }
@@ -419,6 +436,17 @@ type RestoreAttempt struct {
 	Bytes   int
 	Seconds float64
 	Err     string
+}
+
+// restoreArgs flattens an attempt into trace span args.
+func restoreArgs(att RestoreAttempt, accepted bool) map[string]float64 {
+	acc := 0.0
+	if accepted {
+		acc = 1
+	}
+	return map[string]float64{
+		"seq": float64(att.Seq), "bytes": float64(att.Bytes), "accepted": acc,
+	}
 }
 
 // RestoreIntoTrace is RestoreInto returning, additionally, the ordered
@@ -492,11 +520,14 @@ func (c *Checkpointer) restoreTrace(decode func(seq int, data []byte, att *Resto
 	var lastErr error
 	for _, seq := range seqs {
 		att := RestoreAttempt{Seq: seq}
+		sp := c.ins.spanOn(obs.TrackRecovery, obs.CatRecovery, obs.SpanRestore)
 		start := time.Now()
 		data, err := c.storage.Read(ckptName(seq))
 		if err != nil {
 			att.Seconds = time.Since(start).Seconds()
 			att.Err = err.Error()
+			c.ins.observeRestoreAttempt(att)
+			sp.EndArgs(restoreArgs(att, false))
 			attempts = append(attempts, att)
 			lastErr = err
 			continue
@@ -507,9 +538,13 @@ func (c *Checkpointer) restoreTrace(decode func(seq int, data []byte, att *Resto
 		if err != nil {
 			lastErr = fmt.Errorf("fti: checkpoint %d: %w", seq, err)
 			att.Err = err.Error()
+			c.ins.observeRestoreAttempt(att)
+			sp.EndArgs(restoreArgs(att, false))
 			attempts = append(attempts, att)
 			continue
 		}
+		c.ins.observeRestoreAttempt(att)
+		sp.EndArgs(restoreArgs(att, true))
 		attempts = append(attempts, att)
 		// Re-sync the sequence counter with storage: a restore may have
 		// fallen back past checkpoints this Checkpointer never wrote,

@@ -1,0 +1,82 @@
+package shard
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Metrics is the shard layer's observability bundle: per-shard-object
+// write/read latency and bytes, plus integrity failures split into
+// CRC mismatches and all read-side rejections. A nil *Metrics (the
+// disabled mode) makes every observation a no-op, so the I/O paths
+// call these unconditionally.
+type Metrics struct {
+	writeSec     *obs.Histogram
+	readSec      *obs.Histogram
+	writes       *obs.Counter
+	reads        *obs.Counter
+	writtenBytes *obs.Counter
+	readBytes    *obs.Counter
+	crcFailures  *obs.Counter
+	readFailures *obs.Counter
+}
+
+// NewMetrics registers the shard metrics in reg; nil reg returns a
+// nil (disabled) bundle.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		writeSec:     reg.Histogram(obs.MShardWriteSeconds, obs.LatencyBuckets()),
+		readSec:      reg.Histogram(obs.MShardReadSeconds, obs.LatencyBuckets()),
+		writes:       reg.Counter(obs.MShardWritesTotal),
+		reads:        reg.Counter(obs.MShardReadsTotal),
+		writtenBytes: reg.Counter(obs.MShardWrittenBytesTotal),
+		readBytes:    reg.Counter(obs.MShardReadBytesTotal),
+		crcFailures:  reg.Counter(obs.MShardCRCFailuresTotal),
+		readFailures: reg.Counter(obs.MShardReadFailuresTotal),
+	}
+}
+
+func (m *Metrics) observeWrite(sec float64, n int) {
+	if m == nil {
+		return
+	}
+	m.writeSec.Observe(sec)
+	m.writes.Inc()
+	m.writtenBytes.Add(uint64(n))
+}
+
+func (m *Metrics) observeRead(sec float64, n int) {
+	if m == nil {
+		return
+	}
+	m.readSec.Observe(sec)
+	m.reads.Inc()
+	m.readBytes.Add(uint64(n))
+}
+
+func (m *Metrics) observeCRCFailure() {
+	if m == nil {
+		return
+	}
+	m.crcFailures.Inc()
+}
+
+func (m *Metrics) observeReadFailure() {
+	if m == nil {
+		return
+	}
+	m.readFailures.Inc()
+}
+
+// now returns the wall clock only when the bundle is live, so the
+// disabled mode skips even the clock read.
+func (m *Metrics) now() time.Time {
+	if m == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}

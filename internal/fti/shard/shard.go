@@ -32,7 +32,9 @@ import (
 	"hash/crc32"
 	"sort"
 	"strings"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -113,6 +115,13 @@ type Options struct {
 	// concurrently; 0 means parallel.Workers(). The pool never exceeds
 	// the shard count.
 	Workers int
+	// Metrics, when non-nil, receives per-shard-object write/read
+	// timings, bytes, and integrity failures (see NewMetrics).
+	Metrics *Metrics
+	// Tracer/Track, when Tracer is non-nil, receive the shard-write
+	// fan-out and manifest-commit lifecycle spans.
+	Tracer *obs.Tracer
+	Track  int
 }
 
 // ShardName returns the storage object name of shard i of group base.
@@ -231,14 +240,20 @@ func Write(st Storage, base, encoder string, payload []byte, aligned []int, opt 
 		writeShard = bw.WriteBatched
 	}
 	errs := make([]error, n)
+	fanout := opt.Tracer.Begin(opt.Track, obs.CatCheckpoint, obs.SpanShardWrite)
 	parallel.ForBounded(n, 1, opt.workers(n), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			chunk := payload[ranges[i].Start:ranges[i].End]
 			name := ShardName(base, i)
 			m.Shards[i] = Info{Name: name, Size: len(chunk), CRC: Checksum(chunk)}
+			start := opt.Metrics.now()
 			errs[i] = writeShard(name, chunk)
+			if errs[i] == nil {
+				opt.Metrics.observeWrite(time.Since(start).Seconds(), len(chunk))
+			}
 		}
 	})
+	fanout.EndArgs(map[string]float64{"shards": float64(n), "bytes": float64(len(payload))})
 	for i, err := range errs {
 		if err != nil {
 			// Roll back: the group must not be half-visible. Failures
@@ -252,6 +267,8 @@ func Write(st Storage, base, encoder string, payload []byte, aligned []int, opt 
 			return 0, fmt.Errorf("shard: write %s: %w", ShardName(base, i), err)
 		}
 	}
+	commit := opt.Tracer.Begin(opt.Track, obs.CatCheckpoint, obs.SpanShardCommit)
+	defer commit.End()
 	if err := st.Write(base, AppendManifest(nil, m)); err != nil {
 		// The write may have failed *after* making the manifest visible
 		// (e.g. a directory-store sync failure post-rename); delete the
@@ -270,18 +287,24 @@ func Write(st Storage, base, encoder string, payload []byte, aligned []int, opt 
 // size and CRC32C — the single read-side integrity gate shared by the
 // reassembling Read and the streaming Reader, so no payload byte is
 // ever served unverified.
-func fetchVerify(st Storage, m *Manifest, i int) ([]byte, error) {
+func fetchVerify(st Storage, m *Manifest, i int, met *Metrics) ([]byte, error) {
 	s := m.Shards[i]
+	start := met.now()
 	data, err := st.Read(s.Name)
 	if err != nil {
+		met.observeReadFailure()
 		return nil, fmt.Errorf("shard: missing shard %s: %w", s.Name, err)
 	}
 	if len(data) != s.Size {
+		met.observeReadFailure()
 		return nil, fmt.Errorf("shard: shard %s is %d bytes, manifest says %d", s.Name, len(data), s.Size)
 	}
 	if Checksum(data) != s.CRC {
+		met.observeCRCFailure()
+		met.observeReadFailure()
 		return nil, fmt.Errorf("shard: shard %s fails its CRC32C (corrupt)", s.Name)
 	}
+	met.observeRead(time.Since(start).Seconds(), len(data))
 	return data, nil
 }
 
@@ -299,7 +322,7 @@ func Read(st Storage, m *Manifest, opt Options) ([]byte, error) {
 	errs := make([]error, n)
 	parallel.ForBounded(n, 1, opt.workers(n), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			chunks[i], errs[i] = fetchVerify(st, m, i)
+			chunks[i], errs[i] = fetchVerify(st, m, i, opt.Metrics)
 		}
 	})
 	for _, err := range errs {
@@ -340,7 +363,12 @@ type Reader struct {
 	offs    []int // offs[i] = payload offset of shard i; offs[n] = Total
 	chunks  [][]byte
 	fetched []bool
+	met     *Metrics
 }
+
+// Instrument attaches a metrics bundle to the reader's shard fetches;
+// nil detaches. Call before the first read.
+func (r *Reader) Instrument(met *Metrics) { r.met = met }
 
 // NewReader wraps a parsed manifest for streaming reads.
 func NewReader(st Storage, m *Manifest) *Reader {
@@ -372,7 +400,7 @@ func (r *Reader) shardAt(off int) int {
 // chunk returns shard i's verified content, reading it on first touch.
 func (r *Reader) chunk(i int) ([]byte, error) {
 	if !r.fetched[i] {
-		data, err := fetchVerify(r.st, r.m, i)
+		data, err := fetchVerify(r.st, r.m, i, r.met)
 		if err != nil {
 			return nil, err
 		}
@@ -440,7 +468,7 @@ func (r *Reader) Prefetch(start, end int, opt Options) error {
 			if r.fetched[s] {
 				continue
 			}
-			data, err := fetchVerify(r.st, r.m, s)
+			data, err := fetchVerify(r.st, r.m, s, r.met)
 			if err != nil {
 				errs[i] = err
 				continue

@@ -150,6 +150,7 @@ func (c *Checkpointer) restoreStreaming(man *shard.Manifest, targets map[string]
 		return nil, fmt.Errorf("checkpoint written by encoder %q, decoder is %q", man.Encoder, c.enc.Name())
 	}
 	r := shard.NewReader(c.storage, man)
+	r.Instrument(c.ins.shardMetrics())
 	if r.Total() < len(fileMagic)+4 {
 		return nil, fmt.Errorf("truncated checkpoint")
 	}

@@ -1,0 +1,128 @@
+package obs
+
+import "regexp"
+
+// This file is the single source of truth for every metric and span
+// name the instrumented packages emit. CI lints that no other file
+// spells out a metric name literal, and TestMetricNameConvention
+// checks every catalog entry against the convention below.
+//
+// Metric name convention: subsystem_name_unit
+//
+//   - lower_snake_case, first token is the owning subsystem
+//     (fti, shard, core, abft, adapt, sim, ...);
+//   - the final token is the unit: seconds | bytes | ratio |
+//     iterations for gauges and histograms, total for counters
+//     (counters that accumulate a quantity keep the quantity's unit
+//     before the suffix, e.g. shard_read_bytes_total);
+//   - counters always end in _total, gauges and histograms never do.
+const (
+	// fti — checkpoint capture/encode/write stages and the restore walk.
+	MFTICaptureSeconds        = "fti_capture_seconds"
+	MFTIEncodeSeconds         = "fti_encode_seconds"
+	MFTIWriteSeconds          = "fti_write_seconds"
+	MFTIRestoreSeconds        = "fti_restore_seconds"
+	MFTIRawBytes              = "fti_checkpoint_raw_bytes"
+	MFTIEncodedBytes          = "fti_checkpoint_encoded_bytes"
+	MFTICompressionRatio      = "fti_compression_ratio"
+	MFTICheckpointsTotal      = "fti_checkpoints_total"
+	MFTICheckpointErrorsTotal = "fti_checkpoint_errors_total"
+	MFTIRestoreAttemptsTotal  = "fti_restore_attempts_total"
+	MFTIRestoreRejectsTotal   = "fti_restore_rejects_total"
+	MFTIRestoreReadBytesTotal = "fti_restore_read_bytes_total"
+
+	// shard — per-shard object I/O under the manifest-last protocol.
+	MShardWriteSeconds      = "shard_write_seconds"
+	MShardReadSeconds       = "shard_read_seconds"
+	MShardWritesTotal       = "shard_writes_total"
+	MShardReadsTotal        = "shard_reads_total"
+	MShardWrittenBytesTotal = "shard_written_bytes_total"
+	MShardReadBytesTotal    = "shard_read_bytes_total"
+	MShardCRCFailuresTotal  = "shard_crc_failures_total"
+	MShardReadFailuresTotal = "shard_read_failures_total"
+
+	// core — Manager lifecycle: commits, aborts, tiered recoveries.
+	MCoreCheckpointsCommittedTotal = "core_checkpoints_committed_total"
+	MCoreCheckpointsAbortedTotal   = "core_checkpoints_aborted_total"
+	MCoreRecoveriesTotal           = "core_recoveries_total" // labeled tier=<tier>
+	MCoreRecoverySeconds           = "core_recovery_seconds"
+	MCoreIntervalSeconds           = "core_interval_seconds"
+
+	// abft — guard observations and reconstructions.
+	MABFTObservesTotal         = "abft_observes_total"
+	MABFTReconstructionsTotal  = "abft_reconstructions_total"
+	MABFTRejectsTotal          = "abft_rejects_total"
+	MABFTChecksumFailuresTotal = "abft_checksum_failures_total"
+	MABFTLocalIterationsTotal  = "abft_local_iterations_total"
+
+	// adapt — the interval controller's estimator state and re-plans.
+	MAdaptReplansTotal      = "adapt_replans_total"
+	MAdaptIntervalSeconds   = "adapt_interval_seconds"
+	MAdaptMTTISeconds       = "adapt_mtti_seconds"
+	MAdaptCheckpointSeconds = "adapt_checkpoint_seconds"
+	MAdaptRecoverySeconds   = "adapt_recovery_seconds"
+	MAdaptCompressionRatio  = "adapt_compression_ratio"
+
+	// sim — the virtual-time harness (same schema, virtual clock).
+	MSimFailuresTotal         = "sim_failures_total"
+	MSimCheckpointsTotal      = "sim_checkpoints_total"
+	MSimCheckpointAbortsTotal = "sim_checkpoint_aborts_total"
+	MSimRecoveriesTotal       = "sim_recoveries_total" // labeled tier=<tier>
+	MSimElapsedSeconds        = "sim_elapsed_seconds"
+)
+
+// AllMetricNames is the catalog CI and the README table are generated
+// against; TestMetricNameConvention asserts every entry matches
+// ValidMetricName and the counter/_total rule.
+var AllMetricNames = []string{
+	MFTICaptureSeconds, MFTIEncodeSeconds, MFTIWriteSeconds,
+	MFTIRestoreSeconds, MFTIRawBytes, MFTIEncodedBytes,
+	MFTICompressionRatio, MFTICheckpointsTotal, MFTICheckpointErrorsTotal,
+	MFTIRestoreAttemptsTotal, MFTIRestoreRejectsTotal, MFTIRestoreReadBytesTotal,
+	MShardWriteSeconds, MShardReadSeconds, MShardWritesTotal,
+	MShardReadsTotal, MShardWrittenBytesTotal, MShardReadBytesTotal,
+	MShardCRCFailuresTotal, MShardReadFailuresTotal,
+	MCoreCheckpointsCommittedTotal, MCoreCheckpointsAbortedTotal,
+	MCoreRecoveriesTotal, MCoreRecoverySeconds, MCoreIntervalSeconds,
+	MABFTObservesTotal, MABFTReconstructionsTotal, MABFTRejectsTotal,
+	MABFTChecksumFailuresTotal, MABFTLocalIterationsTotal,
+	MAdaptReplansTotal, MAdaptIntervalSeconds, MAdaptMTTISeconds,
+	MAdaptCheckpointSeconds, MAdaptRecoverySeconds, MAdaptCompressionRatio,
+	MSimFailuresTotal, MSimCheckpointsTotal, MSimCheckpointAbortsTotal,
+	MSimRecoveriesTotal, MSimElapsedSeconds,
+}
+
+var nameRE = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*_(seconds|bytes|ratio|total|iterations)$`)
+
+// ValidMetricName reports whether name follows the
+// subsystem_name_unit convention. The Registry panics on names that
+// don't — metric names are compile-time constants, not data.
+func ValidMetricName(name string) bool { return nameRE.MatchString(name) }
+
+// Trace tracks. One Chrome "thread" lane per concurrent activity, so
+// the async pipeline's overlap with solver iterations is visible.
+const (
+	TrackSolver   = 1 // the solver goroutine: iterations, capture stalls, sync saves
+	TrackPipeline = 2 // background encode+write of the async double buffer
+	TrackRecovery = 3 // restore walks and tiered recovery attempts
+)
+
+// Span categories and names. Real (wall-clock) runs and the
+// virtual-time simulator emit the same schema.
+const (
+	CatCheckpoint = "checkpoint"
+	CatRecovery   = "recovery"
+	CatSolver     = "solver"
+
+	SpanCapture     = "capture"
+	SpanEncode      = "encode"
+	SpanWrite       = "write"
+	SpanShardWrite  = "shard-write"
+	SpanShardCommit = "shard-commit"
+	SpanCheckpoint  = "checkpoint"    // fused encode+write when stages aren't split (sim sync mode)
+	SpanBackground  = "encode+write"  // async background stage as one span (sim async mode)
+	SpanRestore     = "restore"       // one fti restore attempt (one checkpoint read+decode)
+	SpanCompute     = "compute"       // solver iterations between lifecycle events
+	SpanFailure     = "failure"       // instant marker
+	SpanTierPrefix  = "tier:"         // + RecoveryTier.String(), one span per TierAttempt
+)

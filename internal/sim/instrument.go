@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// simObs is the harness's observability bundle. The simulator emits
+// the same span schema real runs do — capture/encode+write/checkpoint
+// spans on the solver and pipeline tracks, tier spans on the recovery
+// track — but stamps every event with the virtual clock, so a
+// simulated trace opens in chrome://tracing exactly like a wall-clock
+// one. A nil bundle (the default) makes every hook a no-op, and the
+// hooks never feed back into the simulation's control flow, so an
+// instrumented run is bitwise identical to an uninstrumented one.
+type simObs struct {
+	failures *obs.Counter
+	ckpts    *obs.Counter
+	aborts   *obs.Counter
+	tiers    [core.TierRestartZero + 1]*obs.Counter
+	elapsed  *obs.Gauge
+	tr       *obs.Tracer
+}
+
+func newSimObs(reg *obs.Registry, tr *obs.Tracer) *simObs {
+	if reg == nil && tr == nil {
+		return nil
+	}
+	ob := &simObs{
+		failures: reg.Counter(obs.MSimFailuresTotal),
+		ckpts:    reg.Counter(obs.MSimCheckpointsTotal),
+		aborts:   reg.Counter(obs.MSimCheckpointAbortsTotal),
+		elapsed:  reg.Gauge(obs.MSimElapsedSeconds),
+		tr:       tr,
+	}
+	for t := core.TierABFT; t <= core.TierRestartZero; t++ {
+		ob.tiers[t] = reg.With(obs.L("tier", t.String())).Counter(obs.MSimRecoveriesTotal)
+	}
+	return ob
+}
+
+// compute closes the current stretch of solver iterations as one
+// coalesced span on the solver track.
+func (o *simObs) compute(start, now float64) {
+	if o == nil || now <= start {
+		return
+	}
+	o.tr.Complete(obs.TrackSolver, obs.CatSolver, obs.SpanCompute, start, now-start, nil)
+}
+
+func (o *simObs) span(track int, cat, name string, start, dur float64, args map[string]float64) {
+	if o == nil {
+		return
+	}
+	o.tr.Complete(track, cat, name, start, dur, args)
+}
+
+func (o *simObs) failure(at float64) {
+	if o == nil {
+		return
+	}
+	o.failures.Inc()
+	o.tr.InstantAt(obs.TrackSolver, obs.CatRecovery, obs.SpanFailure, at)
+}
+
+func (o *simObs) checkpoint() {
+	if o == nil {
+		return
+	}
+	o.ckpts.Inc()
+}
+
+func (o *simObs) abort() {
+	if o == nil {
+		return
+	}
+	o.aborts.Inc()
+}
+
+// recoveryTier counts one completed recovery under the tier that
+// restored the solver (the legacy single-tier path reports the tier
+// directly).
+func (o *simObs) recoveryTier(t core.RecoveryTier) {
+	if o == nil {
+		return
+	}
+	if t >= 0 && int(t) < len(o.tiers) {
+		o.tiers[t].Inc()
+	}
+}
+
+// recovery records one recovery chain: a per-tier counter for
+// completed chains, and one span per attempt on the recovery track,
+// tiled from the chain's virtual start time. Spans of an interrupted
+// chain are truncated at limit — the virtual time the new failure
+// struck — and attempts that would start past it are dropped from the
+// trace (they stay in the report).
+func (o *simObs) recovery(rep *core.RecoveryReport, start, limit float64) {
+	if o == nil {
+		return
+	}
+	if !rep.Interrupted {
+		o.recoveryTier(rep.Used)
+	}
+	cursor := start
+	for _, att := range rep.Attempts {
+		if cursor >= limit {
+			break
+		}
+		dur := att.Seconds
+		if cursor+dur > limit {
+			dur = limit - cursor
+		}
+		args := map[string]float64{"accepted": 0}
+		if att.Accepted {
+			args["accepted"] = 1
+		}
+		if rep.Interrupted {
+			args["interrupted"] = 1
+		}
+		if att.Iterations > 0 {
+			args["iterations"] = float64(att.Iterations)
+		}
+		if att.ReadBytes > 0 {
+			args["read_bytes"] = float64(att.ReadBytes)
+		}
+		o.tr.Complete(obs.TrackRecovery, obs.CatRecovery,
+			obs.SpanTierPrefix+att.Tier.String(), cursor, dur, args)
+		cursor += att.Seconds
+	}
+}
+
+func (o *simObs) setElapsed(t float64) {
+	if o == nil {
+		return
+	}
+	o.elapsed.Set(t)
+}

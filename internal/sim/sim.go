@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/failure"
 	"repro/internal/fti"
+	"repro/internal/obs"
 	"repro/internal/solver"
 )
 
@@ -119,6 +120,17 @@ type Config struct {
 	// RecordResiduals retains the per-iteration residual trace
 	// (Figure 9 needs it).
 	RecordResiduals bool
+
+	// Metrics, when non-nil, receives the harness's lifecycle counters
+	// (the sim_* catalog: failures, checkpoints, aborts, recoveries by
+	// tier, elapsed virtual seconds). Tracer, when non-nil, receives
+	// the same span schema real runs emit — compute, checkpoint,
+	// capture and background-write spans plus per-tier recovery spans
+	// — stamped with the virtual clock, so a simulated trace opens in
+	// chrome://tracing like a wall-clock one. Both are pure observers
+	// and never alter the simulated trajectory.
+	Metrics *obs.Registry
+	Tracer  *obs.Tracer
 }
 
 // Event marks a failure in the trace.
@@ -164,7 +176,11 @@ type Outcome struct {
 	FreshRestarts      int
 	RecoveryReadBytes  int64
 	// RecoveryReports holds the per-failure tier reports of a tiered
-	// run (Manager with an ABFT guard), in failure order.
+	// run (Manager with an ABFT guard), in failure order. Chains cut
+	// short by a new failure before their simulated cost had elapsed
+	// are included too, marked Interrupted — their attempts (and the
+	// attempts' virtual durations) were still paid — and do not count
+	// against the tier counters above.
 	RecoveryReports []core.RecoveryReport
 	// IntervalPlans is the adaptive controller's re-planning trajectory
 	// (adaptive runs only): every interval decision with the estimates
@@ -213,9 +229,18 @@ func Run(cfg Config) (*Outcome, error) {
 	out := &Outcome{}
 	s := cfg.Stepper
 	m := cfg.Manager
+	ob := newSimObs(cfg.Metrics, cfg.Tracer)
 
 	t := 0.0
 	lastCkptAt := 0.0
+	// computeAt marks the virtual start of the current uninterrupted
+	// stretch of solver iterations; markCompute closes the stretch as
+	// one coalesced span on the solver track.
+	computeAt := 0.0
+	markCompute := func(now float64) {
+		ob.compute(computeAt, now)
+		computeAt = now
+	}
 	logical := 0       // logical iteration index (paper's i)
 	logicalAtCkpt := 0 // logical index captured by the latest checkpoint
 	prevLogicalAtCkpt := 0
@@ -253,12 +278,16 @@ func Run(cfg Config) (*Outcome, error) {
 	// recovery target.
 	pendingLive := false
 	pendingCommitAt := 0.0
+	pendingStart := 0.0 // capture end: when the background write began
 	// commitPending marks the pending checkpoint committed if its
 	// background write finished by virtual time `now`.
 	commitPending := func(now float64) {
 		if pendingLive && pendingCommitAt <= now {
 			pendingLive = false
 			out.Checkpoints++
+			ob.checkpoint()
+			ob.span(obs.TrackPipeline, obs.CatCheckpoint, obs.SpanBackground,
+				pendingStart, pendingCommitAt-pendingStart, nil)
 		}
 	}
 	// abortPending discards a still-uncommitted pending checkpoint —
@@ -270,6 +299,9 @@ func Run(cfg Config) (*Outcome, error) {
 		}
 		pendingLive = false
 		out.AbortedCheckpoints++
+		ob.abort()
+		ob.span(obs.TrackPipeline, obs.CatCheckpoint, obs.SpanBackground,
+			pendingStart, t-pendingStart, map[string]float64{"aborted": 1})
 		if err := m.AbortLastCheckpoint(); err != nil {
 			return fmt.Errorf("sim: abort in-flight checkpoint: %w", err)
 		}
@@ -287,20 +319,28 @@ func Run(cfg Config) (*Outcome, error) {
 	if abftSec == nil {
 		abftSec = func(att core.TierAttempt) float64 { return float64(att.Iterations) * cfg.TitSeconds }
 	}
-	// priceReport sums the simulated cost of every tier attempt of one
-	// chain recovery: ABFT attempts cost reconstruction work (accepted
-	// or not — a failed verification still ran the local solve), each
-	// checkpoint-tier attempt costs one restore read (rejected reads
-	// were still paid), restart-from-zero is free.
+	// priceReport prices every tier attempt of one chain recovery in
+	// simulated seconds and writes the price back onto the attempt, so
+	// the report's durations are consistently virtual for accepted and
+	// rejected attempts alike (the wall-clock timings RecoverTiered
+	// measured are meaningless inside the virtual clock). ABFT
+	// attempts cost reconstruction work (accepted or not — a failed
+	// verification still ran the local solve), each checkpoint-tier
+	// attempt costs one restore read (rejected reads were still paid),
+	// restart-from-zero is free. Returns the chain's total.
 	priceReport := func(rep *core.RecoveryReport) float64 {
 		total := 0.0
-		for _, att := range rep.Attempts {
+		for i := range rep.Attempts {
+			att := &rep.Attempts[i]
+			sec := 0.0
 			switch att.Tier {
 			case core.TierABFT:
-				total += abftSec(att)
+				sec = abftSec(*att)
 			case core.TierCheckpoint, core.TierPreviousCheckpoint:
-				total += cfg.RecoverySeconds(m.LastInfo())
+				sec = cfg.RecoverySeconds(m.LastInfo())
 			}
+			att.Seconds = sec
+			total += sec
 		}
 		return total
 	}
@@ -313,11 +353,13 @@ func Run(cfg Config) (*Outcome, error) {
 		if ctrl != nil {
 			ctrl.ObserveFailure(t)
 		}
+		ob.failure(t)
 		if guard == nil {
 			for {
 				rec := cfg.RecoverySeconds(m.LastInfo())
 				nextFail = drawFail(t)
 				if t+rec <= nextFail {
+					ob.span(obs.TrackRecovery, obs.CatRecovery, obs.SpanRestore, t, rec, nil)
 					t += rec
 					out.RecoveryTime += rec
 					if ctrl != nil {
@@ -327,6 +369,8 @@ func Run(cfg Config) (*Outcome, error) {
 				}
 				// Failure during recovery: the recovery restarts.
 				wasted := nextFail - t
+				ob.span(obs.TrackRecovery, obs.CatRecovery, obs.SpanRestore, t, wasted,
+					map[string]float64{"interrupted": 1})
 				t = nextFail
 				out.RecoveryTime += wasted
 				out.Failures++
@@ -334,20 +378,24 @@ func Run(cfg Config) (*Outcome, error) {
 				if ctrl != nil {
 					ctrl.ObserveFailure(t)
 				}
+				ob.failure(t)
 			}
 			if m.HasCheckpoint() {
 				if _, err := m.Recover(); err != nil {
 					return fmt.Errorf("sim: recovery: %w", err)
 				}
 				out.CheckpointRestarts++
+				ob.recoveryTier(core.TierCheckpoint)
 				out.RecoveryReadBytes += int64(m.LastInfo().Bytes)
 				logical = logicalAtCkpt
 			} else {
 				m.RecoverFresh(cfg.X0)
 				out.FreshRestarts++
+				ob.recoveryTier(core.TierRestartZero)
 				logical = 0
 			}
 			lastCkptAt = t // the interval clock restarts after recovery
+			computeAt = t
 			return nil
 		}
 		for {
@@ -362,6 +410,7 @@ func Run(cfg Config) (*Outcome, error) {
 			out.RecoveryReadBytes += int64(rep.ReadBytes())
 			nextFail = drawFail(t)
 			if t+rec <= nextFail {
+				ob.recovery(rep, t, math.Inf(1))
 				t += rec
 				out.RecoveryTime += rec
 				out.RecoveryReports = append(out.RecoveryReports, *rep)
@@ -391,8 +440,14 @@ func Run(cfg Config) (*Outcome, error) {
 				}
 				break
 			}
-			// Failure during recovery: the completed chain's work is
-			// wasted and the chain reruns against the new loss.
+			// Failure during recovery: the chain's work is wasted and
+			// the chain reruns against the new loss. The report is
+			// still kept — its attempts and their virtual durations
+			// were paid — marked Interrupted so tier accounting skips
+			// it.
+			rep.Interrupted = true
+			out.RecoveryReports = append(out.RecoveryReports, *rep)
+			ob.recovery(rep, t, nextFail)
 			wasted := nextFail - t
 			t = nextFail
 			out.RecoveryTime += wasted
@@ -401,8 +456,10 @@ func Run(cfg Config) (*Outcome, error) {
 			if ctrl != nil {
 				ctrl.ObserveFailure(t)
 			}
+			ob.failure(t)
 		}
 		lastCkptAt = t // the interval clock restarts after recovery
+		computeAt = t
 		return nil
 	}
 
@@ -413,9 +470,13 @@ func Run(cfg Config) (*Outcome, error) {
 	// the capture copy was.)
 	failDuringCheckpoint := func() error {
 		wasted := nextFail - t
+		ob.span(obs.TrackSolver, obs.CatCheckpoint, obs.SpanCheckpoint, t, wasted,
+			map[string]float64{"aborted": 1})
 		t = nextFail
+		computeAt = t
 		out.CheckpointTime += wasted
 		out.AbortedCheckpoints++
+		ob.abort()
 		if err := m.AbortLastCheckpoint(); err != nil {
 			return fmt.Errorf("sim: abort checkpoint: %w", err)
 		}
@@ -433,6 +494,7 @@ func Run(cfg Config) (*Outcome, error) {
 		// simulated time as in the paper's optimal-interval runs (fixed
 		// cadence) or re-planned online by the adaptive controller.
 		if iv := interval(); iv > 0 && t-lastCkptAt >= iv {
+			markCompute(t)
 			if cfg.AsyncCheckpoint {
 				// Backpressure: SaveAsync drains the previous
 				// background encode+write before capturing.
@@ -474,10 +536,13 @@ func Run(cfg Config) (*Outcome, error) {
 				}
 				t += capSec
 				out.CheckpointTime += capSec
+				ob.span(obs.TrackSolver, obs.CatCheckpoint, obs.SpanCapture, t-capSec, capSec, nil)
 				bg := cfg.CheckpointSeconds(info)
 				pendingLive = true
 				pendingCommitAt = t + bg
+				pendingStart = t
 				lastCkptAt = t
+				computeAt = t
 				if ctrl != nil {
 					ctrl.ObserveCheckpoint(adapt.CheckpointObs{
 						When:              t,
@@ -504,7 +569,11 @@ func Run(cfg Config) (*Outcome, error) {
 				t += d
 				out.CheckpointTime += d
 				out.Checkpoints++
+				ob.checkpoint()
+				ob.span(obs.TrackSolver, obs.CatCheckpoint, obs.SpanCheckpoint, t-d, d,
+					map[string]float64{"bytes": float64(info.Bytes)})
 				lastCkptAt = t
+				computeAt = t
 				if ctrl != nil {
 					ctrl.ObserveCheckpoint(adapt.CheckpointObs{
 						When:        t,
@@ -522,6 +591,7 @@ func Run(cfg Config) (*Outcome, error) {
 			// background write that finished before the failure had
 			// committed; one still in flight is lost with the node.
 			t = nextFail
+			markCompute(t)
 			commitPending(t)
 			if err := abortPending(); err != nil {
 				return nil, err
@@ -552,6 +622,8 @@ func Run(cfg Config) (*Outcome, error) {
 	// A background write still running at convergence completes during
 	// shutdown; it counts as taken but adds no solver-visible time.
 	commitPending(math.Inf(1))
+	markCompute(t)
+	ob.setElapsed(t)
 	out.Converged = s.Converged(rnorm)
 	out.SimSeconds = t
 	out.ConvergenceIterations = logical

@@ -147,6 +147,18 @@
 // corruptions of retained state, shards and manifests to exercise
 // every rung of the chain.
 //
+// The whole pipeline is observable without being perturbable:
+// Manager.Instrument wires a MetricsRegistry and LifecycleTracer
+// through every layer it owns (fti stage timings and byte counts,
+// shard fan-out, ABFT guard verdicts, controller re-plans, per-tier
+// recovery outcomes), emitting per-stage spans on a Chrome
+// trace_event timeline. Both are nil-safe — uninstrumented runs pay
+// nothing — and instrumentation is a pure observer: instrumented and
+// uninstrumented runs produce bitwise-identical convergence traces.
+// The simulator (sim.Config.Metrics/Tracer) emits the same span
+// schema on its virtual clock, and cmd/solve serves everything live
+// (-debug-addr) or as exit artifacts (-metrics-out, -trace-out).
+//
 // Knobs: GOMAXPROCS sizes the pool; SetParallelWorkers overrides it
 // (SetParallelWorkers(1) forces serial execution, useful for
 // reproducing single-core baselines); SZParams.BlockSize trades
@@ -180,6 +192,7 @@ import (
 	"repro/internal/fti"
 	"repro/internal/fti/shard"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/solver"
 	"repro/internal/sparse"
@@ -664,6 +677,69 @@ var AsyncOverheadRatio = model.AsyncOverheadRatio
 
 // GMRESAdaptiveBound is Theorem 3's adaptive error bound.
 var GMRESAdaptiveBound = model.GMRESAdaptiveBound
+
+// ---- Observability ---------------------------------------------------------------
+
+// MetricsRegistry is the dependency-free metrics registry: atomic
+// counters, gauges, and fixed-bucket histograms with labeled child
+// scopes, snapshot-able and mergeable, written as Prometheus text or
+// JSON. A nil *MetricsRegistry is fully usable — every handle it
+// hands out no-ops — so instrumented code pays nothing when metrics
+// are off. Wire into a Manager with Manager.Instrument, or into the
+// virtual-time simulator via sim.Config.Metrics; cmd/solve exposes it
+// live on -debug-addr and at exit via -metrics-out.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry builds an empty registry.
+var NewMetricsRegistry = obs.New
+
+// MetricCounter is a monotonically increasing counter handle.
+type MetricCounter = obs.Counter
+
+// MetricGauge is a last-value gauge handle.
+type MetricGauge = obs.Gauge
+
+// MetricHistogram is a fixed-bucket histogram handle.
+type MetricHistogram = obs.Histogram
+
+// MetricLabel is one key=value label on a registry scope.
+type MetricLabel = obs.Label
+
+// MetricsSnapshot is a point-in-time copy of a registry, safe to
+// merge (across shards or processes) and serialize.
+type MetricsSnapshot = obs.Snapshot
+
+// MetricData is one metric inside a MetricsSnapshot.
+type MetricData = obs.MetricData
+
+// LatencyBuckets are the default histogram bounds for durations in
+// seconds; ByteBuckets for sizes in bytes.
+var (
+	LatencyBuckets = obs.LatencyBuckets
+	ByteBuckets    = obs.ByteBuckets
+)
+
+// ValidMetricName reports whether a name follows the repository's
+// subsystem_name_unit convention (internal/obs/names.go is the single
+// source of truth for the catalog).
+var ValidMetricName = obs.ValidMetricName
+
+// LifecycleTracer records structured spans for every checkpoint stage
+// (capture → encode → write → shard-commit) and recovery attempt,
+// exported as Chrome trace_event JSON (chrome://tracing, Perfetto).
+// Nil tracers no-op like nil registries. Real runs stamp wall clocks;
+// the simulator emits the same span schema on its virtual clock.
+type LifecycleTracer = obs.Tracer
+
+// TraceSpanEvent is one recorded span or instant from a tracer.
+type TraceSpanEvent = obs.SpanEvent
+
+// NewLifecycleTracer builds a wall-clock tracer.
+var NewLifecycleTracer = obs.NewTracer
+
+// NewLifecycleTracerWithClock builds a tracer on a caller-provided
+// clock (the virtual-time simulator's, in simulated runs).
+var NewLifecycleTracerWithClock = obs.NewTracerWithClock
 
 // ---- Experiments -----------------------------------------------------------------
 
