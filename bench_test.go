@@ -1108,3 +1108,92 @@ func BenchmarkABFTRecovery(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkStorageFaults bounds the cost of the fault-tolerant
+// storage layer (PR 9). The fault-free band asserts the retry wrapper
+// adds under 2% to a 1M-element sync save — it is a thin
+// classify-and-dispatch shim when nothing fails — using the same
+// interleaved-median A/B protocol as BenchmarkObsOverhead. The
+// campaign sub-benchmark then drives a sharded checkpointer through a
+// 1% transient-fault storage and asserts every save still commits:
+// the retry layer absorbs the campaign with bounded extra work.
+// Backoff sleeps are stubbed out so the benchmark measures the retry
+// machinery, not the (configurable) delay schedule. Race builds skip
+// the band assertion.
+func BenchmarkStorageFaults(b *testing.B) {
+	x := solverState(1 << 20)
+	params := sz.Params{Mode: sz.PWRel, ErrorBound: 1e-4}
+	newCk := func(st fti.Storage) *fti.Checkpointer {
+		ck := fti.New(st, fti.SZ{Params: params})
+		if err := ck.SetKeep(1); err != nil {
+			b.Fatal(err)
+		}
+		return ck
+	}
+	noSleep := func(time.Duration) {}
+	save := func(ck *fti.Checkpointer, i int) float64 {
+		start := time.Now()
+		if _, err := ck.Save(&fti.Snapshot{Iteration: i, Vectors: map[string][]float64{"x": x}}); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start).Seconds()
+	}
+	b.Run("direct", func(b *testing.B) {
+		ck := newCk(fti.NewMemStorage())
+		b.SetBytes(int64(8 * len(x)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			save(ck, i)
+		}
+	})
+	b.Run("resilient-fault-free", func(b *testing.B) {
+		ck := newCk(fti.NewResilient(fti.NewMemStorage(), fti.FaultPolicy{Sleep: noSleep}))
+		b.SetBytes(int64(8 * len(x)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			save(ck, i)
+		}
+	})
+	b.Run("band", func(b *testing.B) {
+		const trials = 15
+		plain := newCk(fti.NewMemStorage())
+		wrapped := newCk(fti.NewResilient(fti.NewMemStorage(), fti.FaultPolicy{Sleep: noSleep}))
+		save(plain, 0) // warm both paths (pool spin-up, buffer growth)
+		save(wrapped, 0)
+		runtime.GC() // drain garbage from earlier sub-benchmarks off the trial window
+		plainT := make([]float64, 0, trials)
+		wrapT := make([]float64, 0, trials)
+		for t := 1; t <= trials; t++ {
+			plainT = append(plainT, save(plain, t))
+			wrapT = append(wrapT, save(wrapped, t))
+		}
+		sort.Float64s(plainT)
+		sort.Float64s(wrapT)
+		ratio := wrapT[trials/2] / plainT[trials/2]
+		b.ReportMetric(100*(ratio-1), "overhead-%")
+		if !raceEnabled && ratio > 1.02 {
+			b.Fatalf("resilient save median %.2f ms vs direct %.2f ms: %.2f%% overhead exceeds the 2%% band",
+				1e3*wrapT[trials/2], 1e3*plainT[trials/2], 100*(ratio-1))
+		}
+	})
+	b.Run("fault-campaign-1pct", func(b *testing.B) {
+		inj := failure.NewStorageInjector(fti.NewMemStorage(), 7, failure.StorageProfile{Rate: 0.01})
+		res := fti.NewResilient(inj, fti.FaultPolicy{Sleep: noSleep, Seed: 7})
+		ck := newCk(res)
+		if err := ck.SetSharding(8, 2); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(8 * len(x)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			save(ck, i)
+		}
+		b.StopTimer()
+		st := res.Stats()
+		if st.Exhausted != 0 || st.Permanent != 0 {
+			b.Fatalf("campaign leaked solver-visible failures: %+v", st)
+		}
+		b.ReportMetric(float64(inj.Stats().Total())/float64(b.N), "faults/op")
+		b.ReportMetric(float64(st.Retries)/float64(b.N), "retries/op")
+	})
+}

@@ -34,14 +34,22 @@
 // each recovery used. The spec grammar is
 //
 //	spec  := event ("," event)*
-//	event := kind ("+" kind)* "@" iteration
+//	event := kind ("+" kind)* "@" iterspec
 //	kind  := proc | abft | shard | manifest | midckpt
+//	       | storagewrite | storageread | slowio | crash
+//	iterspec := N | N..M | N..M/S
 //
 // e.g. -inject 'proc@50,abft+proc@120,manifest+proc@200'. Corruption
 // kinds without proc/midckpt are latent and surface at the next
-// recovery. -inject requires -recovery-tiers and excludes -mtti; in
-// this mode -interval is a checkpoint cadence in iterations
-// (default 25).
+// recovery. The storage kinds arm faults in the injector interposed
+// beneath the resilient retry layer: storagewrite/storageread fail one
+// storage attempt, slowio delays one (exercising hedged reads), and
+// crash kills the store mid-commit — a partial temp artifact is left
+// behind, the store revives, and fsck sweeps the debris before tiered
+// recovery runs. A range iterspec ("storagewrite@100..600") schedules
+// a whole campaign in one event. -inject requires -recovery-tiers and
+// excludes -mtti; in this mode -interval is a checkpoint cadence in
+// iterations (default 25).
 //
 // Observability: -metrics-out writes the end-of-run metrics snapshot
 // as JSON, -trace-out writes a Chrome trace_event file (load it at
@@ -52,6 +60,19 @@
 // alike. With -inject -async the trace shows the background
 // encode/write spans overlapping solver iterations on real clocks;
 // simulated runs emit the same span schema in virtual time.
+//
+// Storage resilience: every store is wrapped in the retry layer
+// (-storage-retries, default 4) that absorbs transient faults with
+// capped exponential backoff and hedges slow reads; -storage-timeout
+// bounds the cumulative backoff one op may accrue. -scrub-interval
+// starts the background scrubber, which CRC-verifies committed shards
+// and repairs corrupt ones from retained state. -storage-fault-rate
+// runs a seeded per-attempt transient-fault campaign against the
+// store — the run must complete with zero solver-visible errors, and
+// simulated runs price the expected retry delay into the checkpoint
+// cost (Outcome.StorageRetryTime). On-disk checkpoint directories are
+// fsck-swept at startup so partial commits from a crashed run never
+// surface as restorable checkpoints.
 //
 // -shards N splits every checkpoint into N shard objects plus a
 // manifest, written concurrently by up to -storage-workers goroutines
@@ -108,10 +129,14 @@ func main() {
 	async := flag.Bool("async", false, "asynchronous checkpointing: charge only the capture stall; encode+write overlap iterations")
 	shards := flag.Int("shards", 1, "shard objects per checkpoint (>1 writes shards + a manifest; passing the flag at all prices writes with the single-writer striped-PFS model)")
 	storageWorkers := flag.Int("storage-workers", 0, "worker pool bound for shard writes/reads (0 = GOMAXPROCS)")
+	storageRetries := flag.Int("storage-retries", 4, "max retries per storage op for transient faults (0 disables the resilient wrapper)")
+	storageTimeout := flag.Duration("storage-timeout", 0, "per-op retry budget: an op gives up once its cumulative backoff would exceed this (0 = no budget)")
+	scrubInterval := flag.Duration("scrub-interval", 0, "background scrubber sweep cadence (0 = scrubbing off)")
+	storageFaultRate := flag.Float64("storage-fault-rate", 0, "seeded per-attempt transient storage-fault probability, injected beneath the retry layer (0 = none)")
 	adaptive := flag.Bool("adaptive", false, "adaptive checkpoint interval: estimate costs and failure rate online, re-plan the Young/Daly fixed point each epoch")
 	priorMTTI := flag.Float64("prior-mtti", 3600, "adaptive controller's prior mean time to interruption in seconds (its only a-priori knowledge)")
 	recoveryTiers := flag.Bool("recovery-tiers", false, "tiered recovery: ABFT reconstruction, then latest checkpoint, then older checkpoints, then restart-from-zero")
-	injectSpec := flag.String("inject", "", "seeded fault plan 'kind(+kind)*@iter,...' (kinds proc|abft|shard|manifest|midckpt) driving the real solve; requires -recovery-tiers, excludes -mtti")
+	injectSpec := flag.String("inject", "", "seeded fault plan 'kind(+kind)*@iterspec,...' (kinds proc|abft|shard|manifest|midckpt|storagewrite|storageread|slowio|crash; iterspec N or N..M[/S]) driving the real solve; requires -recovery-tiers, excludes -mtti")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /trace, and /debug/pprof on this address (e.g. localhost:6060) while the run is live")
 	metricsOut := flag.String("metrics-out", "", "write the end-of-run metrics snapshot as JSON to this file")
 	traceOut := flag.String("trace-out", "", "write the end-of-run Chrome trace_event JSON to this file")
@@ -138,13 +163,28 @@ func main() {
 		serveDebug(*debugAddr, wiring.reg, wiring.tr)
 	}
 
-	if err := run(*method, *grid, *rtol, *schemeName, *eb, *interval, *mtti, *tit, *seed, *ckptDir, *maxIter, *async, *shards, *storageWorkers, striped, *adaptive, *priorMTTI, *recoveryTiers, *injectSpec, wiring); err != nil {
+	sto := storageOpts{
+		retries:    *storageRetries,
+		timeout:    *storageTimeout,
+		scrubEvery: *scrubInterval,
+		faultRate:  *storageFaultRate,
+	}
+	if err := run(*method, *grid, *rtol, *schemeName, *eb, *interval, *mtti, *tit, *seed, *ckptDir, *maxIter, *async, *shards, *storageWorkers, striped, *adaptive, *priorMTTI, *recoveryTiers, *injectSpec, sto, wiring); err != nil {
 		fmt.Fprintln(os.Stderr, "solve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(method string, grid int, rtol float64, schemeName string, eb, interval, mtti, tit float64, seed int64, ckptDir string, maxIter int, async bool, shards, storageWorkers int, striped, adaptive bool, priorMTTI float64, recoveryTiers bool, injectSpec string, wiring obsWiring) error {
+// storageOpts carries the fault-tolerant storage layer's knobs from
+// flag parsing into the run.
+type storageOpts struct {
+	retries    int
+	timeout    time.Duration
+	scrubEvery time.Duration
+	faultRate  float64
+}
+
+func run(method string, grid int, rtol float64, schemeName string, eb, interval, mtti, tit float64, seed int64, ckptDir string, maxIter int, async bool, shards, storageWorkers int, striped, adaptive bool, priorMTTI float64, recoveryTiers bool, injectSpec string, sto storageOpts, wiring obsWiring) error {
 	if adaptive && interval > 0 {
 		return fmt.Errorf("-adaptive and -interval are mutually exclusive (the controller owns the cadence)")
 	}
@@ -236,13 +276,52 @@ func run(method string, grid int, rtol float64, schemeName string, eb, interval,
 		return fmt.Errorf("unknown scheme %q", schemeName)
 	}
 
-	var storage fti.Storage = fti.NewMemStorage()
+	var plan *failure.Plan
+	if injectSpec != "" {
+		plan, err = failure.ParsePlan(injectSpec, seed)
+		if err != nil {
+			return err
+		}
+	}
+
+	// The storage stack, bottom up: the real store, the fault injector
+	// (only when a campaign or plan needs one), and the resilient retry
+	// wrapper on top — so injected transient faults are absorbed by
+	// retries before the checkpoint layer ever sees them.
+	var baseStorage fti.Storage = fti.NewMemStorage()
 	if ckptDir != "" {
 		ds, err := fti.NewDirStorage(ckptDir)
 		if err != nil {
 			return err
 		}
-		storage = ds
+		baseStorage = ds
+		// Crash-consistency sweep: a previous run may have died
+		// mid-commit, leaving temp files, orphan shards, or manifest-less
+		// groups. Fsck GCs them so List only exposes fully committed
+		// checkpoints.
+		frep, err := fti.Fsck(baseStorage)
+		if err != nil {
+			return fmt.Errorf("fsck %s: %w", ckptDir, err)
+		}
+		if !frep.Clean() {
+			fmt.Println(frep)
+		}
+	}
+	storage := baseStorage
+	injectStorage := sto.faultRate > 0 || planArmsStorage(plan)
+	var injector *failure.StorageInjector
+	if injectStorage {
+		injector = failure.NewStorageInjector(storage, seed, failure.StorageProfile{Rate: sto.faultRate})
+		storage = injector
+	}
+	var resilient *fti.Resilient
+	if sto.retries > 0 {
+		pol := fti.FaultPolicy{MaxRetries: sto.retries, OpBudget: sto.timeout, Seed: seed}
+		resilient = fti.NewResilient(storage, pol)
+		if wiring.reg != nil {
+			resilient.Instrument(wiring.reg)
+		}
+		storage = resilient
 	}
 	mgr, err := core.NewManager(core.Config{
 		Scheme:         scheme,
@@ -250,6 +329,11 @@ func run(method string, grid int, rtol float64, schemeName string, eb, interval,
 		Shards:         shards,
 		StorageWorkers: storageWorkers,
 		ABFT:           guard,
+		// Under an injected-fault campaign a save that exhausts its
+		// retries degrades — the group fails, the counter bumps, and the
+		// solver keeps iterating toward the next interval — instead of
+		// killing the run.
+		DegradedWrites: injectStorage,
 		// The simulator needs a synchronous Manager (it prices the async
 		// overlap itself); the real injected run uses the actual async
 		// pipeline so its overlap shows up on the trace's wall clocks.
@@ -258,6 +342,42 @@ func run(method string, grid int, rtol float64, schemeName string, eb, interval,
 	if err != nil {
 		return err
 	}
+	var scrubber *fti.Scrubber
+	if sto.scrubEvery > 0 {
+		scrubber = fti.NewScrubber(storage)
+		if wiring.armed() {
+			scrubber.Instrument(wiring.reg, wiring.tr)
+		}
+		mgr.Checkpointer().AttachScrubber(scrubber)
+		if err := scrubber.Start(sto.scrubEvery); err != nil {
+			return err
+		}
+		defer scrubber.Stop()
+	}
+	// Storage-resilience accounting prints on every exit path, after the
+	// scrubber has stopped (LIFO) so its final sweep is counted.
+	defer func() {
+		if scrubber != nil {
+			ss := scrubber.Stats()
+			fmt.Printf("scrubber: sweeps=%d verified=%d corruptions=%d repairs=%d dropped=%d\n",
+				ss.Sweeps, ss.Verified, ss.Corruptions, ss.Repairs, ss.Dropped)
+		}
+		if resilient != nil {
+			rs := resilient.Stats()
+			if rs.Retries > 0 || rs.Exhausted > 0 || rs.Permanent > 0 || rs.HedgedReads > 0 {
+				fmt.Printf("storage resilience: ops=%d retries=%d recovered=%d exhausted=%d permanent=%d hedged-reads=%d hedge-wins=%d backoff=%.1fms\n",
+					rs.Ops, rs.Retries, rs.Recovered, rs.Exhausted, rs.Permanent, rs.HedgedReads, rs.HedgeWins, 1e3*rs.RetryDelay.Seconds())
+			}
+		}
+		if injector != nil {
+			is := injector.Stats()
+			fmt.Printf("storage injection: write-faults=%d read-faults=%d transient=%d permanent=%d slow=%d\n",
+				is.WriteFaults, is.ReadFaults, is.TransientFaults, is.PermanentFaults, is.SlowOps)
+		}
+		if n := mgr.DegradedSaves(); n > 0 {
+			fmt.Printf("degraded saves: %d checkpoint(s) failed and were skipped (last: %v)\n", n, mgr.LastSaveError())
+		}
+	}()
 	if wiring.armed() {
 		if injectSpec != "" {
 			// Real run: the pipeline emits wall-clock spans itself.
@@ -321,6 +441,21 @@ func run(method string, grid int, rtol float64, schemeName string, eb, interval,
 	capSec := func(info fti.Info) float64 {
 		return mdl.CaptureSeconds(2048, float64(info.RawBytes))
 	}
+	// Under a fault campaign, simulated checkpoint writes carry the
+	// retry layer's expected backoff delay, calibrated from the same
+	// policy defaults the real wrapper runs with.
+	pol := fti.FaultPolicy{MaxRetries: sto.retries}.Normalize()
+	retrySec := func(info fti.Info) float64 {
+		if sto.faultRate <= 0 || sto.retries <= 0 {
+			return 0
+		}
+		n := info.Shards
+		if n < 1 {
+			n = shards
+		}
+		return mdl.StorageRetrySeconds(n, sto.faultRate,
+			pol.BaseDelay.Seconds(), pol.MaxDelay.Seconds(), pol.MaxRetries)
+	}
 	// The reporter is deferred so the cost table, metrics summary, and
 	// observability artifacts come out on EVERY exit path — converged,
 	// errored, or injected — not just the happy one.
@@ -328,15 +463,14 @@ func run(method string, grid int, rtol float64, schemeName string, eb, interval,
 		recSec: recSec, measuredRestart: math.NaN(), wiring: wiring}
 	defer rep.emit()
 	if injectSpec != "" {
-		plan, err := failure.ParsePlan(injectSpec, seed)
-		if err != nil {
-			return err
-		}
 		ckptEvery := int(interval)
 		if ckptEvery <= 0 {
 			ckptEvery = 25
 		}
-		return runInjected(a, s, mgr, guard, co, plan, storage, mdl, recSec, tit, ckptEvery, maxIter, wiring.tr)
+		// Corruption helpers damage objects on the BASE store, bypassing
+		// the injector (their writes must not consume armed faults) and
+		// the retry layer (a corruption is not an op to retry).
+		return runInjected(a, s, mgr, guard, co, plan, baseStorage, injector, mdl, recSec, tit, ckptEvery, maxIter, wiring.tr)
 	}
 	var ctrl *adapt.Controller
 	if adaptive {
@@ -381,21 +515,22 @@ func run(method string, grid int, rtol float64, schemeName string, eb, interval,
 		return mdl.ABFTRecoverySeconds(raw/2048, att.Iterations, tit)
 	}
 	out, err := sim.Run(sim.Config{
-		Stepper:           s,
-		Manager:           mgr,
-		X0:                make([]float64, a.Rows),
-		TitSeconds:        tit,
-		IntervalSeconds:   interval,
-		Controller:        ctrl,
-		CheckpointSeconds: ckptSec,
-		RecoverySeconds:   recSec,
-		AsyncCheckpoint:   async,
-		CaptureSeconds:    capSec,
-		ABFTSeconds:       abftSec,
-		Failures:          failure.NewInjector(mtti, seed),
-		MaxIterations:     maxIter,
-		Metrics:           wiring.reg,
-		Tracer:            wiring.tr,
+		Stepper:             s,
+		Manager:             mgr,
+		X0:                  make([]float64, a.Rows),
+		TitSeconds:          tit,
+		IntervalSeconds:     interval,
+		Controller:          ctrl,
+		CheckpointSeconds:   ckptSec,
+		RecoverySeconds:     recSec,
+		StorageRetrySeconds: retrySec,
+		AsyncCheckpoint:     async,
+		CaptureSeconds:      capSec,
+		ABFTSeconds:         abftSec,
+		Failures:            failure.NewInjector(mtti, seed),
+		MaxIterations:       maxIter,
+		Metrics:             wiring.reg,
+		Tracer:              wiring.tr,
 	})
 	if err != nil {
 		return err
@@ -411,6 +546,10 @@ func run(method string, grid int, rtol float64, schemeName string, eb, interval,
 	if async {
 		fmt.Printf("async: aborted-in-flight=%d backpressure=%.1fs (stall is capture-only when 0)\n",
 			out.AbortedCheckpoints, out.BackpressureTime)
+	}
+	if sto.faultRate > 0 {
+		fmt.Printf("storage faults: rate=%.3g priced retry delay %.2fs across %d checkpoints\n",
+			sto.faultRate, out.StorageRetryTime, out.Checkpoints)
 	}
 	if adaptive && len(out.IntervalPlans) > 0 {
 		plans := out.IntervalPlans
@@ -590,12 +729,33 @@ type injectedFailure struct {
 	rep   *core.RecoveryReport
 }
 
+// planArmsStorage reports whether any scheduled event carries a
+// storage fault kind — those need the injector interposed in the
+// storage stack before the Manager is built.
+func planArmsStorage(plan *failure.Plan) bool {
+	if plan == nil {
+		return false
+	}
+	for _, ev := range plan.Events() {
+		for _, k := range ev.Kinds {
+			switch k {
+			case failure.StorageWriteFault, failure.StorageReadFault, failure.SlowIO, failure.Crash:
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // runInjected drives the REAL solve (wall clock, no simulator) under a
 // seeded deterministic fault plan, recovering every failure through
-// the tier chain, and prints the per-failure tier table.
+// the tier chain, and prints the per-failure tier table. storage is
+// the BASE store (beneath the injector and retry layers): corruption
+// writes bypass the fault gate, and the post-crash fsck sweeps the
+// debris where the crash left it.
 func runInjected(a *sparse.CSR, s solver.Checkpointable, mgr *core.Manager, guard *abft.Guard,
-	co *abft.ChecksumOperator, plan *failure.Plan, storage fti.Storage, mdl *cluster.Model,
-	recSec func(fti.Info) float64, tit float64, ckptEvery, maxIter int, tr *obs.Tracer) error {
+	co *abft.ChecksumOperator, plan *failure.Plan, storage fti.Storage, injector *failure.StorageInjector,
+	mdl *cluster.Model, recSec func(fti.Info) float64, tit float64, ckptEvery, maxIter int, tr *obs.Tracer) error {
 	fmt.Printf("injection plan: %d events, checkpoint every %d iterations\n", len(plan.Events()), ckptEvery)
 	x0 := make([]float64, a.Rows)
 	var failures []injectedFailure
@@ -639,6 +799,12 @@ func runInjected(a *sparse.CSR, s solver.Checkpointable, mgr *core.Manager, guar
 				if _, err := failure.CorruptLatestManifest(storage); err != nil {
 					return fmt.Errorf("inject manifest corruption at %d: %w", it, err)
 				}
+			case failure.StorageWriteFault:
+				injector.ArmWrite(1)
+			case failure.StorageReadFault:
+				injector.ArmRead(1)
+			case failure.SlowIO:
+				injector.ArmSlow(1)
 			}
 		}
 		for _, k := range kinds {
@@ -654,6 +820,26 @@ func runInjected(a *sparse.CSR, s solver.Checkpointable, mgr *core.Manager, guar
 				}
 				needRecovery = true
 			case failure.ProcLoss:
+				needRecovery = true
+			case failure.Crash:
+				// The storage dies mid-commit: the forced checkpoint leaves
+				// a partial temp artifact and never commits (the save error
+				// is the expected outcome, swallowed by degraded mode or
+				// tolerated here). The store then revives — the restart —
+				// and fsck sweeps the debris before tiered recovery runs
+				// against what actually committed.
+				injector.ArmCrash()
+				_, _ = mgr.Checkpoint()
+				_, _ = mgr.WaitCheckpoint() // drain an async save; its failure is the point
+				if !injector.Crashed() {
+					return fmt.Errorf("inject crash at %d: the store never saw a write", it)
+				}
+				injector.Revive()
+				frep, err := fti.Fsck(storage)
+				if err != nil {
+					return fmt.Errorf("fsck after crash at %d: %w", it, err)
+				}
+				fmt.Printf("  crash@%d: store revived; %s\n", it, frep)
 				needRecovery = true
 			}
 		}

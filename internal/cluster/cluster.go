@@ -302,6 +302,48 @@ func (m *Model) ShardedCheckpointSeconds(procs int, encodedBytes, rawBytes float
 		m.compressSeconds(procs, rawBytes, scheme)
 }
 
+// StorageRetrySeconds returns the expected retry/backoff delay the
+// fault-tolerant storage wrapper (fti.Resilient) adds to one sharded
+// checkpoint write when each object write fails transiently with
+// probability faultRate. Each of the shards+1 object writes (the +1 is
+// the manifest) pays the expected backoff sum
+//
+//	Σ_{k=0}^{maxRetries-1} p^{k+1} · min(base·2^k, max)
+//
+// — the k-th backoff step is slept only if attempts 0..k all failed,
+// and steps grow geometrically from baseDelay up to the maxDelay cap,
+// matching the wrapper's schedule (jitter averages out; the mean of
+// the uniform [step/2, step] draw is 3/4·step, folded into base by
+// callers that want that precision). Zero at faultRate ≤ 0 and
+// monotone in it; faultRate ≥ 1 prices every attempt as failed.
+func (m *Model) StorageRetrySeconds(shards int, faultRate, baseDelay, maxDelay float64, maxRetries int) float64 {
+	if faultRate <= 0 || maxRetries <= 0 || baseDelay <= 0 {
+		return 0
+	}
+	if faultRate > 1 {
+		faultRate = 1
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if maxDelay <= 0 {
+		maxDelay = baseDelay
+	}
+	perOp := 0.0
+	pPow := 1.0
+	step := baseDelay
+	for k := 0; k < maxRetries; k++ {
+		pPow *= faultRate
+		d := step
+		if d > maxDelay {
+			d = maxDelay
+		}
+		perOp += pPow * d
+		step *= 2
+	}
+	return perOp * float64(shards+1) // +1: the manifest object
+}
+
 // CaptureSeconds returns the solver-visible stall of one asynchronous
 // checkpoint: the node-local deep copy of rawBytes across procs cores.
 // This is the only part of the checkpoint the async pipeline leaves on

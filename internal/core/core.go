@@ -124,6 +124,18 @@ type Config struct {
 	// the checkpoint path regardless of this clock, so a coarse Clock
 	// only coarsens when checkpoints trigger, not what they cost.
 	Clock func() float64
+	// DegradedWrites makes a failed checkpoint save non-fatal: instead
+	// of surfacing the storage error to the solver loop, Checkpoint
+	// (and the async pipeline's deferred error surfacing) swallows it,
+	// counts it (DegradedSaves, core_degraded_saves_total), remembers
+	// it (LastSaveError), and keeps iterating — the previous committed
+	// checkpoint remains the recovery target and the next interval
+	// simply tries again. This is the graceful-degradation contract of
+	// the fault-tolerant storage layer: a shard write that exhausted
+	// its retries costs one checkpoint group, never the solve. Errors
+	// from Recover are never degraded — failing to *read* state back
+	// is not survivable by waiting.
+	DegradedWrites bool
 	// ABFT plugs the algorithm-based recovery guard in as the first
 	// tier of RecoverTiered: a failed solve first attempts the
 	// checkpoint-free algorithmic reconstruction (verified against the
@@ -175,6 +187,11 @@ type Manager struct {
 
 	// abft is the optional first recovery tier (Config.ABFT).
 	abft *abft.Guard
+
+	// Degraded-writes accounting (Config.DegradedWrites): saves
+	// swallowed instead of surfaced, and the most recent one.
+	degradedSaves int
+	lastSaveErr   error
 
 	// mobs is the observability bundle (nil when uninstrumented).
 	mobs *managerObs
@@ -306,7 +323,8 @@ func (m *Manager) Due() bool {
 }
 
 // MaybeCheckpoint takes a checkpoint if one is due. It returns the
-// checkpoint info when one was written.
+// checkpoint info when one was written (nil when none was due, or
+// when a degraded-mode save was swallowed).
 func (m *Manager) MaybeCheckpoint() (*fti.Info, error) {
 	if !m.Due() {
 		return nil, nil
@@ -314,6 +332,9 @@ func (m *Manager) MaybeCheckpoint() (*fti.Info, error) {
 	info, err := m.Checkpoint()
 	if err != nil {
 		return nil, err
+	}
+	if info.Seq == 0 {
+		return nil, nil // degraded-mode save swallowed; nothing committed
 	}
 	return &info, nil
 }
@@ -331,6 +352,12 @@ func (m *Manager) Checkpoint() (fti.Info, error) {
 	m.ckpt.SetEncoder(m.encoder())
 	info, err := m.ckpt.Save(snap)
 	if err != nil {
+		if m.cfg.DegradedWrites {
+			// The save rolled back; the previous committed checkpoint is
+			// still the recovery target and the next interval retries.
+			m.noteDegraded(err)
+			return fti.Info{}, nil
+		}
 		return fti.Info{}, err
 	}
 	m.prevCkptIter, m.prevHaveCkpt = m.lastCkptIter, m.haveCkpt
@@ -363,8 +390,7 @@ func (m *Manager) checkpointAsync() (fti.Info, error) {
 	// so the wait is accounted as backpressure in Stats.
 	m.async.WaitBackpressure()
 	m.promote()
-	if err := m.asyncErr; err != nil {
-		m.asyncErr = nil
+	if err := m.takeAsyncErr(); err != nil {
 		return fti.Info{}, err
 	}
 	m.ckpt.SetEncoder(m.encoder())
@@ -438,10 +464,35 @@ func (m *Manager) WaitCheckpoint() (fti.Info, error) {
 	}
 	m.async.Wait()
 	m.promote()
+	return m.lastInfo, m.takeAsyncErr()
+}
+
+// takeAsyncErr consumes the pending background-save error, swallowing
+// (and counting) it in degraded-writes mode.
+func (m *Manager) takeAsyncErr() error {
 	err := m.asyncErr
 	m.asyncErr = nil
-	return m.lastInfo, err
+	if err != nil && m.cfg.DegradedWrites {
+		m.noteDegraded(err)
+		return nil
+	}
+	return err
 }
+
+// noteDegraded records a save swallowed by degraded-writes mode.
+func (m *Manager) noteDegraded(err error) {
+	m.degradedSaves++
+	m.lastSaveErr = err
+	m.mobs.observeDegraded()
+}
+
+// DegradedSaves reports how many checkpoint saves degraded-writes
+// mode swallowed instead of surfacing.
+func (m *Manager) DegradedSaves() int { return m.degradedSaves }
+
+// LastSaveError returns the most recent save failure swallowed by
+// degraded-writes mode, nil if none.
+func (m *Manager) LastSaveError() error { return m.lastSaveErr }
 
 // AbortLastCheckpoint models a failure striking while the checkpoint
 // was being written: the partial file is discarded and the previous

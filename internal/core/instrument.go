@@ -12,6 +12,7 @@ import (
 type managerObs struct {
 	committed   *obs.Counter
 	aborted     *obs.Counter
+	degraded    *obs.Counter
 	recoverySec *obs.Histogram
 	window      *obs.Gauge
 	tiers       [TierRestartZero + 1]*obs.Counter
@@ -46,6 +47,7 @@ func (m *Manager) Instrument(reg *obs.Registry, tr *obs.Tracer) {
 	mo := &managerObs{
 		committed:   reg.Counter(obs.MCoreCheckpointsCommittedTotal),
 		aborted:     reg.Counter(obs.MCoreCheckpointsAbortedTotal),
+		degraded:    reg.Counter(obs.MCoreDegradedSavesTotal),
 		recoverySec: reg.Histogram(obs.MCoreRecoverySeconds, obs.LatencyBuckets()),
 		window:      reg.Gauge(obs.MCoreIntervalSeconds),
 		tr:          tr,
@@ -61,6 +63,14 @@ func (o *managerObs) observeCommit() {
 		return
 	}
 	o.committed.Inc()
+}
+
+// observeDegraded counts a save swallowed by degraded-writes mode.
+func (o *managerObs) observeDegraded() {
+	if o == nil {
+		return
+	}
+	o.degraded.Inc()
 }
 
 func (o *managerObs) observeAbort() {

@@ -3,8 +3,16 @@
 // for the checkpoint tiers. The spec grammar is
 //
 //	spec  := event ("," event)*
-//	event := kind ("+" kind)* "@" iteration
+//	event := kind ("+" kind)* "@" iterspec
 //	kind  := "proc" | "abft" | "shard" | "manifest" | "midckpt"
+//	       | "storagewrite" | "storageread" | "slowio" | "crash"
+//	iterspec := N | N..M | N..M/S
+//
+// An iterspec range schedules the event at every iteration N, N+S,
+// N+2S, … ≤ M (stride S defaults to 1), which is how a campaign of
+// hundreds of injected storage faults is spelled in one event:
+// "storagewrite@100..600" arms a transient write fault at each of 501
+// iterations.
 //
 // e.g. "proc@50,abft+proc@120,manifest+proc@200": a plain process loss
 // at iteration 50, a process loss with corrupted ABFT retained state
@@ -12,18 +20,30 @@
 // with a corrupted checkpoint manifest at 200 (forcing it past the
 // latest checkpoint too). Kinds:
 //
-//	proc      fail-stop loss of one rank's in-memory state
-//	abft      corrupt the ABFT guard's retained redundancy
-//	shard     corrupt one shard object of the newest checkpoint
-//	manifest  corrupt the newest checkpoint's base object (manifest,
-//	          or the payload itself for monolithic layouts)
-//	midckpt   the failure strikes while a checkpoint is being written:
-//	          the in-flight checkpoint is aborted, then the process is
-//	          lost
+//	proc          fail-stop loss of one rank's in-memory state
+//	abft          corrupt the ABFT guard's retained redundancy
+//	shard         corrupt one shard object of the newest checkpoint
+//	manifest      corrupt the newest checkpoint's base object (manifest,
+//	              or the payload itself for monolithic layouts)
+//	midckpt       the failure strikes while a checkpoint is being
+//	              written: the in-flight checkpoint is aborted, then the
+//	              process is lost
+//	storagewrite  arm a storage fault on an upcoming checkpoint write
+//	              (transient or permanent per the injector's seeded mix)
+//	storageread   arm a storage fault on an upcoming checkpoint read
+//	midckpt       (see above)
+//	slowio        arm a slow (delayed) storage op, exercising hedged
+//	              reads and the retry layer's latency accounting
+//	crash         the process dies mid-commit: the storage goes dead
+//	              leaving a partial temp artifact, and restart runs the
+//	              fsck sweep before recovering
 //
 // Corruption kinds without proc/midckpt in the same event are latent:
 // they damage state silently and surface at the next recovery — the
-// fallback-discovery path the tier-exhaustion matrix exercises.
+// fallback-discovery path the tier-exhaustion matrix exercises. The
+// storage kinds are handled by StorageInjector (see storage.go),
+// which the runner interposes between the resilient retry layer and
+// the real store.
 package failure
 
 import (
@@ -55,14 +75,28 @@ const (
 	// MidCheckpoint makes the failure strike during a checkpoint
 	// write: the in-flight checkpoint is aborted and never commits.
 	MidCheckpoint
+	// StorageWriteFault arms a fault on an upcoming storage write (the
+	// injector's seeded transient/permanent mix decides which).
+	StorageWriteFault
+	// StorageReadFault arms a fault on an upcoming storage read.
+	StorageReadFault
+	// SlowIO arms a delayed storage operation.
+	SlowIO
+	// Crash kills the storage mid-commit: a partial temp artifact is
+	// left behind and every subsequent op fails until Revive.
+	Crash
 )
 
 var kindNames = map[Kind]string{
-	ProcLoss:        "proc",
-	CorruptABFT:     "abft",
-	CorruptShard:    "shard",
-	CorruptManifest: "manifest",
-	MidCheckpoint:   "midckpt",
+	ProcLoss:          "proc",
+	CorruptABFT:       "abft",
+	CorruptShard:      "shard",
+	CorruptManifest:   "manifest",
+	MidCheckpoint:     "midckpt",
+	StorageWriteFault: "storagewrite",
+	StorageReadFault:  "storageread",
+	SlowIO:            "slowio",
+	Crash:             "crash",
 }
 
 // String names the kind as the spec grammar spells it.
@@ -80,7 +114,7 @@ func ParseKind(s string) (Kind, error) {
 			return k, nil
 		}
 	}
-	return 0, fmt.Errorf("failure: unknown injection kind %q (want proc|abft|shard|manifest|midckpt)", s)
+	return 0, fmt.Errorf("failure: unknown injection kind %q (want proc|abft|shard|manifest|midckpt|storagewrite|storageread|slowio|crash)", s)
 }
 
 // Injection is one scheduled event: the kinds that strike together at
@@ -113,29 +147,35 @@ func ParsePlan(spec string, seed int64) (*Plan, error) {
 		if !ok {
 			return nil, fmt.Errorf("failure: event %q lacks '@iteration'", ev)
 		}
-		iter, err := strconv.Atoi(strings.TrimSpace(iterPart))
-		if err != nil || iter <= 0 {
-			return nil, fmt.Errorf("failure: event %q needs a positive iteration, got %q", ev, iterPart)
+		iters, err := parseIterSpec(strings.TrimSpace(iterPart))
+		if err != nil {
+			return nil, fmt.Errorf("failure: event %q: %w", ev, err)
 		}
-		inj := at[iter]
-		if inj == nil {
-			inj = &Injection{Iteration: iter}
-			at[iter] = inj
-		}
+		var kinds []Kind
 		for _, ks := range strings.Split(kindsPart, "+") {
 			k, err := ParseKind(strings.TrimSpace(ks))
 			if err != nil {
 				return nil, err
 			}
-			seen := false
-			for _, have := range inj.Kinds {
-				if have == k {
-					seen = true
-					break
-				}
+			kinds = append(kinds, k)
+		}
+		for _, iter := range iters {
+			inj := at[iter]
+			if inj == nil {
+				inj = &Injection{Iteration: iter}
+				at[iter] = inj
 			}
-			if !seen {
-				inj.Kinds = append(inj.Kinds, k)
+			for _, k := range kinds {
+				seen := false
+				for _, have := range inj.Kinds {
+					if have == k {
+						seen = true
+						break
+					}
+				}
+				if !seen {
+					inj.Kinds = append(inj.Kinds, k)
+				}
 			}
 		}
 	}
@@ -144,6 +184,47 @@ func ParsePlan(spec string, seed int64) (*Plan, error) {
 	}
 	sort.Slice(p.events, func(i, j int) bool { return p.events[i].Iteration < p.events[j].Iteration })
 	return p, nil
+}
+
+// maxRangeEvents bounds how many iterations one range iterspec may
+// expand to — a typo'd "1..1000000000" should fail parsing, not eat
+// the heap.
+const maxRangeEvents = 1 << 20
+
+// parseIterSpec expands an iteration spec — "N", "N..M", or "N..M/S"
+// — into the ordered iterations it schedules.
+func parseIterSpec(s string) ([]int, error) {
+	rangePart, stridePart, hasStride := strings.Cut(s, "/")
+	first, last, isRange := strings.Cut(rangePart, "..")
+	lo, err := strconv.Atoi(strings.TrimSpace(first))
+	if err != nil || lo <= 0 {
+		return nil, fmt.Errorf("needs a positive iteration, got %q", s)
+	}
+	if !isRange {
+		if hasStride {
+			return nil, fmt.Errorf("stride %q without a range in %q", stridePart, s)
+		}
+		return []int{lo}, nil
+	}
+	hi, err := strconv.Atoi(strings.TrimSpace(last))
+	if err != nil || hi < lo {
+		return nil, fmt.Errorf("range end must be ≥ start in %q", s)
+	}
+	stride := 1
+	if hasStride {
+		stride, err = strconv.Atoi(strings.TrimSpace(stridePart))
+		if err != nil || stride <= 0 {
+			return nil, fmt.Errorf("needs a positive stride, got %q", s)
+		}
+	}
+	if (hi-lo)/stride+1 > maxRangeEvents {
+		return nil, fmt.Errorf("range %q expands to more than %d events", s, maxRangeEvents)
+	}
+	var iters []int
+	for i := lo; i <= hi; i += stride {
+		iters = append(iters, i)
+	}
+	return iters, nil
 }
 
 // Events returns the remaining scheduled events in iteration order.

@@ -1,12 +1,57 @@
 package fti
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"repro/internal/obs"
 )
+
+// AsyncSaveError is how a failed background save surfaces: the next
+// SaveAsync, Flush, or Ticket.Wait returns it instead of the raw
+// storage error, carrying the sequence and object name the save was
+// committing, the storage attempt count, and the error class — so a
+// caller (or a log line) can tell retry exhaustion on a transient
+// fault from a genuinely permanent failure without string-matching.
+type AsyncSaveError struct {
+	Seq      int      // sequence the save would have committed as
+	Name     string   // checkpoint object name
+	Attempts int      // storage attempts issued (0 when the storage layer didn't say)
+	Class    ErrClass // classification of the underlying error
+	Err      error
+}
+
+// Error formats the failure with its pipeline context.
+func (e *AsyncSaveError) Error() string {
+	if e.Attempts > 1 && e.Class == ClassTransient {
+		return fmt.Sprintf("fti: async save %s (seq %d) exhausted %d storage attempts (%s): %v",
+			e.Name, e.Seq, e.Attempts, e.Class, e.Err)
+	}
+	return fmt.Sprintf("fti: async save %s (seq %d) failed (%s): %v", e.Name, e.Seq, e.Class, e.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *AsyncSaveError) Unwrap() error { return e.Err }
+
+// FaultClass re-exports the class for upstream classifiers.
+func (e *AsyncSaveError) FaultClass() ErrClass { return e.Class }
+
+// wrapSaveError decorates a background save failure with its context;
+// a FaultError from the resilient storage layer contributes its
+// attempt count and class, anything else is classified here.
+func wrapSaveError(seq int, err error) error {
+	ase := &AsyncSaveError{Seq: seq, Name: ckptName(seq), Err: err}
+	var fe *FaultError
+	if errors.As(err, &fe) {
+		ase.Attempts = fe.Attempts
+		ase.Class = fe.Class
+	} else {
+		ase.Class = ClassifyError(err)
+	}
+	return ase
+}
 
 // AsyncCheckpointer is the asynchronous checkpoint pipeline: the
 // paper's overhead model (Eqs. 5 and 8) separates checkpoint cost from
@@ -70,6 +115,7 @@ type AsyncCheckpointer struct {
 // sums.
 type AsyncStats struct {
 	Saves               int
+	FailedSaves         int // background saves that aborted (rolled back) instead of committing
 	CaptureSeconds      float64
 	BackpressureSeconds float64
 	EncodeWriteSeconds  float64
@@ -80,6 +126,7 @@ type AsyncStats struct {
 type asyncJob struct {
 	snap   *Snapshot
 	slot   int
+	seq    int           // sequence the save will commit as if it succeeds
 	capSec float64       // capture-stage duration, folded into the Info
 	done   chan struct{} // closed when the job's results are published
 	info   Info
@@ -171,6 +218,7 @@ func (a *AsyncCheckpointer) SaveAsync(s *Snapshot) (Ticket, error) {
 	a.stats.Saves++
 	a.stats.CaptureSeconds += job.capSec
 	seq := a.c.seq + 1
+	job.seq = seq
 	a.mu.Unlock()
 	go a.run(job)
 	return Ticket{Seq: seq, a: a, job: job}, nil
@@ -196,6 +244,9 @@ func (a *AsyncCheckpointer) run(job *asyncJob) {
 		a.stats.EncodeSeconds += info.EncodeSeconds
 		a.stats.WriteSeconds += info.WriteSeconds
 	} else {
+		err = wrapSaveError(job.seq, err)
+		a.stats.FailedSaves++
+		a.c.ins.observeAsyncAbort()
 		a.sticky, a.stickyJb = err, job
 	}
 	job.info, job.err = info, err

@@ -111,6 +111,10 @@ type Checkpointer struct {
 	// ins is the optional observability bundle (see Instrument); nil
 	// means every hook is a no-op.
 	ins *instruments
+
+	// scrub, when attached, retains each committed checkpoint's
+	// encoded payload as the scrubber's repair source.
+	scrub *Scrubber
 }
 
 type protVec struct {
@@ -211,6 +215,13 @@ func (c *Checkpointer) SetSharding(shards, workers int) error {
 // Sharding reports the configured shard count and storage worker
 // bound (1, 0 means monolithic writes).
 func (c *Checkpointer) Sharding() (shards, workers int) { return max(c.shards, 1), c.storageWorkers }
+
+// AttachScrubber wires s into the save path: every committed
+// checkpoint's encoded payload is retained (copied) by the scrubber
+// as its repair source. Pass nil to detach. Follows the same
+// concurrency rule as SetEncoder: only between saves (drain the async
+// pipeline first).
+func (c *Checkpointer) AttachScrubber(s *Scrubber) { c.scrub = s }
 
 // SetEncoder swaps the vector encoder; subsequent checkpoints use it.
 // The paper's Theorem-3 adaptive GMRES bound re-parameterizes the
@@ -397,6 +408,9 @@ func (c *Checkpointer) save(s *Snapshot, buf []byte) ([]byte, Info, error) {
 	})
 	c.ins.observeSave(info)
 	c.gc(groupShards)
+	if c.scrub != nil {
+		c.scrub.Retain(name, payload)
+	}
 	return payload, info, nil
 }
 

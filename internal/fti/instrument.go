@@ -20,6 +20,7 @@ type instruments struct {
 	ratio      *obs.Gauge
 	ckpts      *obs.Counter
 	ckptErrs   *obs.Counter
+	asyncAbort *obs.Counter
 	restAtts   *obs.Counter
 	restRejs   *obs.Counter
 	restBytes  *obs.Counter
@@ -43,6 +44,7 @@ func newInstruments(reg *obs.Registry, tr *obs.Tracer, track int) *instruments {
 		ratio:      reg.Gauge(obs.MFTICompressionRatio),
 		ckpts:      reg.Counter(obs.MFTICheckpointsTotal),
 		ckptErrs:   reg.Counter(obs.MFTICheckpointErrorsTotal),
+		asyncAbort: reg.Counter(obs.MFTIAsyncAbortedTotal),
 		restAtts:   reg.Counter(obs.MFTIRestoreAttemptsTotal),
 		restRejs:   reg.Counter(obs.MFTIRestoreRejectsTotal),
 		restBytes:  reg.Counter(obs.MFTIRestoreReadBytesTotal),
@@ -127,6 +129,15 @@ func (in *instruments) observeSaveError() {
 		return
 	}
 	in.ckptErrs.Inc()
+}
+
+// observeAsyncAbort counts a background save that aborted instead of
+// committing.
+func (in *instruments) observeAsyncAbort() {
+	if in == nil {
+		return
+	}
+	in.asyncAbort.Inc()
 }
 
 // observeCapture records the async capture stall.

@@ -1,0 +1,184 @@
+package fti
+
+import (
+	"testing"
+	"time"
+)
+
+// scrubFixture builds a sharded Checkpointer with an attached scrubber
+// over an in-memory store.
+func scrubFixture(t *testing.T, shards int) (*Checkpointer, *Scrubber, *MemStorage, *[]float64) {
+	t.Helper()
+	mem := NewMemStorage()
+	c := New(mem, Raw{})
+	if shards > 0 {
+		if err := c.SetSharding(shards, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sc := NewScrubber(mem)
+	c.AttachScrubber(sc)
+	x := make([]float64, 64)
+	c.Protect("x", &x)
+	return c, sc, mem, &x
+}
+
+func corrupt(t *testing.T, st Storage, name string) {
+	t.Helper()
+	data, err := st.Read(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := st.Write(name, data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScrubberRepairsNewestShard(t *testing.T) {
+	c, sc, mem, x := scrubFixture(t, 4)
+	for i := range *x {
+		(*x)[i] = 3.5
+	}
+	if _, err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	corrupt(t, mem, ckptName(1)+".s00002")
+	if err := sc.Sweep(); err != nil {
+		t.Fatal(err)
+	}
+	st := sc.Stats()
+	if st.Corruptions != 1 || st.Repairs != 1 || st.Dropped != 0 {
+		t.Fatalf("stats %+v: want 1 corruption repaired in place", st)
+	}
+	// The repaired group restores without restart-time fallback.
+	for i := range *x {
+		(*x)[i] = 0
+	}
+	if err := c.Recover(); err != nil {
+		t.Fatalf("recover after repair: %v", err)
+	}
+	if (*x)[0] != 3.5 {
+		t.Fatalf("restored %v", (*x)[:4])
+	}
+}
+
+func TestScrubberRepairsMonolithicPayload(t *testing.T) {
+	c, sc, mem, x := scrubFixture(t, 0)
+	(*x)[7] = 9
+	if _, err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	corrupt(t, mem, ckptName(1))
+	if err := sc.Sweep(); err != nil {
+		t.Fatal(err)
+	}
+	if st := sc.Stats(); st.Repairs != 1 {
+		t.Fatalf("stats %+v: want the monolithic payload rewritten", st)
+	}
+	(*x)[7] = 0
+	if err := c.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if (*x)[7] != 9 {
+		t.Fatalf("restored %v", (*x)[:8])
+	}
+}
+
+func TestScrubberDropsOldCorruptGroupUnderIntactSibling(t *testing.T) {
+	c, sc, mem, x := scrubFixture(t, 2)
+	if _, err := c.Checkpoint(); err != nil { // seq 1: will go corrupt
+		t.Fatal(err)
+	}
+	(*x)[0] = 1
+	if _, err := c.Checkpoint(); err != nil { // seq 2: intact, retained
+		t.Fatal(err)
+	}
+	// Seq 1's payload is no longer retained, so it cannot be repaired —
+	// but seq 2 is an intact sibling, so the corpse is GC'd.
+	corrupt(t, mem, ckptName(1)+".s00000")
+	if err := sc.Sweep(); err != nil {
+		t.Fatal(err)
+	}
+	st := sc.Stats()
+	if st.Corruptions != 1 || st.Repairs != 0 || st.Dropped != 1 {
+		t.Fatalf("stats %+v: want the old group dropped, not repaired", st)
+	}
+	names, err := mem.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		if n == ckptName(1) {
+			t.Fatal("dropped group's manifest still listed")
+		}
+	}
+	if err := c.Recover(); err != nil {
+		t.Fatalf("recover after drop: %v", err)
+	}
+	if (*x)[0] != 1 {
+		t.Fatalf("recover landed on the wrong group: %v", (*x)[:2])
+	}
+}
+
+func TestScrubberKeepsLoneCorruptGroup(t *testing.T) {
+	// With no intact sibling, even an unrepairable group is kept — a
+	// partially corrupt checkpoint may still beat nothing.
+	mem := NewMemStorage()
+	c := New(mem, Raw{})
+	x := []float64{1, 2}
+	c.Protect("x", &x)
+	if _, err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	sc := NewScrubber(mem) // never attached: nothing retained, no repair rung
+	corrupt(t, mem, ckptName(1))
+	if err := sc.Sweep(); err != nil {
+		t.Fatal(err)
+	}
+	st := sc.Stats()
+	if st.Corruptions != 1 || st.Dropped != 0 {
+		t.Fatalf("stats %+v: the lone group must survive", st)
+	}
+	if _, err := mem.Read(ckptName(1)); err != nil {
+		t.Fatalf("lone corrupt group was deleted: %v", err)
+	}
+}
+
+func TestScrubberBackgroundLoop(t *testing.T) {
+	c, sc, mem, x := scrubFixture(t, 2)
+	(*x)[1] = 4
+	if _, err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Start(time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Start(time.Millisecond); err == nil {
+		sc.Stop()
+		t.Fatal("double Start must fail")
+	}
+	corrupt(t, mem, ckptName(1)+".s00001")
+	deadline := time.After(5 * time.Second)
+	for sc.Stats().Repairs == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("background loop never repaired the corruption")
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	sc.Stop()
+	sc.Stop() // idempotent
+	if st := sc.Stats(); st.Sweeps == 0 || st.Repairs != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	for i := range *x {
+		(*x)[i] = 0
+	}
+	if err := c.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if (*x)[1] != 4 {
+		t.Fatalf("restored %v", (*x)[:2])
+	}
+}

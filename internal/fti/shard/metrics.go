@@ -20,6 +20,8 @@ type Metrics struct {
 	readBytes    *obs.Counter
 	crcFailures  *obs.Counter
 	readFailures *obs.Counter
+	rereads      *obs.Counter
+	rereadFixes  *obs.Counter
 }
 
 // NewMetrics registers the shard metrics in reg; nil reg returns a
@@ -37,6 +39,8 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		readBytes:    reg.Counter(obs.MShardReadBytesTotal),
 		crcFailures:  reg.Counter(obs.MShardCRCFailuresTotal),
 		readFailures: reg.Counter(obs.MShardReadFailuresTotal),
+		rereads:      reg.Counter(obs.MShardRereadsTotal),
+		rereadFixes:  reg.Counter(obs.MShardRereadRepairsTotal),
 	}
 }
 
@@ -70,6 +74,20 @@ func (m *Metrics) observeReadFailure() {
 		return
 	}
 	m.readFailures.Inc()
+}
+
+func (m *Metrics) observeReread() {
+	if m == nil {
+		return
+	}
+	m.rereads.Inc()
+}
+
+func (m *Metrics) observeRereadRepair() {
+	if m == nil {
+		return
+	}
+	m.rereadFixes.Inc()
 }
 
 // now returns the wall clock only when the bundle is live, so the

@@ -283,10 +283,22 @@ func Write(st Storage, base, encoder string, payload []byte, aligned []int, opt 
 	return n, nil
 }
 
+// maxRereads is how many fresh reads a verification failure earns
+// before the shard is rejected: a transient read-side fault (a torn
+// page from a flaky NFS client, a mid-flight buffer corruption)
+// produces wrong bytes exactly once, while genuine at-rest corruption
+// reproduces on every re-read — so two extra attempts cleanly split
+// the cases without retrying persistent damage forever.
+const maxRereads = 2
+
 // fetchVerify reads shard i of m and verifies it against its manifest
 // size and CRC32C — the single read-side integrity gate shared by the
 // reassembling Read and the streaming Reader, so no payload byte is
-// ever served unverified.
+// ever served unverified. A size or checksum mismatch earns up to
+// maxRereads fresh reads (hedged degraded reads) before the shard —
+// and with it the group — is abandoned: recovery should only fall a
+// tier when the bytes at rest are truly bad, not when one read went
+// wrong in flight.
 func fetchVerify(st Storage, m *Manifest, i int, met *Metrics) ([]byte, error) {
 	s := m.Shards[i]
 	start := met.now()
@@ -295,14 +307,32 @@ func fetchVerify(st Storage, m *Manifest, i int, met *Metrics) ([]byte, error) {
 		met.observeReadFailure()
 		return nil, fmt.Errorf("shard: missing shard %s: %w", s.Name, err)
 	}
-	if len(data) != s.Size {
-		met.observeReadFailure()
-		return nil, fmt.Errorf("shard: shard %s is %d bytes, manifest says %d", s.Name, len(data), s.Size)
+	verify := func(d []byte) error {
+		if len(d) != s.Size {
+			return fmt.Errorf("shard: shard %s is %d bytes, manifest says %d", s.Name, len(d), s.Size)
+		}
+		if Checksum(d) != s.CRC {
+			met.observeCRCFailure()
+			return fmt.Errorf("shard: shard %s fails its CRC32C (corrupt)", s.Name)
+		}
+		return nil
 	}
-	if Checksum(data) != s.CRC {
-		met.observeCRCFailure()
+	verr := verify(data)
+	for r := 0; verr != nil && r < maxRereads; r++ {
+		met.observeReread()
+		again, err := st.Read(s.Name)
+		if err != nil {
+			break // the object degraded from corrupt to unreadable; give up
+		}
+		if e := verify(again); e == nil {
+			met.observeRereadRepair()
+			data, verr = again, nil
+			break
+		}
+	}
+	if verr != nil {
 		met.observeReadFailure()
-		return nil, fmt.Errorf("shard: shard %s fails its CRC32C (corrupt)", s.Name)
+		return nil, verr
 	}
 	met.observeRead(time.Since(start).Seconds(), len(data))
 	return data, nil

@@ -129,6 +129,7 @@ func (s *DirStorage) write(name string, data []byte, syncDir bool) error {
 		return fmt.Errorf("fti: close %s: %w", name, err)
 	}
 	if err := os.Rename(tmp, p); err != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("fti: commit %s: %w", name, err)
 	}
 	if syncDir {
@@ -187,6 +188,39 @@ func (s *DirStorage) List() ([]string, error) {
 	}
 	sort.Strings(names)
 	return names, nil
+}
+
+// TempSweeper is the optional Storage extension fsck uses to clean up
+// temp files from interrupted writes: implementations remove every
+// stale in-progress artifact (for DirStorage, "*.tmp" files — which
+// List already hides) and return the names removed. Only call it when
+// no write can be in flight; a sweep racing a live writer could
+// unlink a temp file about to be committed.
+type TempSweeper interface {
+	SweepTemp() ([]string, error)
+}
+
+// SweepTemp removes stale "*.tmp" files left by writes that were
+// interrupted between creating the temp file and renaming it over the
+// final name. Crash points (1)–(2) of the commit protocol (temp
+// written, temp fsynced — see Fsck) both strand exactly such a file.
+func (s *DirStorage) SweepTemp() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("fti: sweep temp: %w", err)
+	}
+	var removed []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".tmp") {
+			continue
+		}
+		if err := os.Remove(filepath.Join(s.dir, e.Name())); err != nil && !os.IsNotExist(err) {
+			return removed, fmt.Errorf("fti: sweep temp %s: %w", e.Name(), err)
+		}
+		removed = append(removed, e.Name())
+	}
+	sort.Strings(removed)
+	return removed, nil
 }
 
 // MemStorage is an in-memory Storage, safe for concurrent use.

@@ -32,18 +32,39 @@ const (
 	MFTIRestoreReadBytesTotal = "fti_restore_read_bytes_total"
 
 	// shard — per-shard object I/O under the manifest-last protocol.
-	MShardWriteSeconds      = "shard_write_seconds"
-	MShardReadSeconds       = "shard_read_seconds"
-	MShardWritesTotal       = "shard_writes_total"
-	MShardReadsTotal        = "shard_reads_total"
-	MShardWrittenBytesTotal = "shard_written_bytes_total"
-	MShardReadBytesTotal    = "shard_read_bytes_total"
-	MShardCRCFailuresTotal  = "shard_crc_failures_total"
-	MShardReadFailuresTotal = "shard_read_failures_total"
+	MShardWriteSeconds       = "shard_write_seconds"
+	MShardReadSeconds        = "shard_read_seconds"
+	MShardWritesTotal        = "shard_writes_total"
+	MShardReadsTotal         = "shard_reads_total"
+	MShardWrittenBytesTotal  = "shard_written_bytes_total"
+	MShardReadBytesTotal     = "shard_read_bytes_total"
+	MShardCRCFailuresTotal   = "shard_crc_failures_total"
+	MShardReadFailuresTotal  = "shard_read_failures_total"
+	MShardRereadsTotal       = "shard_rereads_total"
+	MShardRereadRepairsTotal = "shard_reread_repairs_total"
+
+	// storage — the fault-tolerant Storage wrapper (fti.Resilient):
+	// retry/backoff on transient errors, hedged reads, degraded-mode
+	// exhaustion.
+	MStorageRetriesTotal         = "storage_retries_total"
+	MStorageRetryExhaustedTotal  = "storage_retry_exhausted_total"
+	MStoragePermanentErrorsTotal = "storage_permanent_errors_total"
+	MStorageHedgedReadsTotal     = "storage_hedged_reads_total"
+	MStorageHedgeWinsTotal       = "storage_hedge_wins_total"
+	MStorageRetryDelaySeconds    = "storage_retry_delay_seconds"
+
+	// fti scrub/fsck — background CRC verification and repair of
+	// committed checkpoints, and startup crash-consistency sweeps.
+	MFTIScrubSweepsTotal      = "fti_scrub_sweeps_total"
+	MFTIScrubCorruptionsTotal = "fti_scrub_corruptions_total"
+	MFTIScrubRepairsTotal     = "fti_scrub_repairs_total"
+	MFTIScrubDroppedTotal     = "fti_scrub_dropped_total"
+	MFTIAsyncAbortedTotal     = "fti_async_aborted_saves_total"
 
 	// core — Manager lifecycle: commits, aborts, tiered recoveries.
 	MCoreCheckpointsCommittedTotal = "core_checkpoints_committed_total"
 	MCoreCheckpointsAbortedTotal   = "core_checkpoints_aborted_total"
+	MCoreDegradedSavesTotal        = "core_degraded_saves_total"
 	MCoreRecoveriesTotal           = "core_recoveries_total" // labeled tier=<tier>
 	MCoreRecoverySeconds           = "core_recovery_seconds"
 	MCoreIntervalSeconds           = "core_interval_seconds"
@@ -82,7 +103,14 @@ var AllMetricNames = []string{
 	MShardWriteSeconds, MShardReadSeconds, MShardWritesTotal,
 	MShardReadsTotal, MShardWrittenBytesTotal, MShardReadBytesTotal,
 	MShardCRCFailuresTotal, MShardReadFailuresTotal,
+	MShardRereadsTotal, MShardRereadRepairsTotal,
+	MStorageRetriesTotal, MStorageRetryExhaustedTotal,
+	MStoragePermanentErrorsTotal, MStorageHedgedReadsTotal,
+	MStorageHedgeWinsTotal, MStorageRetryDelaySeconds,
+	MFTIScrubSweepsTotal, MFTIScrubCorruptionsTotal,
+	MFTIScrubRepairsTotal, MFTIScrubDroppedTotal, MFTIAsyncAbortedTotal,
 	MCoreCheckpointsCommittedTotal, MCoreCheckpointsAbortedTotal,
+	MCoreDegradedSavesTotal,
 	MCoreRecoveriesTotal, MCoreRecoverySeconds, MCoreIntervalSeconds,
 	MABFTObservesTotal, MABFTReconstructionsTotal, MABFTRejectsTotal,
 	MABFTChecksumFailuresTotal, MABFTLocalIterationsTotal,
@@ -105,6 +133,7 @@ const (
 	TrackSolver   = 1 // the solver goroutine: iterations, capture stalls, sync saves
 	TrackPipeline = 2 // background encode+write of the async double buffer
 	TrackRecovery = 3 // restore walks and tiered recovery attempts
+	TrackScrubber = 4 // background CRC scrub sweeps and fsck startup sweeps
 )
 
 // Span categories and names. Real (wall-clock) runs and the
@@ -113,6 +142,7 @@ const (
 	CatCheckpoint = "checkpoint"
 	CatRecovery   = "recovery"
 	CatSolver     = "solver"
+	CatStorage    = "storage"
 
 	SpanCapture     = "capture"
 	SpanEncode      = "encode"
@@ -125,4 +155,6 @@ const (
 	SpanCompute     = "compute"       // solver iterations between lifecycle events
 	SpanFailure     = "failure"       // instant marker
 	SpanTierPrefix  = "tier:"         // + RecoveryTier.String(), one span per TierAttempt
+	SpanScrub       = "scrub-sweep"   // one background scrub pass over committed groups
+	SpanFsck        = "fsck"          // startup crash-consistency sweep
 )

@@ -72,6 +72,15 @@ type Config struct {
 	// at shards ≤ 1.
 	RecoverySeconds func(info fti.Info) float64
 
+	// StorageRetrySeconds prices the expected retry/backoff delay the
+	// fault-tolerant storage layer adds to one checkpoint write under a
+	// lossy PFS — cluster.Model.StorageRetrySeconds is the calibrated
+	// form. The delay is added to the synchronous checkpoint stall (or
+	// the background write duration in async mode) and accumulated in
+	// Outcome.StorageRetryTime. Nil means a fault-free store: zero
+	// retry delay.
+	StorageRetrySeconds func(info fti.Info) float64
+
 	// AsyncCheckpoint enables the overlapped-checkpoint cost mode and
 	// requires a synchronous Manager (core.Config.Async off): the
 	// simulator models the overlap in virtual time, so the in-process
@@ -159,6 +168,11 @@ type Outcome struct {
 	// the previous background encode+write (async mode only): the
 	// checkpoint interval was shorter than the background pipeline.
 	BackpressureTime float64
+	// StorageRetryTime is the simulated seconds checkpoint writes spent
+	// in the storage layer's retry/backoff loops (part of
+	// CheckpointTime in sync mode, of the background write duration in
+	// async mode).
+	StorageRetryTime float64
 	RecoveryTime     float64 // simulated seconds spent recovering
 	FailureEvents    []Event
 	Residuals        []float64 // per executed iteration (optional)
@@ -224,6 +238,9 @@ func Run(cfg Config) (*Outcome, error) {
 	}
 	if cfg.CaptureSeconds == nil {
 		cfg.CaptureSeconds = func(fti.Info) float64 { return 0 }
+	}
+	if cfg.StorageRetrySeconds == nil {
+		cfg.StorageRetrySeconds = func(fti.Info) float64 { return 0 }
 	}
 
 	out := &Outcome{}
@@ -537,7 +554,9 @@ func Run(cfg Config) (*Outcome, error) {
 				t += capSec
 				out.CheckpointTime += capSec
 				ob.span(obs.TrackSolver, obs.CatCheckpoint, obs.SpanCapture, t-capSec, capSec, nil)
-				bg := cfg.CheckpointSeconds(info)
+				retrySec := cfg.StorageRetrySeconds(info)
+				out.StorageRetryTime += retrySec
+				bg := cfg.CheckpointSeconds(info) + retrySec
 				pendingLive = true
 				pendingCommitAt = t + bg
 				pendingStart = t
@@ -558,7 +577,9 @@ func Run(cfg Config) (*Outcome, error) {
 					return nil, fmt.Errorf("sim: checkpoint: %w", err)
 				}
 				prevLogicalAtCkpt, logicalAtCkpt = logicalAtCkpt, logical
-				d := cfg.CheckpointSeconds(info)
+				retrySec := cfg.StorageRetrySeconds(info)
+				out.StorageRetryTime += retrySec
+				d := cfg.CheckpointSeconds(info) + retrySec
 				if t+d > nextFail {
 					if err := failDuringCheckpoint(); err != nil {
 						return nil, err

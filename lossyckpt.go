@@ -159,6 +159,27 @@
 // schema on its virtual clock, and cmd/solve serves everything live
 // (-debug-addr) or as exit artifacts (-metrics-out, -trace-out).
 //
+// The storage layer beneath all of this is fault-tolerant: wrapping
+// any Storage in NewResilientStorage classifies every error
+// (transient / permanent / corruption), absorbs transient PFS faults
+// with capped exponential backoff under a per-op retry and time
+// budget, fails fast on permanent ones, and hedges slow reads with a
+// delayed second fetch. Commit-protocol crash points (a torn temp
+// file, an unrenamed temp, shards without a manifest, a partial
+// manifest) are enumerated and swept by FsckStorage at startup, so
+// List exposes only fully committed checkpoints; a background
+// StorageScrubber CRC-verifies committed groups between checkpoints
+// and repairs latent corruption from retained state before a restart
+// ever needs the bytes. ManagerConfig.DegradedWrites keeps the solver
+// iterating when a save fails anyway — a failed checkpoint degrades
+// the retention window, never the solve. The deterministic harness
+// drives all of it: StorageInjector (and the -inject grammar's
+// storagewrite/storageread/slowio/crash kinds, with N..M/S iteration
+// ranges for sustained campaigns) injects seeded fault mixes that the
+// wrapper must absorb with a bitwise-unchanged convergence trace, and
+// the sim/cluster models price the expected retry delay per
+// checkpoint (cluster.Model.StorageRetrySeconds).
+//
 // Knobs: GOMAXPROCS sizes the pool; SetParallelWorkers overrides it
 // (SetParallelWorkers(1) forces serial execution, useful for
 // reproducing single-core baselines); SZParams.BlockSize trades
@@ -482,6 +503,95 @@ type DecoderInto = fti.DecoderInto
 // when implemented, falling back to Decode plus a copy.
 var EncoderDecodeInto = fti.DecodeInto
 
+// ---- Fault-tolerant storage ---------------------------------------------------
+
+// StorageFaultPolicy tunes the resilient storage wrapper: retry count,
+// capped exponential backoff with seeded jitter, per-op time budget,
+// and the hedged-read delay for slow primaries.
+type StorageFaultPolicy = fti.FaultPolicy
+
+// ResilientStorage wraps any Storage with error classification,
+// bounded retry/backoff for transient faults, fail-fast on permanent
+// ones, and hedged re-reads — the solver above it never sees a
+// transient PFS error.
+type ResilientStorage = fti.Resilient
+
+// NewResilientStorage wraps a Storage under a policy (zero value =
+// defaults: 4 retries, 2ms base / 250ms cap backoff).
+var NewResilientStorage = fti.NewResilient
+
+// StorageErrClass is the retry layer's error taxonomy.
+type StorageErrClass = fti.ErrClass
+
+// The error classes.
+const (
+	StorageErrTransient  = fti.ClassTransient
+	StorageErrPermanent  = fti.ClassPermanent
+	StorageErrCorruption = fti.ClassCorruption
+)
+
+// ClassifyStorageError classifies an error (self-classifying errors
+// via the fti.Classifier interface win; syscall errnos and sentinel
+// errors otherwise).
+var ClassifyStorageError = fti.ClassifyError
+
+// StorageFaultError is the terminal error of an exhausted or
+// fail-fast storage op: op, object name, attempt count, class, cause.
+type StorageFaultError = fti.FaultError
+
+// StorageRetryStats snapshots a ResilientStorage's accounting.
+type StorageRetryStats = fti.RetryStats
+
+// AsyncSaveError wraps a background save failure with the op, the
+// checkpoint name, and the attempt count the retry layer reported.
+type AsyncSaveError = fti.AsyncSaveError
+
+// FsckStorage sweeps a storage namespace at startup: stale temp files
+// unlinked, orphan shards and uncommitted groups GC'd, so List
+// exposes only fully committed checkpoints afterwards.
+var FsckStorage = fti.Fsck
+
+// FsckReport is what a startup sweep found and removed.
+type FsckReport = fti.FsckReport
+
+// TempSweeper is the optional Storage extension the fsck sweep uses
+// to unlink stale temp files (DirStorage implements it).
+type TempSweeper = fti.TempSweeper
+
+// StorageScrubber CRC-verifies committed checkpoints in the
+// background and repairs latent corruption from retained state — or
+// GC's an unrepairable group when an intact sibling exists.
+type StorageScrubber = fti.Scrubber
+
+// NewStorageScrubber builds a scrubber over a storage namespace; wire
+// it to a Checkpointer with (*Checkpointer).AttachScrubber so the
+// newest group stays repairable from memory.
+var NewStorageScrubber = fti.NewScrubber
+
+// StorageScrubStats counts sweeps, corruptions, repairs and drops.
+type StorageScrubStats = fti.ScrubStats
+
+// StorageInjector interposes seeded storage faults (transient and
+// permanent read/write errors, slow ops, mid-commit crashes) under
+// the resilient wrapper — the deterministic harness behind the
+// storagewrite/storageread/slowio/crash injection kinds.
+type StorageInjector = failure.StorageInjector
+
+// NewStorageInjector seeds an injector over a Storage.
+var NewStorageInjector = failure.NewStorageInjector
+
+// StorageFaultProfile configures an injector's continuous fault
+// campaign (per-attempt rate, transient fraction, first-attempt
+// determinism, slow-op delay).
+type StorageFaultProfile = failure.StorageProfile
+
+// StorageInjectStats counts what an injector did.
+type StorageInjectStats = failure.InjectStats
+
+// ErrStorageCrashed is every operation's error between an injected
+// crash and revival.
+var ErrStorageCrashed = failure.ErrCrashed
+
 // ---- The paper's scheme --------------------------------------------------------
 
 // Scheme selects traditional, lossless, or lossy checkpointing.
@@ -581,6 +691,10 @@ const (
 	FailCorruptShard    = failure.CorruptShard
 	FailCorruptManifest = failure.CorruptManifest
 	FailMidCheckpoint   = failure.MidCheckpoint
+	FailStorageWrite    = failure.StorageWriteFault
+	FailStorageRead     = failure.StorageReadFault
+	FailSlowIO          = failure.SlowIO
+	FailCrash           = failure.Crash
 )
 
 // FailurePlan is a parsed deterministic injection schedule.
