@@ -27,6 +27,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/precond"
+	"repro/internal/quality"
 	"repro/internal/solver"
 	"repro/internal/sparse"
 	"repro/internal/sz"
@@ -659,6 +660,89 @@ func BenchmarkObsOverhead(b *testing.B) {
 		if !raceEnabled && ratio > 1.02 {
 			b.Fatalf("instrumented save median %.2f ms vs disabled %.2f ms: %.2f%% overhead exceeds the 2%% band",
 				1e3*instT[trials/2], 1e3*plainT[trials/2], 100*(ratio-1))
+		}
+	})
+}
+
+// BenchmarkQualityTelemetry bounds the cost of the numerical-telemetry
+// audit on the checkpoint hot path: the 1M-element PWRel sync save is
+// timed uninstrumented and with a sampled (every-4th) audit attached
+// — the production default, riding the encoder's own encode-path
+// accumulators — and the band sub-benchmark asserts the interleaved
+// medians agree within 2%. The exhaustive sub-benchmark additionally
+// decode-verifies every save; its ratio is reported as a metric but
+// not gated (a full audit decode per save is priced, not promised).
+// Race builds skip the band (the detector inflates the audited path).
+func BenchmarkQualityTelemetry(b *testing.B) {
+	x := solverState(1 << 20)
+	params := sz.Params{Mode: sz.PWRel, ErrorBound: 1e-4}
+	newCk := func(qa *quality.Auditor) *fti.Checkpointer {
+		ck := fti.New(fti.NewMemStorage(), fti.SZ{Params: params})
+		if err := ck.SetKeep(1); err != nil {
+			b.Fatal(err)
+		}
+		ck.SetSaveAudit(qa) // nil leaves the hook a no-op
+		return ck
+	}
+	newAuditor := func(exhaustive bool) *quality.Auditor {
+		qa := quality.New(quality.Config{Exhaustive: exhaustive})
+		qa.Instrument(obs.New(), nil)
+		return qa
+	}
+	save := func(ck *fti.Checkpointer, i int) float64 {
+		start := time.Now()
+		if _, err := ck.Save(&fti.Snapshot{Iteration: i, Vectors: map[string][]float64{"x": x}}); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start).Seconds()
+	}
+	b.Run("disabled", func(b *testing.B) {
+		ck := newCk(nil)
+		b.SetBytes(int64(8 * len(x)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			save(ck, i)
+		}
+	})
+	b.Run("sampled", func(b *testing.B) {
+		ck := newCk(newAuditor(false))
+		b.SetBytes(int64(8 * len(x)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			save(ck, i)
+		}
+	})
+	b.Run("exhaustive", func(b *testing.B) {
+		ck := newCk(newAuditor(true))
+		b.SetBytes(int64(8 * len(x)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			save(ck, i)
+		}
+	})
+	b.Run("band", func(b *testing.B) {
+		const trials = 9
+		plain, sampled, exhaustive := newCk(nil), newCk(newAuditor(false)), newCk(newAuditor(true))
+		save(plain, 0) // warm all paths (pool spin-up, buffer growth)
+		save(sampled, 0)
+		save(exhaustive, 0)
+		plainT := make([]float64, 0, trials)
+		sampledT := make([]float64, 0, trials)
+		exhaustT := make([]float64, 0, trials)
+		for t := 1; t <= trials; t++ {
+			plainT = append(plainT, save(plain, t))
+			sampledT = append(sampledT, save(sampled, t))
+			exhaustT = append(exhaustT, save(exhaustive, t))
+		}
+		sort.Float64s(plainT)
+		sort.Float64s(sampledT)
+		sort.Float64s(exhaustT)
+		ratio := sampledT[trials/2] / plainT[trials/2]
+		b.ReportMetric(100*(ratio-1), "sampled-overhead-%")
+		b.ReportMetric(100*(exhaustT[trials/2]/plainT[trials/2]-1), "exhaustive-overhead-%")
+		if !raceEnabled && ratio > 1.02 {
+			b.Fatalf("sampled audit median %.2f ms vs disabled %.2f ms: %.2f%% overhead exceeds the 2%% band",
+				1e3*sampledT[trials/2], 1e3*plainT[trials/2], 100*(ratio-1))
 		}
 	})
 }

@@ -108,6 +108,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/precond"
+	"repro/internal/quality"
 	"repro/internal/sim"
 	"repro/internal/solver"
 	"repro/internal/sparse"
@@ -137,9 +138,13 @@ func main() {
 	priorMTTI := flag.Float64("prior-mtti", 3600, "adaptive controller's prior mean time to interruption in seconds (its only a-priori knowledge)")
 	recoveryTiers := flag.Bool("recovery-tiers", false, "tiered recovery: ABFT reconstruction, then latest checkpoint, then older checkpoints, then restart-from-zero")
 	injectSpec := flag.String("inject", "", "seeded fault plan 'kind(+kind)*@iterspec,...' (kinds proc|abft|shard|manifest|midckpt|storagewrite|storageread|slowio|crash; iterspec N or N..M[/S]) driving the real solve; requires -recovery-tiers, excludes -mtti")
-	debugAddr := flag.String("debug-addr", "", "serve /metrics, /trace, and /debug/pprof on this address (e.g. localhost:6060) while the run is live")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /trace, /report, and /debug/pprof on this address (e.g. localhost:6060) while the run is live")
 	metricsOut := flag.String("metrics-out", "", "write the end-of-run metrics snapshot as JSON to this file")
 	traceOut := flag.String("trace-out", "", "write the end-of-run Chrome trace_event JSON to this file")
+	qualityOn := flag.Bool("quality", false, "numerical telemetry: audit per-checkpoint distortion against the live state (sampled) and attribute post-recovery convergence delay")
+	qualitySample := flag.Int("quality-sample", 4, "audit every Nth committed checkpoint (1 = every checkpoint)")
+	qualityExhaustive := flag.Bool("quality-exhaustive", false, "audit every checkpoint and decode-verify every audited vector (implies -quality)")
+	reportOut := flag.String("report-out", "", "write the versioned JSON run report (cost table, metrics, per-checkpoint quality, recovery attributions, stability verdict) to this file (implies -quality)")
 	flag.Parse()
 	// The striped single-writer cost model engages when -shards is
 	// given explicitly — including -shards 1, so monolithic and sharded
@@ -151,11 +156,17 @@ func main() {
 		}
 	})
 
+	qual := qualityOpts{
+		enabled:    *qualityOn || *qualityExhaustive || *reportOut != "",
+		sample:     *qualitySample,
+		exhaustive: *qualityExhaustive,
+	}
+
 	// One registry + tracer pair backs the live endpoint and the
 	// end-of-run artifacts; left nil (zero overhead) unless asked for.
 	var wiring obsWiring
-	wiring.metricsOut, wiring.traceOut = *metricsOut, *traceOut
-	if *debugAddr != "" || *metricsOut != "" || *traceOut != "" {
+	wiring.metricsOut, wiring.traceOut, wiring.reportOut = *metricsOut, *traceOut, *reportOut
+	if *debugAddr != "" || *metricsOut != "" || *traceOut != "" || qual.enabled {
 		wiring.reg = obs.New()
 		wiring.tr = obs.NewTracer()
 	}
@@ -169,10 +180,18 @@ func main() {
 		scrubEvery: *scrubInterval,
 		faultRate:  *storageFaultRate,
 	}
-	if err := run(*method, *grid, *rtol, *schemeName, *eb, *interval, *mtti, *tit, *seed, *ckptDir, *maxIter, *async, *shards, *storageWorkers, striped, *adaptive, *priorMTTI, *recoveryTiers, *injectSpec, sto, wiring); err != nil {
+	if err := run(*method, *grid, *rtol, *schemeName, *eb, *interval, *mtti, *tit, *seed, *ckptDir, *maxIter, *async, *shards, *storageWorkers, striped, *adaptive, *priorMTTI, *recoveryTiers, *injectSpec, sto, qual, wiring); err != nil {
 		fmt.Fprintln(os.Stderr, "solve:", err)
 		os.Exit(1)
 	}
+}
+
+// qualityOpts carries the numerical-telemetry knobs from flag parsing
+// into the run.
+type qualityOpts struct {
+	enabled    bool
+	sample     int
+	exhaustive bool
 }
 
 // storageOpts carries the fault-tolerant storage layer's knobs from
@@ -184,7 +203,27 @@ type storageOpts struct {
 	faultRate  float64
 }
 
-func run(method string, grid int, rtol float64, schemeName string, eb, interval, mtti, tit float64, seed int64, ckptDir string, maxIter int, async bool, shards, storageWorkers int, striped, adaptive bool, priorMTTI float64, recoveryTiers bool, injectSpec string, sto storageOpts, wiring obsWiring) error {
+func run(method string, grid int, rtol float64, schemeName string, eb, interval, mtti, tit float64, seed int64, ckptDir string, maxIter int, async bool, shards, storageWorkers int, striped, adaptive bool, priorMTTI float64, recoveryTiers bool, injectSpec string, sto storageOpts, qual qualityOpts, wiring obsWiring) (err error) {
+	// Setup failures exit before the full reporter is armed; -report-out
+	// still deserves an artifact recording the disposition, so a
+	// minimal report covers the gap until reportArmed flips.
+	reportArmed := false
+	defer func() {
+		if err == nil || reportArmed || wiring.reportOut == "" {
+			return
+		}
+		min := &quality.RunReport{
+			Run:             quality.RunInfo{Command: strings.Join(os.Args[1:], " "), Exit: "error: " + err.Error()},
+			GeneratedAtUnix: time.Now().Unix(),
+		}
+		(*quality.Auditor)(nil).Fill(min)
+		if f, ferr := os.Create(wiring.reportOut); ferr == nil {
+			if werr := min.WriteJSON(f); werr == nil {
+				fmt.Printf("run report written to %s\n", wiring.reportOut)
+			}
+			f.Close()
+		}
+	}()
 	if adaptive && interval > 0 {
 		return fmt.Errorf("-adaptive and -interval are mutually exclusive (the controller owns the cadence)")
 	}
@@ -202,7 +241,6 @@ func run(method string, grid int, rtol float64, schemeName string, eb, interval,
 	fmt.Printf("system: 3D Poisson %d³ = %d unknowns, %d nonzeros\n", grid, a.Rows, a.NNZ())
 
 	var s solver.Checkpointable
-	var err error
 	var co *abft.ChecksumOperator
 	opts := solver.Options{RTol: rtol}
 	switch method {
@@ -388,6 +426,29 @@ func run(method string, grid int, rtol float64, schemeName string, eb, interval,
 			mgr.Instrument(wiring.reg, nil)
 		}
 	}
+	// Numerical telemetry: the auditor is a pure observer (sampled
+	// decode-on-the-fly distortion audits, recovery-delay attribution),
+	// so arming it never perturbs the solve trajectory.
+	var qa *quality.Auditor
+	if qual.enabled {
+		qa = quality.New(quality.Config{
+			SampleEvery: qual.sample,
+			Exhaustive:  qual.exhaustive,
+			BNorm:       vecNorm(b),
+			StabilityC:  1,
+		})
+		qa.Instrument(wiring.reg, wiring.tr)
+		mgr.InstrumentQuality(qa)
+		every := qual.sample
+		if qual.exhaustive || every < 1 {
+			every = 1
+		}
+		mode := "encode-path stats"
+		if qual.exhaustive {
+			mode = "exhaustive decode verification"
+		}
+		fmt.Printf("quality telemetry: auditing every %d committed checkpoint(s), %s\n", every, mode)
+	}
 	if err := core.RegisterStatics(mgr.Checkpointer(), a, b); err != nil {
 		return err
 	}
@@ -460,17 +521,38 @@ func run(method string, grid int, rtol float64, schemeName string, eb, interval,
 	// observability artifacts come out on EVERY exit path — converged,
 	// errored, or injected — not just the happy one.
 	rep := &reporter{mgr: mgr, mdl: mdl, scheme: scheme, raw: raw, striped: striped,
-		recSec: recSec, measuredRestart: math.NaN(), wiring: wiring}
+		recSec: recSec, measuredRestart: math.NaN(), wiring: wiring, qa: qa, start: time.Now()}
+	rep.runInfo = quality.RunInfo{
+		Command:    strings.Join(os.Args[1:], " "),
+		Solver:     method,
+		Unknowns:   a.Rows,
+		Scheme:     schemeName,
+		Async:      async,
+		Shards:     shards,
+		ErrorBound: eb,
+		Adaptive:   adaptive,
+		Injected:   injectSpec,
+	}
+	reportArmed = true
 	defer rep.emit()
+	// Capture the exit disposition before emit (deferred later → runs
+	// first): error exits still produce one coherent report artifact.
+	defer func() {
+		if err != nil {
+			rep.update(func(ri *quality.RunInfo) { ri.Exit = "error: " + err.Error() })
+		}
+	}()
+	setReportSource(rep.snapshotReport)
 	if injectSpec != "" {
 		ckptEvery := int(interval)
 		if ckptEvery <= 0 {
 			ckptEvery = 25
 		}
+		rep.update(func(ri *quality.RunInfo) { ri.Interval = ckptEvery })
 		// Corruption helpers damage objects on the BASE store, bypassing
 		// the injector (their writes must not consume armed faults) and
 		// the retry layer (a corruption is not an op to retry).
-		return runInjected(a, s, mgr, guard, co, plan, baseStorage, injector, mdl, recSec, tit, ckptEvery, maxIter, wiring.tr)
+		return runInjected(a, s, mgr, guard, co, plan, baseStorage, injector, mdl, recSec, tit, ckptEvery, maxIter, wiring.tr, rep)
 	}
 	var ctrl *adapt.Controller
 	if adaptive {
@@ -531,10 +613,17 @@ func run(method string, grid int, rtol float64, schemeName string, eb, interval,
 		MaxIterations:       maxIter,
 		Metrics:             wiring.reg,
 		Tracer:              wiring.tr,
+		Quality:             qa,
 	})
 	if err != nil {
 		return err
 	}
+	rep.update(func(ri *quality.RunInfo) {
+		ri.Interval = int(interval)
+		ri.Iterations = out.IterationsExecuted
+		ri.Converged = out.Converged
+		ri.FinalResidual = out.FinalResidual
+	})
 	fmt.Printf("converged=%v iterations=%d sim-time=%.0fs failures=%d checkpoints=%d\n",
 		out.Converged, out.IterationsExecuted, out.SimSeconds, out.Failures, out.Checkpoints)
 	fmt.Printf("checkpoint-time=%.1fs recovery-time=%.0fs final-residual=%.3e\n",
@@ -579,6 +668,9 @@ func run(method string, grid int, rtol float64, schemeName string, eb, interval,
 	// against the modeled ShardedRecoverySeconds at cluster scale.
 	if mtti > 0 && mgr.HasCheckpoint() {
 		info := mgr.LastInfo()
+		// Detach the auditor first: the measurement is not a failure, so
+		// it must not add a recovery-attribution entry to the report.
+		mgr.InstrumentQuality(nil)
 		start := time.Now()
 		it, err := mgr.Recover()
 		if err != nil {
@@ -606,9 +698,24 @@ type obsWiring struct {
 	tr         *obs.Tracer
 	metricsOut string
 	traceOut   string
+	reportOut  string
 }
 
 func (w obsWiring) armed() bool { return w.reg != nil || w.tr != nil }
+
+// reportSource is the live run-report builder that /report serves.
+// run() installs it once the reporter exists — the debug listener
+// starts earlier, during flag handling.
+var reportSource struct {
+	mu sync.Mutex
+	fn func() *quality.RunReport
+}
+
+func setReportSource(fn func() *quality.RunReport) {
+	reportSource.mu.Lock()
+	reportSource.fn = fn
+	reportSource.mu.Unlock()
+}
 
 // serveDebug exposes the live registry and tracer (plus pprof) on a
 // background HTTP listener. Snapshots are taken per request, so
@@ -623,6 +730,17 @@ func serveDebug(addr string, reg *obs.Registry, tr *obs.Tracer) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = tr.WriteChrome(w)
 	})
+	mux.HandleFunc("/report", func(w http.ResponseWriter, _ *http.Request) {
+		reportSource.mu.Lock()
+		fn := reportSource.fn
+		reportSource.mu.Unlock()
+		if fn == nil {
+			http.Error(w, "report not ready", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = fn().WriteJSON(w)
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -633,14 +751,17 @@ func serveDebug(addr string, reg *obs.Registry, tr *obs.Tracer) {
 			fmt.Fprintln(os.Stderr, "solve: debug server:", err)
 		}
 	}()
-	fmt.Printf("debug endpoint: http://%s/{metrics,trace,debug/pprof}\n", addr)
+	fmt.Printf("debug endpoint: http://%s/{metrics,trace,report,debug/pprof}\n", addr)
 }
 
-// reporter emits the end-of-run cost table, metrics summary, and
-// observability artifacts exactly once. run defers it, so error and
+// reporter emits the end-of-run cost table, metrics summary, quality
+// digest, and observability artifacts exactly once — all assembled
+// from ONE quality.RunReport, so the text output, -report-out file,
+// and /report endpoint always agree. run defers it, so error and
 // injection paths report the same way the happy path does.
 type reporter struct {
 	once            sync.Once
+	mu              sync.Mutex // guards runInfo and final
 	mgr             *core.Manager
 	mdl             *cluster.Model
 	scheme          core.Scheme
@@ -649,6 +770,58 @@ type reporter struct {
 	recSec          func(fti.Info) float64
 	measuredRestart float64
 	wiring          obsWiring
+	qa              *quality.Auditor
+	start           time.Time
+	runInfo         quality.RunInfo
+	final           *quality.RunReport
+}
+
+// update mutates the run-description fields under the reporter's lock
+// (the /report handler reads them concurrently with the solve).
+func (r *reporter) update(fn func(*quality.RunInfo)) {
+	r.mu.Lock()
+	fn(&r.runInfo)
+	r.mu.Unlock()
+}
+
+// buildReport assembles the versioned run report from the current
+// state: run info, cost lines, quality sections, metrics snapshot.
+func (r *reporter) buildReport(cost []quality.CostLine) *quality.RunReport {
+	r.mu.Lock()
+	ri := r.runInfo
+	r.mu.Unlock()
+	if ri.Exit == "" {
+		ri.Exit = "ok"
+	}
+	if ri.WallSeconds == 0 && !r.start.IsZero() {
+		ri.WallSeconds = time.Since(r.start).Seconds()
+	}
+	rep := &quality.RunReport{Run: ri, Cost: cost, GeneratedAtUnix: time.Now().Unix()}
+	r.qa.Fill(rep)
+	if r.wiring.reg != nil {
+		rep.Metrics = r.wiring.reg.Snapshot()
+	}
+	return rep
+}
+
+// snapshotReport backs /report: the final report once emit has run,
+// else a live view built on demand. The live view has no cost lines —
+// those need the Manager's committed Info, which cannot be probed
+// concurrently with the solver thread.
+func (r *reporter) snapshotReport() *quality.RunReport {
+	r.mu.Lock()
+	final := r.final
+	r.mu.Unlock()
+	if final != nil {
+		return final
+	}
+	rep := r.buildReport(nil)
+	if rep.Run.Exit == "ok" {
+		// The disposition is only known once emit runs; a mid-run
+		// snapshot must not claim a clean exit.
+		rep.Run.Exit = "running"
+	}
+	return rep
 }
 
 func (r *reporter) emit() {
@@ -656,20 +829,66 @@ func (r *reporter) emit() {
 		// Drain any in-flight async save first so LastInfo and the
 		// registry describe the run's final state (no-op when sync).
 		info, _ := r.mgr.WaitCheckpoint()
-		printCostBreakdown(r.mdl, r.scheme, info, r.raw, r.striped, r.recSec, r.measuredRestart)
-		r.printMetricsSummary()
-		r.writeArtifacts()
+		cost := printCostBreakdown(r.mdl, r.scheme, info, r.raw, r.striped, r.recSec, r.measuredRestart)
+		rep := r.buildReport(cost)
+		r.mu.Lock()
+		r.final = rep
+		r.mu.Unlock()
+		r.printMetricsSummary(rep.Metrics)
+		r.printQualitySummary(rep)
+		r.writeArtifacts(rep)
 	})
 }
 
+// printQualitySummary digests the quality sections of the report:
+// audited saves, bound violations, per-recovery convergence-delay
+// attribution, and the stability verdict.
+func (r *reporter) printQualitySummary(rep *quality.RunReport) {
+	if r.qa == nil {
+		return
+	}
+	viol, worst := 0, 0.0
+	for i := range rep.Checkpoints {
+		rec := &rep.Checkpoints[i]
+		if rec.Violated {
+			viol++
+		}
+		if rec.BoundRatio > worst {
+			worst = rec.BoundRatio
+		}
+	}
+	fmt.Printf("quality: %d audited vector saves, %d bound violations, worst observed/requested %.3g\n",
+		len(rep.Checkpoints), viol, worst)
+	for _, e := range rep.Recoveries {
+		delay := "unresolved (run ended before the failure-time residual was reacquired)"
+		if e.Resolved {
+			delay = fmt.Sprintf("realized N'=%d, residual reacquired in %d iterations",
+				e.RealizedNPrime, e.ReacquireIterations)
+		}
+		dist := ""
+		if e.Distortion != nil {
+			dist = fmt.Sprintf(", adopted max-err %.3g", e.Distortion.MaxError)
+		}
+		fmt.Printf("  recovery@%-6d via %-18s (ckpt iter %d%s): %s\n",
+			e.FailureIteration, e.Tier, e.CheckpointIteration, dist, delay)
+	}
+	if v := rep.Stability; v.Defined {
+		state := "INSIDE"
+		if !v.Inside {
+			state = "OUTSIDE"
+		}
+		fmt.Printf("stability (%s): %s — %d/%d audited lossy checkpoints within c·‖r‖/‖b‖, worst margin %.3g\n",
+			v.Region, state, v.CheckpointsInside, v.CheckpointsInside+v.CheckpointsOutside, v.WorstMargin)
+	}
+}
+
 // printMetricsSummary renders the non-zero counters, gauges, and
-// histogram aggregates from the registry — a digest of the full
-// snapshot that -metrics-out (or /metrics) exposes.
-func (r *reporter) printMetricsSummary() {
+// histogram aggregates from the report's snapshot — a digest of what
+// -metrics-out (or /metrics) exposes in full.
+func (r *reporter) printMetricsSummary(snap obs.Snapshot) {
 	if r.wiring.reg == nil {
 		return
 	}
-	snap := r.wiring.reg.Snapshot()
 	printed := false
 	for i := range snap.Metrics {
 		md := &snap.Metrics[i]
@@ -695,7 +914,7 @@ func (r *reporter) printMetricsSummary() {
 	}
 }
 
-func (r *reporter) writeArtifacts() {
+func (r *reporter) writeArtifacts(rep *quality.RunReport) {
 	write := func(path, what string, emit func(io.Writer) error) {
 		if path == "" {
 			return
@@ -719,6 +938,7 @@ func (r *reporter) writeArtifacts() {
 	if r.wiring.tr != nil {
 		write(r.wiring.traceOut, "chrome trace", r.wiring.tr.WriteChrome)
 	}
+	write(r.wiring.reportOut, "run report", rep.WriteJSON)
 }
 
 // injectedFailure records one injected event and the tier chain that
@@ -755,7 +975,7 @@ func planArmsStorage(plan *failure.Plan) bool {
 // debris where the crash left it.
 func runInjected(a *sparse.CSR, s solver.Checkpointable, mgr *core.Manager, guard *abft.Guard,
 	co *abft.ChecksumOperator, plan *failure.Plan, storage fti.Storage, injector *failure.StorageInjector,
-	mdl *cluster.Model, recSec func(fti.Info) float64, tit float64, ckptEvery, maxIter int, tr *obs.Tracer) error {
+	mdl *cluster.Model, recSec func(fti.Info) float64, tit float64, ckptEvery, maxIter int, tr *obs.Tracer, repr *reporter) error {
 	fmt.Printf("injection plan: %d events, checkpoint every %d iterations\n", len(plan.Events()), ckptEvery)
 	x0 := make([]float64, a.Rows)
 	var failures []injectedFailure
@@ -769,6 +989,10 @@ func runInjected(a *sparse.CSR, s solver.Checkpointable, mgr *core.Manager, guar
 		}
 	}
 	cb := func(it int, rnorm float64) error {
+		// Feed the residual trajectory to the quality auditor (nil-safe
+		// no-op when -quality is off): it tags checkpoints with the
+		// residual at save and counts post-recovery reacquisition.
+		mgr.Quality().ObserveResidual(it, rnorm)
 		// Retain this iteration's redundancy first: the guard protects
 		// the state the step just produced.
 		guard.Observe()
@@ -862,6 +1086,11 @@ func runInjected(a *sparse.CSR, s solver.Checkpointable, mgr *core.Manager, guar
 	if err != nil {
 		return err
 	}
+	repr.update(func(ri *quality.RunInfo) {
+		ri.Iterations = res.Iterations
+		ri.Converged = res.Converged
+		ri.FinalResidual = res.FinalResidual
+	})
 	fmt.Printf("converged=%v iterations=%d residual=%.3e failures=%d\n",
 		res.Converged, res.Iterations, res.FinalResidual, len(failures))
 	if co != nil {
@@ -909,11 +1138,13 @@ func runInjected(a *sparse.CSR, s solver.Checkpointable, mgr *core.Manager, guar
 // in-process run actually measured (fti.Info stage timings and the
 // measured restart). The two columns are different machines by design
 // — the point is seeing each phase's model beside a real measurement
-// of the same code path.
+// of the same code path. The same rows come back as structured cost
+// lines for the run report (NaN "not measured" sentinels become 0,
+// which omitempty drops — NaN is not valid JSON).
 func printCostBreakdown(mdl *cluster.Model, scheme core.Scheme, info fti.Info, raw float64,
-	striped bool, recSec func(fti.Info) float64, measuredRestart float64) {
+	striped bool, recSec func(fti.Info) float64, measuredRestart float64) []quality.CostLine {
 	if info.Bytes == 0 {
-		return // no checkpoint was ever committed; nothing to break down
+		return nil // no checkpoint was ever committed; nothing to break down
 	}
 	sch := cluster.Uncompressed
 	switch scheme {
@@ -955,4 +1186,26 @@ func printCostBreakdown(mdl *cluster.Model, scheme core.Scheme, info fti.Info, r
 	}
 	fmt.Printf("  %-8s %12s %12s\n", "write", ms(modWrite), ms(info.WriteSeconds))
 	fmt.Printf("  %-8s %12s %12s   (measured only on failure runs)\n", "restart", ms(recSec(info)), ms(measuredRestart))
+	fin := func(s float64) float64 {
+		if math.IsNaN(s) {
+			return 0
+		}
+		return s
+	}
+	return []quality.CostLine{
+		{Phase: "capture", ModeledSeconds: modCapture, MeasuredSeconds: fin(measCapture)},
+		{Phase: "encode", ModeledSeconds: modEncode, MeasuredSeconds: info.EncodeSeconds},
+		{Phase: "write", ModeledSeconds: modWrite, MeasuredSeconds: info.WriteSeconds},
+		{Phase: "restart", ModeledSeconds: recSec(info), MeasuredSeconds: fin(measuredRestart)},
+	}
+}
+
+// vecNorm is the Euclidean norm of the right-hand side — the ‖b‖ the
+// stability verdict normalizes residuals against.
+func vecNorm(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
 }

@@ -213,6 +213,13 @@ type Estimates struct {
 	ABFTRecovery   float64
 	IORestarts     int
 	ABFTRecoveries int
+	// BoundRatio is the EWMA of the audited observed/requested error
+	// ratio from the quality telemetry feed (0 before any audit;
+	// ≤ 1 means the compressor honored its bound). QualityObs counts
+	// the audits folded in. Informational for now — no planning policy
+	// consumes them yet.
+	BoundRatio float64
+	QualityObs int
 }
 
 // RecoveryObs is one completed recovery, fed to ObserveRecoveryKind.
@@ -222,6 +229,19 @@ type Estimates struct {
 type RecoveryObs struct {
 	Seconds   float64
 	RestartIO bool
+}
+
+// QualityObs is one audited checkpoint's distortion summary, fed to
+// ObserveQuality by the quality-telemetry layer.
+type QualityObs struct {
+	When float64
+	// BoundRatio is observed max error / requested bound (≤ 1 means
+	// the bound held); 0 when the checkpoint was lossless.
+	BoundRatio float64
+	// CompressionRatio is the achieved raw/encoded ratio.
+	CompressionRatio float64
+	// Relative marks a pointwise-relative bound (vs. absolute).
+	Relative bool
 }
 
 // Controller is the online interval planner. It is not safe for
@@ -236,6 +256,8 @@ type Controller struct {
 	recovery EWMA // checkpoint-restart (I/O) recoveries only
 	abftRec  EWMA // ABFT (checkpoint-free) recoveries only
 	ratio    EWMA
+	boundRat EWMA // audited observed/requested error ratio
+	qualObs  int  // quality audits folded in
 
 	interval   float64
 	lastPlanAt float64
@@ -281,6 +303,7 @@ func New(cfg Config) (*Controller, error) {
 		recovery: NewEWMA(cfg.Alpha),
 		abftRec:  NewEWMA(cfg.Alpha),
 		ratio:    NewEWMA(cfg.Alpha),
+		boundRat: NewEWMA(cfg.Alpha),
 	}
 	c.interval = c.clamp(cfg.InitialInterval)
 	return c, nil
@@ -334,6 +357,22 @@ func (c *Controller) ObserveRecoveryKind(o RecoveryObs) {
 	} else {
 		c.abftRec.Observe(o.Seconds)
 	}
+}
+
+// ObserveQuality folds one audited checkpoint's distortion summary
+// into the estimators. Strictly informational plumbing: the feed
+// surfaces through Estimates (and the metrics bundle) but no planning
+// policy consumes it yet — the planned interval is unchanged, so
+// quality-instrumented runs plan identically to uninstrumented ones.
+func (c *Controller) ObserveQuality(o QualityObs) {
+	if o.BoundRatio > 0 {
+		c.boundRat.Observe(o.BoundRatio)
+	}
+	// Deliberately NOT fed into c.ratio: ObserveCheckpoint already
+	// observed this checkpoint's byte ratio, and double-counting would
+	// shift the planned cost — i.e. the quality feed would perturb the
+	// run it observes.
+	c.qualObs++
 }
 
 // ObserveFailure records a fail-stop event at time when, updating the
@@ -486,6 +525,8 @@ func (c *Controller) Estimates(now float64) Estimates {
 		ABFTRecovery:   c.abftRec.Value(),
 		IORestarts:     c.rate.IORestarts(),
 		ABFTRecoveries: c.rate.ABFTRecoveries(),
+		BoundRatio:     c.boundRat.Value(),
+		QualityObs:     c.qualObs,
 	}
 }
 

@@ -1,0 +1,65 @@
+package codec
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/parallel"
+	"repro/internal/sz"
+	"repro/internal/zfp"
+)
+
+// Stats is the sz package's distortion summary; both containers report
+// audits in the same shape so the quality layer handles either.
+type Stats = sz.Stats
+
+// CompressWithStats is Compress plus distortion accounting, with
+// bitwise-identical output bytes. The lossless codecs (FPC, flate)
+// need no decode at all — their reconstruction is exact by contract,
+// so only the PSNR peak is scanned. ZFP's transform does not expose
+// per-coefficient reconstructions on the encode path, so its audit
+// decodes each just-written block into pooled scratch while it is
+// cache-hot and accumulates the pointwise absolute errors.
+func CompressWithStats(x []float64, p Params) ([]byte, Stats, error) {
+	blob, err := Compress(x, p)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	var st Stats
+	st.Elements = len(x)
+	for _, v := range x {
+		if v < 0 {
+			v = -v
+		}
+		if v > st.MaxAbsValue {
+			st.MaxAbsValue = v
+		}
+	}
+	switch p.Codec {
+	case FPC, Flate:
+		// Exact reconstruction: zero error, zero bound.
+	case ZFP:
+		st.Bound = p.Bound
+		scratch := parallel.GetFloat64s(len(x))[:len(x)]
+		defer parallel.PutFloat64s(scratch)
+		if IsBlocked(blob) {
+			err = decompressInto(scratch, blob, ZFP)
+		} else {
+			err = zfp.DecompressInto(scratch, blob)
+		}
+		if err != nil {
+			return nil, Stats{}, fmt.Errorf("codec: audit decode: %w", err)
+		}
+		for i, v := range x {
+			d := math.Abs(v - scratch[i])
+			if d > st.MaxErr {
+				st.MaxErr = d
+			}
+			st.SumErr += d
+			st.SumSqAbs += d * d
+		}
+	default:
+		return nil, Stats{}, fmt.Errorf("codec: unknown codec id %d", byte(p.Codec))
+	}
+	return blob, st, nil
+}

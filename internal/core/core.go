@@ -30,6 +30,7 @@ import (
 	"repro/internal/fti"
 	"repro/internal/lossless"
 	"repro/internal/model"
+	"repro/internal/quality"
 	"repro/internal/solver"
 	"repro/internal/sz"
 )
@@ -195,6 +196,11 @@ type Manager struct {
 
 	// mobs is the observability bundle (nil when uninstrumented).
 	mobs *managerObs
+
+	// qa is the numerical-telemetry auditor (nil when uninstrumented);
+	// it rides the checkpointer's save-audit hook and is marked on
+	// every recovery for convergence-delay attribution.
+	qa *quality.Auditor
 }
 
 // NewManager wires solver s to storage through the scheme in cfg. The
@@ -366,6 +372,7 @@ func (m *Manager) Checkpoint() (fti.Info, error) {
 	m.lastInfo = info
 	m.haveCkpt = true
 	m.mobs.observeCommit()
+	m.observeQualityCommit(info.Seq, info.RawBytes, info.Bytes)
 	if m.ctrl != nil {
 		now := m.clock()
 		m.mobs.observeWindow(now - m.lastCkptClock)
@@ -443,6 +450,7 @@ func (m *Manager) promote() {
 	m.lastInfo = info
 	m.haveCkpt = true
 	m.mobs.observeCommit()
+	m.observeQualityCommit(info.Seq, info.RawBytes, info.Bytes)
 	if m.ctrl != nil {
 		m.ctrl.ObserveCheckpoint(adapt.CheckpointObs{
 			When:              m.clock(),
@@ -621,6 +629,7 @@ func (m *Manager) InFlight() bool {
 // the previous committed checkpoint — exactly the paper's failure-
 // during-checkpoint path.
 func (m *Manager) Recover() (int, error) {
+	m.qa.ObserveFailure()
 	if m.async != nil {
 		m.async.Wait()
 		m.promote()
@@ -633,7 +642,7 @@ func (m *Manager) Recover() (int, error) {
 		m.recoverBuf = map[string][]float64{}
 	}
 	restoreStart := time.Now()
-	snap, err := m.ckpt.RestoreInto(m.recoverBuf)
+	snap, attempts, err := m.ckpt.RestoreIntoTrace(m.recoverBuf)
 	if err != nil {
 		return 0, err
 	}
@@ -647,6 +656,11 @@ func (m *Manager) Recover() (int, error) {
 	it, aerr := m.adoptSnapshot(snap)
 	if aerr == nil {
 		m.mobs.observeRecovery(TierCheckpoint, time.Since(restoreStart).Seconds())
+		seq := 0
+		if len(attempts) > 0 {
+			seq = attempts[len(attempts)-1].Seq
+		}
+		m.qa.ObserveRecovery(seq, TierCheckpoint.String(), it, m.slv.ResidualNorm())
 	}
 	return it, aerr
 }
@@ -686,6 +700,7 @@ func (m *Manager) adoptSnapshot(snap *fti.Snapshot) (int, error) {
 func (m *Manager) RecoverFresh(x0 []float64) int {
 	if m.rst != nil {
 		m.rst.Restart(x0)
+		m.qa.ObserveRecovery(0, TierRestartZero.String(), 0, m.slv.ResidualNorm())
 		return 0
 	}
 	// Traditional solvers are all Restartable in this codebase, but
@@ -694,5 +709,6 @@ func (m *Manager) RecoverFresh(x0 []float64) int {
 		Iteration: 0,
 		Vectors:   map[string][]float64{"x": x0},
 	})
+	m.qa.ObserveRecovery(0, TierRestartZero.String(), 0, m.slv.ResidualNorm())
 	return 0
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/abft"
 	"repro/internal/adapt"
+	"repro/internal/quality"
 )
 
 // RecoveryTier names one rung of the tiered recovery chain, tried in
@@ -73,6 +74,11 @@ type RecoveryReport struct {
 	Attempts  []TierAttempt
 	Used      RecoveryTier
 	Iteration int
+	// AdoptedDistortion is the audited distortion of the checkpoint
+	// whose state the chain adopted — nil when the quality auditor is
+	// not attached, the adopted save was not sampled, or the chain
+	// recovered without a checkpoint (ABFT, restart-zero).
+	AdoptedDistortion *quality.Distortion
 	// Interrupted marks a chain whose recovered state was lost to a
 	// new failure before the chain's cost had fully elapsed (the
 	// virtual-time harness sets it): the attempts and their durations
@@ -112,6 +118,7 @@ func (m *Manager) ABFTGuard() *abft.Guard { return m.abft }
 // estimate, and neither kind touches the failure-rate posterior).
 func (m *Manager) RecoverTiered(x0 []float64) (*RecoveryReport, error) {
 	rep := &RecoveryReport{}
+	m.qa.ObserveFailure()
 	chainStart := time.Now()
 	traceAt := m.mobs.traceStart()
 	defer func() {
@@ -137,6 +144,7 @@ func (m *Manager) RecoverTiered(x0 []float64) (*RecoveryReport, error) {
 			if m.ctrl != nil {
 				m.ctrl.ObserveRecoveryKind(adapt.RecoveryObs{Seconds: att.Seconds, RestartIO: false})
 			}
+			m.qa.ObserveRecovery(0, TierABFT.String(), recon.Iteration, m.slv.ResidualNorm())
 			return rep, nil
 		}
 		att.Err = err.Error()
@@ -191,6 +199,8 @@ func (m *Manager) RecoverTiered(x0 []float64) (*RecoveryReport, error) {
 				last := &rep.Attempts[len(rep.Attempts)-1]
 				rep.Used = last.Tier
 				rep.Iteration = it
+				rep.AdoptedDistortion = m.qa.DistortionFor(last.Seq)
+				m.qa.ObserveRecovery(last.Seq, last.Tier.String(), it, m.slv.ResidualNorm())
 				if m.ctrl != nil {
 					m.ctrl.ObserveRecoveryKind(adapt.RecoveryObs{
 						Seconds:   time.Since(start).Seconds(),

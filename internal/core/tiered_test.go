@@ -297,7 +297,7 @@ func runTieredScenario(t *testing.T, seed int64) tieredTrace {
 	r.steps(t, 4)
 	r.checkpoint(t)
 	r.steps(t, 4)
-	fail(nil)                              // ABFT tier
+	fail(nil) // ABFT tier
 	r.steps(t, 2)
 	fail(func() { r.g.CorruptRetained() }) // checkpoint tier
 	r.steps(t, 2)

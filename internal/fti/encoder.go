@@ -47,6 +47,93 @@ func DecodeInto(enc Encoder, dst []float64, data []byte) error {
 	return nil
 }
 
+// EncodeStats summarizes the distortion one vector's encoding
+// introduced, in the shape the sz/codec containers report it: errors
+// in the bound's native metric (absolute, or relative when Relative),
+// plus the value-domain aggregates PSNR needs. Lossless encoders
+// report exact zeros. It mirrors sz.Stats field-for-field so the
+// quality layer depends only on fti.
+type EncodeStats struct {
+	Elements    int
+	MaxErr      float64
+	SumErr      float64
+	SumSqAbs    float64
+	MaxAbsValue float64
+	Bound       float64
+	Relative    bool
+	// Lossy reports whether the encoder can distort at all; exact
+	// encoders audit trivially (zero error, no decode).
+	Lossy bool
+}
+
+// fromSZStats converts the container packages' stats form.
+func fromSZStats(st sz.Stats, lossy bool) EncodeStats {
+	return EncodeStats{
+		Elements:    st.Elements,
+		MaxErr:      st.MaxErr,
+		SumErr:      st.SumErr,
+		SumSqAbs:    st.SumSqAbs,
+		MaxAbsValue: st.MaxAbsValue,
+		Bound:       st.Bound,
+		Relative:    st.Relative,
+		Lossy:       lossy,
+	}
+}
+
+// MeanErr returns the mean per-element error in the bound's metric.
+func (s EncodeStats) MeanErr() float64 {
+	if s.Elements == 0 {
+		return 0
+	}
+	return s.SumErr / float64(s.Elements)
+}
+
+// RMSE returns the root-mean-square absolute (value-domain) error.
+func (s EncodeStats) RMSE() float64 {
+	if s.Elements == 0 {
+		return 0
+	}
+	return math.Sqrt(s.SumSqAbs / float64(s.Elements))
+}
+
+// PSNR returns the peak signal-to-noise ratio in dB; +Inf for exact
+// reconstructions, 0 for an all-zero input.
+func (s EncodeStats) PSNR() float64 {
+	rmse := s.RMSE()
+	if rmse == 0 {
+		if s.MaxAbsValue == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return 20 * math.Log10(s.MaxAbsValue/rmse)
+}
+
+// StatsEncoder is the optional audit extension of Encoder: EncodeStats
+// returns the same bytes Encode would — bitwise — plus the distortion
+// the encoding introduced, accumulated on the encode path itself (the
+// sz quantizer already knows every reconstruction; the ZFP container
+// decodes each block while cache-hot; lossless encoders report exact
+// zeros without any extra pass over the payload).
+type StatsEncoder interface {
+	Encoder
+	EncodeStats(x []float64) ([]byte, EncodeStats, error)
+}
+
+// exactStats builds the EncodeStats of a lossless encoding of x.
+func exactStats(x []float64) EncodeStats {
+	st := EncodeStats{Elements: len(x)}
+	for _, v := range x {
+		if v < 0 {
+			v = -v
+		}
+		if v > st.MaxAbsValue {
+			st.MaxAbsValue = v
+		}
+	}
+	return st
+}
+
 // Raw is the traditional-checkpointing encoder: vectors are stored as
 // their exact little-endian byte image, no compression.
 type Raw struct{}
@@ -160,3 +247,96 @@ func (ZFP) DecodeInto(dst []float64, data []byte) error {
 	}
 	return zfp.DecompressInto(dst, data)
 }
+
+// EncodeStats implements StatsEncoder: exact bytes, zero error.
+func (e Raw) EncodeStats(x []float64) ([]byte, EncodeStats, error) {
+	blob, err := e.Encode(x)
+	if err != nil {
+		return nil, EncodeStats{}, err
+	}
+	return blob, exactStats(x), nil
+}
+
+// EncodeStats implements StatsEncoder: exact bytes, zero error.
+func (e Lossless) EncodeStats(x []float64) ([]byte, EncodeStats, error) {
+	blob, err := e.Encode(x)
+	if err != nil {
+		return nil, EncodeStats{}, err
+	}
+	return blob, exactStats(x), nil
+}
+
+// EncodeStats implements StatsEncoder via the sz encode-path
+// accumulators: same bytes as Encode, no audit decode.
+func (e SZ) EncodeStats(x []float64) ([]byte, EncodeStats, error) {
+	blob, st, err := sz.CompressWithStats(x, e.Params)
+	if err != nil {
+		return nil, EncodeStats{}, err
+	}
+	return blob, fromSZStats(st, true), nil
+}
+
+// EncodeStats implements StatsEncoder via the blocked container's
+// audit path (per-block decode into pooled scratch).
+func (e ZFP) EncodeStats(x []float64) ([]byte, EncodeStats, error) {
+	blob, st, err := codec.CompressWithStats(x, codec.Params{Codec: codec.ZFP, Bound: e.Bound, BlockElems: e.BlockElems})
+	if err != nil {
+		return nil, EncodeStats{}, err
+	}
+	return blob, fromSZStats(st, true), nil
+}
+
+// BoundInfo describes the distortion contract an encoder was
+// configured with: the requested error bound in its native metric
+// (absolute, or relative when Relative) and whether the encoder can
+// distort at all. Encoders whose bound cannot be stated up front
+// (e.g. range-relative, where the absolute bound depends on the data)
+// report Bound 0 with Lossy true.
+type BoundInfo struct {
+	Bound    float64
+	Relative bool
+	Lossy    bool
+}
+
+// Bounded is the optional introspection extension of Encoder: it
+// exposes the configured error-bound contract so an external auditor
+// can judge a decoded reconstruction against it even when the encoder
+// does not implement StatsEncoder.
+type Bounded interface {
+	BoundInfo() BoundInfo
+}
+
+// BoundInfo reports the exact contract (no distortion).
+func (Raw) BoundInfo() BoundInfo { return BoundInfo{} }
+
+// BoundInfo reports the exact contract (no distortion).
+func (Lossless) BoundInfo() BoundInfo { return BoundInfo{} }
+
+// BoundInfo reports the configured sz bound in its native metric.
+func (e SZ) BoundInfo() BoundInfo {
+	switch e.Params.Mode {
+	case sz.PWRel:
+		return BoundInfo{Bound: e.Params.ErrorBound, Relative: true, Lossy: true}
+	case sz.RelRange:
+		// The absolute bound is data-dependent (bound × value range).
+		return BoundInfo{Lossy: true}
+	default:
+		return BoundInfo{Bound: e.Params.ErrorBound, Lossy: true}
+	}
+}
+
+// BoundInfo reports the configured absolute ZFP bound.
+func (e ZFP) BoundInfo() BoundInfo { return BoundInfo{Bound: e.Bound, Lossy: true} }
+
+// The four built-in encoders all support audited saves.
+var (
+	_ StatsEncoder = Raw{}
+	_ StatsEncoder = Lossless{}
+	_ StatsEncoder = SZ{}
+	_ StatsEncoder = ZFP{}
+
+	_ Bounded = Raw{}
+	_ Bounded = Lossless{}
+	_ Bounded = SZ{}
+	_ Bounded = ZFP{}
+)

@@ -115,7 +115,33 @@ type Checkpointer struct {
 	// scrub, when attached, retains each committed checkpoint's
 	// encoded payload as the scrubber's repair source.
 	scrub *Scrubber
+
+	// audit, when attached, observes every save's per-vector encoding
+	// against the live state (see SaveAudit). Nil means no auditing.
+	audit SaveAudit
 }
+
+// SaveAudit observes the encoding of every vector of a save, for
+// numerical-quality telemetry (package quality). SampleSave is asked
+// once per save whether this save should be audited at all — the
+// sampled-audit fast path skips every per-vector hook when it says
+// no. For audited saves ObserveVector fires once per encoded vector
+// while the live values and the encoded blob coexist: st carries the
+// encode-path distortion stats when the encoder implements
+// StatsEncoder, and is nil otherwise (the observer may then decode
+// blob itself to audit — DecodeInto into its own scratch).
+//
+// The AsyncCheckpointer runs saves on its background goroutine, so
+// implementations must be safe for concurrent use. Implementations
+// must treat live and blob as read-only and must not retain them.
+type SaveAudit interface {
+	SampleSave(seq, iteration int) bool
+	ObserveVector(seq, iteration int, name string, live []float64, blob []byte, enc Encoder, st *EncodeStats)
+}
+
+// SetSaveAudit attaches (or, with nil, detaches) a save auditor. Only
+// safe while no save is in flight.
+func (c *Checkpointer) SetSaveAudit(a SaveAudit) { c.audit = a }
 
 type protVec struct {
 	name string
@@ -363,7 +389,7 @@ func (c *Checkpointer) save(s *Snapshot, buf []byte) ([]byte, Info, error) {
 	info := Info{Seq: c.seq, EncoderName: c.enc.Name(), StaticBytes: c.staticSize, Shards: 1}
 	encSpan := c.ins.span(obs.CatCheckpoint, obs.SpanEncode)
 	encStart := time.Now()
-	payload, rawBytes, vecBytes, bounds, err := encodeSnapshot(s, c.enc, buf, c.shards > 1)
+	payload, rawBytes, vecBytes, bounds, err := encodeSnapshot(s, c.enc, buf, c.shards > 1, c.seq, c.audit)
 	if err != nil {
 		c.seq--
 		c.ins.observeSaveError()
@@ -673,7 +699,11 @@ const fileMagic = "FTIG"
 // compression block inside them — so a sharded write can cut along
 // boundaries where a shard holds whole compression units. Monolithic
 // callers pass false and skip the per-blob header parse entirely.
-func encodeSnapshot(s *Snapshot, enc Encoder, buf []byte, wantBounds bool) (payload []byte, rawBytes, vecBytes int, bounds []int, err error) {
+// When audit is non-nil and samples this save (seq identifies it),
+// every vector's encoding is reported to it — through the encoder's
+// StatsEncoder fast path when available, so the audited bytes are the
+// exact bytes written and the common case needs no decode.
+func encodeSnapshot(s *Snapshot, enc Encoder, buf []byte, wantBounds bool, seq int, audit SaveAudit) (payload []byte, rawBytes, vecBytes int, bounds []int, err error) {
 	out := buf[:0]
 	var scratch [binary.MaxVarintLen64]byte
 	putUvarint := func(v uint64) {
@@ -702,11 +732,27 @@ func encodeSnapshot(s *Snapshot, enc Encoder, buf []byte, wantBounds bool) (payl
 		rawBytes += 8
 	}
 
+	audited := audit != nil && audit.SampleSave(seq, s.Iteration)
+	se, haveStats := enc.(StatsEncoder)
+
 	vecNames := sortedKeysV(s.Vectors)
 	putUvarint(uint64(len(vecNames)))
 	for _, name := range vecNames {
 		v := s.Vectors[name]
-		blob, err := enc.Encode(v)
+		var blob []byte
+		var err error
+		if audited && haveStats {
+			var st EncodeStats
+			blob, st, err = se.EncodeStats(v)
+			if err == nil {
+				audit.ObserveVector(seq, s.Iteration, name, v, blob, enc, &st)
+			}
+		} else {
+			blob, err = enc.Encode(v)
+			if err == nil && audited {
+				audit.ObserveVector(seq, s.Iteration, name, v, blob, enc, nil)
+			}
+		}
 		if err != nil {
 			return nil, 0, 0, nil, fmt.Errorf("fti: encode vector %q: %w", name, err)
 		}

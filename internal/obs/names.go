@@ -90,6 +90,25 @@ const (
 	MSimCheckpointAbortsTotal = "sim_checkpoint_aborts_total"
 	MSimRecoveriesTotal       = "sim_recoveries_total" // labeled tier=<tier>
 	MSimElapsedSeconds        = "sim_elapsed_seconds"
+
+	// quality — the numerical-telemetry layer: per-checkpoint lossy
+	// distortion audits and post-recovery convergence-delay
+	// attribution. Audits are per committed save (sampled); violations
+	// count audited vectors whose observed error exceeded the encoder's
+	// requested bound. The error gauge is the last audited
+	// observed/requested ratio (≤ 1 means the bound held), the
+	// compression-ratio gauge the last audited achieved ratio. The
+	// iteration metrics are Theorem 2's realized quantities: extra
+	// iterations a restart cost beyond replaying the pre-failure
+	// trajectory (N′), and iterations until the post-restart residual
+	// re-reached the residual at failure.
+	MQualityAuditsTotal         = "quality_audits_total"
+	MQualityViolationsTotal     = "quality_bound_violations_total"
+	MQualityErrorRatio          = "quality_observed_error_ratio"
+	MQualityCompressionRatio    = "quality_compression_ratio"
+	MQualityAuditSeconds        = "quality_audit_seconds"
+	MQualityExtraIterTotal      = "quality_extra_iterations_total"
+	MQualityReacquireIterations = "quality_reacquire_iterations"
 )
 
 // AllMetricNames is the catalog CI and the README table are generated
@@ -118,6 +137,9 @@ var AllMetricNames = []string{
 	MAdaptCheckpointSeconds, MAdaptRecoverySeconds, MAdaptCompressionRatio,
 	MSimFailuresTotal, MSimCheckpointsTotal, MSimCheckpointAbortsTotal,
 	MSimRecoveriesTotal, MSimElapsedSeconds,
+	MQualityAuditsTotal, MQualityViolationsTotal, MQualityErrorRatio,
+	MQualityCompressionRatio, MQualityAuditSeconds,
+	MQualityExtraIterTotal, MQualityReacquireIterations,
 }
 
 var nameRE = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*_(seconds|bytes|ratio|total|iterations)$`)
@@ -143,18 +165,23 @@ const (
 	CatRecovery   = "recovery"
 	CatSolver     = "solver"
 	CatStorage    = "storage"
+	CatQuality    = "quality"
 
 	SpanCapture     = "capture"
 	SpanEncode      = "encode"
 	SpanWrite       = "write"
 	SpanShardWrite  = "shard-write"
 	SpanShardCommit = "shard-commit"
-	SpanCheckpoint  = "checkpoint"    // fused encode+write when stages aren't split (sim sync mode)
-	SpanBackground  = "encode+write"  // async background stage as one span (sim async mode)
-	SpanRestore     = "restore"       // one fti restore attempt (one checkpoint read+decode)
-	SpanCompute     = "compute"       // solver iterations between lifecycle events
-	SpanFailure     = "failure"       // instant marker
-	SpanTierPrefix  = "tier:"         // + RecoveryTier.String(), one span per TierAttempt
-	SpanScrub       = "scrub-sweep"   // one background scrub pass over committed groups
-	SpanFsck        = "fsck"          // startup crash-consistency sweep
+	SpanCheckpoint  = "checkpoint"   // fused encode+write when stages aren't split (sim sync mode)
+	SpanBackground  = "encode+write" // async background stage as one span (sim async mode)
+	SpanRestore     = "restore"      // one fti restore attempt (one checkpoint read+decode)
+	SpanCompute     = "compute"      // solver iterations between lifecycle events
+	SpanFailure     = "failure"      // instant marker
+	SpanTierPrefix  = "tier:"        // + RecoveryTier.String(), one span per TierAttempt
+	SpanScrub       = "scrub-sweep"  // one background scrub pass over committed groups
+	SpanFsck        = "fsck"         // startup crash-consistency sweep
+
+	SpanQualityAudit     = "quality-audit"   // one audited vector save (distortion stats)
+	SpanQualityViolation = "bound-violation" // instant: audited error exceeded the bound
+	SpanQualityReacquire = "reacquire"       // post-recovery residual catch-up window
 )

@@ -1,0 +1,173 @@
+package quality
+
+// Convergence-delay attribution. The paper's lossy-checkpointing
+// overhead model charges each recovery N′ extra iterations — the
+// iterations the restarted solver needs beyond simply replaying the
+// lost segment, caused by restarting from a distorted state. This
+// file measures the realized quantity: drivers feed the residual
+// trajectory via ObserveResidual, the Manager marks failures and
+// adoptions, and the auditor counts iterations until the post-restart
+// residual re-reaches the residual at failure.
+
+import "repro/internal/obs"
+
+// RecoveryEntry attributes one recovery's convergence delay.
+type RecoveryEntry struct {
+	FailureIteration int     `json:"failure_iteration"`
+	FailureResidual  float64 `json:"failure_residual"`
+
+	Tier                  string  `json:"tier"`
+	AdoptedSeq            int     `json:"adopted_seq,omitempty"`
+	CheckpointIteration   int     `json:"checkpoint_iteration"`
+	ResidualAfterAdoption float64 `json:"residual_after_adoption"`
+
+	// Distortion is the audited distortion of the adopted checkpoint,
+	// when that save was sampled (nil for ABFT/zero-restart tiers and
+	// unsampled checkpoints).
+	Distortion *Distortion `json:"distortion,omitempty"`
+
+	// ReacquireIterations counts solver iterations after adoption
+	// until the residual first re-reached FailureResidual.
+	ReacquireIterations int `json:"reacquire_iterations"`
+	// RealizedNPrime = ReacquireIterations − (FailureIteration −
+	// CheckpointIteration): extra iterations beyond replaying the
+	// lost segment. Exactly 0 for a lossless replay; negative when
+	// recovery adopted a state ahead of the pre-failure trajectory.
+	RealizedNPrime int `json:"realized_nprime"`
+	// Resolved is false while (or if never) the residual re-reached
+	// the failure-point residual.
+	Resolved bool `json:"resolved"`
+
+	steps int // residual observations since adoption (internal)
+}
+
+// ObserveResidual feeds one solver residual observation (iteration,
+// residual norm). Call once per iteration, after the solver step;
+// this is the only per-iteration call the quality layer needs, and it
+// is read-only with respect to solver state. Nil-safe.
+func (a *Auditor) ObserveResidual(iter int, rnorm float64) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.iters[a.rn%residRing] = iter
+	a.resids[a.rn%residRing] = rnorm
+	a.rn++
+	a.lastIter, a.lastResid, a.haveResid = iter, rnorm, true
+
+	var resolved *RecoveryEntry
+	if a.pendingIdx >= 0 {
+		e := &a.entries[a.pendingIdx]
+		e.steps++
+		if rnorm <= e.FailureResidual {
+			e.ReacquireIterations = e.steps
+			e.RealizedNPrime = e.steps - (e.FailureIteration - e.CheckpointIteration)
+			e.Resolved = true
+			a.pendingIdx = -1
+			cp := *e
+			resolved = &cp
+		}
+	}
+	reg, tr := a.reg, a.tr
+	var ts float64
+	if resolved != nil {
+		ts, _ = a.spanTimeLocked(tr, 0)
+	}
+	a.mu.Unlock()
+
+	if resolved == nil {
+		return
+	}
+	if reg != nil {
+		if resolved.RealizedNPrime > 0 {
+			reg.Counter(obs.MQualityExtraIterTotal).Add(uint64(resolved.RealizedNPrime))
+		}
+		reg.Gauge(obs.MQualityReacquireIterations).Set(float64(resolved.ReacquireIterations))
+	}
+	if tr != nil {
+		tr.Complete(obs.TrackRecovery, obs.CatQuality, obs.SpanQualityReacquire, ts, 0, map[string]float64{
+			"nprime":    float64(resolved.RealizedNPrime),
+			"reacquire": float64(resolved.ReacquireIterations),
+			"iter":      float64(iter),
+		})
+	}
+}
+
+// ObserveFailure marks a failure: the Manager calls it at the top of
+// a recovery, before any tier is attempted. Any still-unresolved
+// prior attribution is finalized as such. Nil-safe.
+func (a *Auditor) ObserveFailure() {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.pendingIdx = -1 // leave any prior entry unresolved
+	a.failIter, a.failResid = a.lastIter, a.lastResid
+	a.haveFail = a.haveResid
+	a.mu.Unlock()
+}
+
+// ObserveRecovery records the adoption of recovered state: tier is
+// the RecoveryTier string, seq the adopted checkpoint's sequence (0
+// when no checkpoint was involved), ckptIter the iteration the
+// adopted state corresponds to, and residualAfter the solver residual
+// immediately after adoption. The Manager calls it after each
+// successful adoption; a second call before any residual has been
+// observed supersedes the first (tier demoted and retried). Nil-safe.
+func (a *Auditor) ObserveRecovery(seq int, tier string, ckptIter int, residualAfter float64) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.haveFail {
+		// No residual trajectory before the failure (e.g. failure at
+		// iteration 0); attribute against the adopted state itself so
+		// the entry still exists, already resolved.
+		a.failIter, a.failResid = ckptIter, residualAfter
+	}
+	e := RecoveryEntry{
+		FailureIteration:      a.failIter,
+		FailureResidual:       a.failResid,
+		Tier:                  tier,
+		AdoptedSeq:            seq,
+		CheckpointIteration:   ckptIter,
+		ResidualAfterAdoption: residualAfter,
+	}
+	if seq > 0 {
+		if d := a.bySeq[seq]; d != nil {
+			cp := *d
+			e.Distortion = &cp
+		}
+	}
+	if residualAfter <= a.failResid {
+		// Already at (or past) the failure-point residual: nothing to
+		// reacquire. ABFT reconstruction and lossless restores of the
+		// failure-point state land here with RealizedNPrime ≤ 0.
+		e.Resolved = true
+		e.RealizedNPrime = e.CheckpointIteration - a.failIter
+	}
+	if a.pendingIdx >= 0 && a.entries[a.pendingIdx].steps == 0 {
+		// Demote-and-retry within one recovery: supersede in place.
+		a.entries[a.pendingIdx] = e
+		if e.Resolved {
+			a.pendingIdx = -1
+		}
+		return
+	}
+	a.entries = append(a.entries, e)
+	if !e.Resolved {
+		a.pendingIdx = len(a.entries) - 1
+	}
+}
+
+// RecoveryEntries returns a copy of the recovery attributions so far
+// (the last may still be unresolved). Nil-safe.
+func (a *Auditor) RecoveryEntries() []RecoveryEntry {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]RecoveryEntry(nil), a.entries...)
+}

@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/fti"
+	"repro/internal/obs"
+	"repro/internal/quality"
+	"repro/internal/vec"
+)
+
+// TestQualityInSimVirtualTime covers the simulator surface of the
+// quality layer: a failure-injected virtual-time run with the auditor
+// attached converges identically to the uninstrumented run (same
+// iterations, bitwise-same final state), its audit and reacquire
+// spans are stamped on the VIRTUAL clock, and recoveries get
+// convergence-delay attributions.
+func TestQualityInSimVirtualTime(t *testing.T) {
+	a, b, _ := testSystem()
+	run := func(qa *quality.Auditor, tr *obs.Tracer) (*Outcome, []uint64) {
+		s, m := newManagedCG(t, a, b, core.Lossy)
+		m.InstrumentQuality(qa)
+		out, err := Run(Config{
+			Stepper:           s,
+			Manager:           m,
+			X0:                make([]float64, a.Rows),
+			TitSeconds:        2,
+			IntervalSeconds:   20,
+			CheckpointSeconds: func(fti.Info) float64 { return 3 },
+			RecoverySeconds:   func(fti.Info) float64 { return 4 },
+			Failures:          failure.NewInjector(60, 7),
+			MaxIterations:     100000,
+			Tracer:            tr,
+			Quality:           qa,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := s.X()
+		bits := make([]uint64, len(x))
+		for i, v := range x {
+			bits[i] = math.Float64bits(v)
+		}
+		return out, bits
+	}
+
+	base, baseX := run(nil, nil)
+	if base.Failures == 0 {
+		t.Fatal("the seeded injector should produce failures")
+	}
+
+	qa := quality.New(quality.Config{Exhaustive: true, BNorm: vec.Norm2(b)})
+	tr := obs.NewTracerWithClock(func() float64 { return 0 }) // sim overrides per-span via SetSpanClock
+	qa.Instrument(obs.New(), tr)
+	inst, instX := run(qa, tr)
+
+	if inst.IterationsExecuted != base.IterationsExecuted ||
+		inst.Failures != base.Failures ||
+		inst.Checkpoints != base.Checkpoints ||
+		math.Float64bits(inst.FinalResidual) != math.Float64bits(base.FinalResidual) {
+		t.Fatalf("instrumented sim diverged: base %+v vs instrumented %+v", base, inst)
+	}
+	for i := range baseX {
+		if baseX[i] != instX[i] {
+			t.Fatalf("final solution diverged at element %d", i)
+		}
+	}
+
+	if len(qa.Records()) == 0 {
+		t.Fatal("no checkpoint audits recorded")
+	}
+	entries := qa.RecoveryEntries()
+	if len(entries) == 0 {
+		t.Fatal("no recovery attributions recorded")
+	}
+	resolved := 0
+	for _, e := range entries {
+		if e.Resolved {
+			resolved++
+		}
+	}
+	if resolved == 0 {
+		t.Fatal("a converged run must resolve at least one recovery attribution")
+	}
+
+	// Quality spans must carry virtual timestamps: within [0, SimSeconds]
+	// and with zero wall duration (the virtual clock stamps instants).
+	audits, reacquires := 0, 0
+	for _, ev := range tr.Events() {
+		if ev.Cat != obs.CatQuality {
+			continue
+		}
+		if ev.Start < 0 || ev.Start > inst.SimSeconds {
+			t.Fatalf("quality span %q at %g outside virtual time [0, %g]", ev.Name, ev.Start, inst.SimSeconds)
+		}
+		switch ev.Name {
+		case obs.SpanQualityAudit:
+			audits++
+			if ev.Dur != 0 {
+				t.Fatalf("virtual-time audit span has wall duration %g", ev.Dur)
+			}
+		case obs.SpanQualityReacquire:
+			reacquires++
+		}
+	}
+	if audits == 0 || reacquires == 0 {
+		t.Fatalf("expected audit and reacquire spans on the virtual clock, got %d/%d", audits, reacquires)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/failure"
 	"repro/internal/fti"
 	"repro/internal/obs"
+	"repro/internal/quality"
 	"repro/internal/solver"
 )
 
@@ -140,6 +141,17 @@ type Config struct {
 	// and never alter the simulated trajectory.
 	Metrics *obs.Registry
 	Tracer  *obs.Tracer
+
+	// Quality, when non-nil, is the numerical-telemetry auditor. It
+	// must be the same auditor attached to the Manager
+	// (InstrumentQuality); the simulator feeds it the per-iteration
+	// residual trajectory and retargets its span clock at the virtual
+	// clock for the duration of the run, so audit and reacquire spans
+	// carry virtual timestamps under the same schema real runs emit.
+	// Like Metrics and Tracer it is a pure observer: a
+	// quality-instrumented simulation executes the bitwise-identical
+	// trajectory of an uninstrumented one.
+	Quality *quality.Auditor
 }
 
 // Event marks a failure in the trace.
@@ -249,6 +261,12 @@ func Run(cfg Config) (*Outcome, error) {
 	ob := newSimObs(cfg.Metrics, cfg.Tracer)
 
 	t := 0.0
+	if cfg.Quality != nil {
+		// Quality spans are stamped with the virtual clock while the
+		// simulation runs (the closure reads t as it advances).
+		cfg.Quality.SetSpanClock(func() float64 { return t })
+		defer cfg.Quality.SetSpanClock(nil)
+	}
 	lastCkptAt := 0.0
 	// computeAt marks the virtual start of the current uninterrupted
 	// stretch of solver iterations; markCompute closes the stretch as
@@ -624,6 +642,7 @@ func Run(cfg Config) (*Outcome, error) {
 			continue
 		}
 		rnorm = s.Step()
+		cfg.Quality.ObserveResidual(s.Iteration(), rnorm)
 		if guard != nil {
 			// The ABFT guard retains its per-iteration redundancy after
 			// every accepted step, as the paper's protected CG does.

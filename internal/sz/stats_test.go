@@ -1,0 +1,145 @@
+package sz
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func statsWorkloads(n int) map[string][]float64 {
+	rng := rand.New(rand.NewSource(7))
+	smooth := make([]float64, n)
+	for i := range smooth {
+		smooth[i] = math.Sin(float64(i)/50) + 0.01*rng.Float64()
+	}
+	rough := make([]float64, n)
+	for i := range rough {
+		rough[i] = rng.NormFloat64() * math.Exp(10*rng.Float64()-5)
+	}
+	withZeros := make([]float64, n)
+	copy(withZeros, smooth)
+	for i := 0; i < n; i += 37 {
+		withZeros[i] = 0
+	}
+	withZeros[n/2] = 5e-310 // subnormal: exact side channel
+	constant := make([]float64, n)
+	for i := range constant {
+		constant[i] = 3.25
+	}
+	return map[string][]float64{
+		"smooth": smooth, "rough": rough, "zeros": withZeros, "constant": constant,
+	}
+}
+
+// TestCompressWithStatsIdenticalBytes is the audit path's core
+// contract: an audited compression writes exactly the bytes an
+// unaudited one would, across modes, block layouts, and predictors.
+func TestCompressWithStatsIdenticalBytes(t *testing.T) {
+	for wname, x := range statsWorkloads(10000) {
+		for _, p := range []Params{
+			{Mode: Abs, ErrorBound: 1e-6},
+			{Mode: Abs, ErrorBound: 1e-6, BlockSize: 1 << 10},
+			{Mode: RelRange, ErrorBound: 1e-5},
+			{Mode: PWRel, ErrorBound: 1e-4},
+			{Mode: PWRel, ErrorBound: 1e-4, BlockSize: 1 << 10},
+			{Mode: PWRel, ErrorBound: 1e-13}, // below the fast-log cutoff
+			{Mode: Abs, ErrorBound: 1e-3, Predictor: PredictorLinear},
+		} {
+			want, err := Compress(x, p)
+			if err != nil {
+				t.Fatalf("%s %+v: Compress: %v", wname, p, err)
+			}
+			got, st, err := CompressWithStats(x, p)
+			if err != nil {
+				t.Fatalf("%s %+v: CompressWithStats: %v", wname, p, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s %+v: stats path produced different bytes (%d vs %d)", wname, p, len(got), len(want))
+			}
+			if st.Elements != len(x) {
+				t.Fatalf("%s %+v: audited %d of %d elements", wname, p, st.Elements, len(x))
+			}
+			if st.MaxErr > st.Bound {
+				t.Fatalf("%s %+v: observed max error %g exceeds requested bound %g", wname, p, st.MaxErr, st.Bound)
+			}
+			if st.Relative != (p.Mode == PWRel) {
+				t.Fatalf("%s %+v: Relative = %v", wname, p, st.Relative)
+			}
+		}
+	}
+}
+
+// TestStatsBoundObservedError cross-checks the encode-path accumulators
+// against a real decode: the claimed max error must bound the true
+// pointwise reconstruction error in the bound's own metric.
+func TestStatsBoundObservedError(t *testing.T) {
+	for wname, x := range statsWorkloads(6000) {
+		for _, p := range []Params{
+			{Mode: Abs, ErrorBound: 1e-5},
+			{Mode: PWRel, ErrorBound: 1e-4},
+			{Mode: PWRel, ErrorBound: 1e-4, BlockSize: 1 << 10},
+		} {
+			blob, st, err := CompressWithStats(x, p)
+			if err != nil {
+				t.Fatalf("%s: %v", wname, err)
+			}
+			dec, err := Decompress(blob)
+			if err != nil {
+				t.Fatalf("%s: decompress: %v", wname, err)
+			}
+			trueMax := 0.0
+			for i := range x {
+				e := math.Abs(x[i] - dec[i])
+				if p.Mode == PWRel && x[i] != 0 {
+					if math.Abs(x[i]) < tinyThreshold {
+						e = 0 // exact side channel
+					} else {
+						e /= math.Abs(x[i])
+					}
+				}
+				if e > trueMax {
+					trueMax = e
+				}
+			}
+			// The accumulator is a certified upper bound; allow a whisker
+			// of float slack on the comparison direction only.
+			if trueMax > st.MaxErr*(1+1e-12)+1e-300 {
+				t.Fatalf("%s %+v: true max error %g exceeds claimed %g", wname, p, trueMax, st.MaxErr)
+			}
+			// Summation rounding can push the mean an ulp past the max
+			// when every element carries the same error.
+			if st.Elements > 0 && st.MeanErr() > st.MaxErr*(1+1e-12) {
+				t.Fatalf("%s: mean %g > max %g", wname, st.MeanErr(), st.MaxErr)
+			}
+			if ps := st.PSNR(); ps != 0 && !math.IsInf(ps, 1) && ps < 0 {
+				t.Fatalf("%s: negative PSNR %g", wname, ps)
+			}
+		}
+	}
+}
+
+func TestStatsConstantAndMerge(t *testing.T) {
+	x := make([]float64, 100)
+	for i := range x {
+		x[i] = -2.5
+	}
+	blob, st, err := CompressWithStats(x, Params{Mode: RelRange, ErrorBound: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MaxErr != 0 || st.Elements != 100 || st.MaxAbsValue != 2.5 {
+		t.Fatalf("constant stats: %+v", st)
+	}
+	dec, err := Decompress(blob)
+	if err != nil || len(dec) != 100 || dec[0] != -2.5 {
+		t.Fatalf("constant roundtrip: %v %v", dec, err)
+	}
+
+	a := Stats{Elements: 2, MaxErr: 1, SumErr: 1.5, SumSqAbs: 2, MaxAbsValue: 3}
+	b := Stats{Elements: 3, MaxErr: 2, SumErr: 0.5, SumSqAbs: 1, MaxAbsValue: 1}
+	a.Merge(b)
+	if a.Elements != 5 || a.MaxErr != 2 || a.SumErr != 2 || a.SumSqAbs != 3 || a.MaxAbsValue != 3 {
+		t.Fatalf("merge: %+v", a)
+	}
+}

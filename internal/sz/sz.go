@@ -112,31 +112,42 @@ const (
 // parameters, never for hard-to-compress data (which degrades to
 // stored values).
 func Compress(x []float64, p Params) ([]byte, error) {
-	if p.ErrorBound <= 0 || math.IsNaN(p.ErrorBound) || math.IsInf(p.ErrorBound, 0) {
-		return nil, fmt.Errorf("sz: error bound must be positive and finite, got %v", p.ErrorBound)
-	}
-	if p.Intervals == 0 {
-		p.Intervals = defaultIntervals
-	}
-	if p.Intervals < 4 || p.Intervals > 1<<24 {
-		return nil, fmt.Errorf("sz: intervals %d outside [4, 2^24]", p.Intervals)
-	}
-	if p.BlockSize < 0 {
-		return nil, fmt.Errorf("sz: negative block size %d", p.BlockSize)
-	}
-	if p.BlockSize == 0 {
-		p.BlockSize = defaultBlockElems
-	}
-	if p.Mode == PWRel && p.ErrorBound >= 1 {
-		return nil, fmt.Errorf("sz: pointwise-relative bound must be < 1, got %v", p.ErrorBound)
-	}
-	if i := firstNonFinite(x); i >= 0 {
-		return nil, fmt.Errorf("sz: non-finite value at index %d", i)
+	p, err := normalizeParams(x, p)
+	if err != nil {
+		return nil, err
 	}
 	if len(x) <= p.BlockSize {
 		return compressLegacy(x, p)
 	}
 	return compressBlocked(x, p)
+}
+
+// normalizeParams validates p against x and fills defaults; Compress
+// and CompressWithStats share it so both accept exactly the same
+// inputs.
+func normalizeParams(x []float64, p Params) (Params, error) {
+	if p.ErrorBound <= 0 || math.IsNaN(p.ErrorBound) || math.IsInf(p.ErrorBound, 0) {
+		return p, fmt.Errorf("sz: error bound must be positive and finite, got %v", p.ErrorBound)
+	}
+	if p.Intervals == 0 {
+		p.Intervals = defaultIntervals
+	}
+	if p.Intervals < 4 || p.Intervals > 1<<24 {
+		return p, fmt.Errorf("sz: intervals %d outside [4, 2^24]", p.Intervals)
+	}
+	if p.BlockSize < 0 {
+		return p, fmt.Errorf("sz: negative block size %d", p.BlockSize)
+	}
+	if p.BlockSize == 0 {
+		p.BlockSize = defaultBlockElems
+	}
+	if p.Mode == PWRel && p.ErrorBound >= 1 {
+		return p, fmt.Errorf("sz: pointwise-relative bound must be < 1, got %v", p.ErrorBound)
+	}
+	if i := firstNonFinite(x); i >= 0 {
+		return p, fmt.Errorf("sz: non-finite value at index %d", i)
+	}
+	return p, nil
 }
 
 // firstNonFinite scans x concurrently and returns the smallest index
@@ -482,7 +493,14 @@ func appendCore(dst []byte, x []float64, eb float64, pred Predictor, intervals i
 	if err != nil {
 		return nil, err
 	}
+	return emitCore(dst, n, eb, pred, intervals, hstream, unpred), nil
+}
 
+// emitCore appends the core payload framing (header, Huffman stream,
+// unpredictable values) to dst. appendCore and the stats-accumulating
+// encode path both emit through it, so their output bytes cannot
+// diverge.
+func emitCore(dst []byte, n int, eb float64, pred Predictor, intervals int, hstream []byte, unpred []float64) []byte {
 	out := dst
 	var scratch [binary.MaxVarintLen64]byte
 	putUvarint := func(v uint64) {
@@ -502,7 +520,7 @@ func appendCore(dst []byte, x []float64, eb float64, pred Predictor, intervals i
 		binary.LittleEndian.PutUint64(b8[:], math.Float64bits(v))
 		out = append(out, b8[:]...)
 	}
-	return out, nil
+	return out
 }
 
 // decodeCoreInto decodes a core payload. When dst is non-nil its

@@ -215,6 +215,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/parallel"
+	"repro/internal/quality"
 	"repro/internal/solver"
 	"repro/internal/sparse"
 	"repro/internal/sz"
@@ -854,6 +855,57 @@ var NewLifecycleTracer = obs.NewTracer
 // NewLifecycleTracerWithClock builds a tracer on a caller-provided
 // clock (the virtual-time simulator's, in simulated runs).
 var NewLifecycleTracerWithClock = obs.NewTracerWithClock
+
+// ---- Numerical telemetry ---------------------------------------------------------
+
+// QualityAuditor audits the distortion committed checkpoints actually
+// introduced (observed vs requested bound, PSNR, compression ratio —
+// sampled, via the encoders' encode-path accumulators or a decode
+// cross-check) and attributes each recovery's convergence delay (the
+// paper's N′, realized). It is strictly observational — instrumented
+// runs converge bitwise-identically — and nil-safe. Attach with
+// Manager.InstrumentQuality (and sim.Config.Quality for virtual-time
+// runs); feed residuals once per iteration via ObserveResidual.
+type QualityAuditor = quality.Auditor
+
+// QualityConfig tunes the auditor (sampling cadence, exhaustive
+// decode verification, ‖b‖ and c for the stability verdict).
+type QualityConfig = quality.Config
+
+// NewQualityAuditor builds a QualityAuditor.
+var NewQualityAuditor = quality.New
+
+// QualityRecord is one audited vector of one committed checkpoint.
+type QualityRecord = quality.Record
+
+// CheckpointDistortion aggregates a checkpoint's audited vectors —
+// the shape RecoveryReport.AdoptedDistortion tags adopted state with.
+type CheckpointDistortion = quality.Distortion
+
+// RecoveryAttribution is one recovery's realized convergence delay:
+// realized N′ and iterations until the failure-point residual was
+// reacquired.
+type RecoveryAttribution = quality.RecoveryEntry
+
+// RunReport is the versioned JSON artifact unifying the cost table,
+// metrics snapshot, per-checkpoint quality records, recovery
+// attributions, and the stability verdict (cmd/solve -report-out,
+// served live at /report on -debug-addr).
+type RunReport = quality.RunReport
+
+// RunReportInfo identifies the run a RunReport describes.
+type RunReportInfo = quality.RunInfo
+
+// RunReportCostLine is one phase of a RunReport's cost table.
+type RunReportCostLine = quality.CostLine
+
+// StabilityVerdict classifies a run's lossy checkpoints against the
+// Fox et al. inline-compression stability region (bound within
+// c·‖r‖/‖b‖ at each save).
+type StabilityVerdict = quality.StabilityVerdict
+
+// RunReportSchema versions the RunReport JSON layout.
+const RunReportSchema = quality.ReportSchema
 
 // ---- Experiments -----------------------------------------------------------------
 
